@@ -1,0 +1,176 @@
+//! Event-based Monte Carlo transport.
+//!
+//! The GPU ports of OpenMC the paper runs (its references 43 and 44) use
+//! *event-based* parallelism: instead of one thread following one
+//! history to completion (history-based, as in [`crate::openmc`]),
+//! particles are kept in queues and processed one *event kind* at a time
+//! — all pending collisions together, all pending terminations together
+//! — which keeps GPU lanes convergent. This module implements that
+//! scheduling for the same multigroup physics and verifies the two
+//! execution models agree: identical physics, different order.
+
+use crate::openmc::MultigroupXs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A particle in flight.
+#[derive(Debug, Clone, Copy)]
+struct Particle {
+    group: usize,
+    rng_state: u64,
+    k_score: f64,
+}
+
+/// Result of an event-based run.
+#[derive(Debug, Clone)]
+pub struct EventTallies {
+    /// Collision-estimator k-eff.
+    pub k_eff: f64,
+    /// Events processed per kind: (collision, termination).
+    pub events: (u64, u64),
+    /// Maximum live-queue occupancy observed (sizing figure for the
+    /// GPU's particle banks).
+    pub peak_queue: usize,
+    /// Collision-density spectrum.
+    pub flux: Vec<f64>,
+}
+
+fn xorshift(state: &mut u64) -> f64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    (*state % (1 << 53)) as f64 / (1u64 << 53) as f64
+}
+
+/// Runs `particles` histories in the infinite medium with event-based
+/// scheduling: a live queue is drained one collision-event sweep at a
+/// time, terminations retiring particles between sweeps.
+pub fn run_event_based(xs: &MultigroupXs, particles: usize, seed: u64) -> EventTallies {
+    let g = xs.groups();
+    let mut seed_rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<Particle> = (0..particles)
+        .map(|_| {
+            // Sample birth group from chi.
+            let u: f64 = seed_rng.random();
+            let mut acc = 0.0;
+            let mut group = 0;
+            for (gg, &c) in xs.chi.iter().enumerate() {
+                acc += c;
+                if u < acc {
+                    group = gg;
+                    break;
+                }
+            }
+            Particle {
+                group,
+                rng_state: seed_rng.random::<u64>() | 1,
+                k_score: 0.0,
+            }
+        })
+        .collect();
+
+    let mut flux = vec![0.0f64; g];
+    let mut collisions = 0u64;
+    let mut terminations = 0u64;
+    let mut retired_k = 0.0f64;
+    let mut peak_queue = live.len();
+
+    while !live.is_empty() {
+        peak_queue = peak_queue.max(live.len());
+        // Collision sweep: every live particle scores and samples its
+        // outcome — one convergent "event kernel" launch.
+        let mut survivors = Vec::with_capacity(live.len());
+        for mut p in live {
+            collisions += 1;
+            flux[p.group] += 1.0 / xs.total[p.group];
+            p.k_score += xs.nu_fission[p.group] / xs.total[p.group];
+            let u = xorshift(&mut p.rng_state) * xs.total[p.group];
+            let mut acc = 0.0;
+            let mut scattered = false;
+            for (g2, &s) in xs.scatter[p.group].iter().enumerate() {
+                acc += s;
+                if u < acc {
+                    p.group = g2;
+                    scattered = true;
+                    break;
+                }
+            }
+            if scattered {
+                survivors.push(p);
+            } else {
+                // Termination sweep member.
+                terminations += 1;
+                retired_k += p.k_score;
+            }
+        }
+        live = survivors;
+    }
+
+    EventTallies {
+        k_eff: retired_k / particles as f64,
+        events: (collisions, terminations),
+        peak_queue,
+        flux,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::openmc::run_transport;
+
+    #[test]
+    fn event_based_matches_history_based_physics() {
+        let xs = MultigroupXs::two_group_fuel();
+        let ev = run_event_based(&xs, 60_000, 9);
+        let hist = run_transport(&xs, 20_000, 3, 4);
+        // Same expectation value, independent RNG streams.
+        assert!(
+            (ev.k_eff - hist.k_eff).abs() < 0.03,
+            "event {} vs history {}",
+            ev.k_eff,
+            hist.k_eff
+        );
+        // And both match the deterministic oracle.
+        let det = xs.k_inf_deterministic();
+        assert!((ev.k_eff - det).abs() / det < 0.03);
+    }
+
+    #[test]
+    fn every_history_terminates_exactly_once() {
+        let xs = MultigroupXs::two_group_fuel();
+        let n = 10_000;
+        let ev = run_event_based(&xs, n, 3);
+        assert_eq!(ev.events.1, n as u64, "one termination per history");
+        assert!(ev.events.0 >= ev.events.1, "at least one collision each");
+    }
+
+    #[test]
+    fn queue_drains_monotonically_from_full() {
+        let xs = MultigroupXs::one_group(1.0, 0.5, 0.0);
+        let n = 5000;
+        let ev = run_event_based(&xs, n, 7);
+        assert_eq!(ev.peak_queue, n, "queue starts full then only drains");
+        // Mean collisions per history = 1/(1 - 0.5) = 2.
+        let mean = ev.events.0 as f64 / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "geometric mean collisions {mean}");
+    }
+
+    #[test]
+    fn pure_absorber_terminates_in_one_sweep() {
+        let xs = MultigroupXs::one_group(1.0, 0.0, 0.0);
+        let ev = run_event_based(&xs, 1000, 1);
+        assert_eq!(ev.events.0, 1000);
+        assert_eq!(ev.events.1, 1000);
+        assert_eq!(ev.k_eff, 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let xs = MultigroupXs::two_group_fuel();
+        let a = run_event_based(&xs, 2000, 5);
+        let b = run_event_based(&xs, 2000, 5);
+        assert_eq!(a.k_eff, b.k_eff);
+        assert_eq!(a.events, b.events);
+    }
+}

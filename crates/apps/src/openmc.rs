@@ -1,0 +1,308 @@
+//! OpenMC-like Monte Carlo neutral-particle transport (§VI-A1).
+//!
+//! "OpenMC is a Monte Carlo neutral particle transport code … the figure
+//! of merit is derived from the rate of execution of the program when in
+//! the 'active' phase of the simulation that involves highly complex
+//! tallying operations, and is measured in units of thousands of
+//! particles per second" on the SMR depleted-fuel benchmark.
+//!
+//! The real solver below is a multigroup infinite-medium Monte Carlo
+//! eigenvalue calculation: particles are born in the fission spectrum,
+//! random-walk through collisions (scatter / absorb), score
+//! collision-estimator k-eff and per-group flux tallies, and iterate
+//! generations. k∞ is verified against the deterministic multigroup
+//! answer.
+//!
+//! The FOM model: each simulated particle performs ~10³ dependent,
+//! irregular memory lookups (cross sections by nuclide/energy, tally
+//! bins), so device throughput is the Little's-law random-access rate —
+//! `concurrency / HBM latency` — per partition (Table V: "Memory
+//! latency/bandwidth bound").
+
+use pvc_arch::System;
+use pvc_engine::Engine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Irregular lookups per simulated particle history (cross-section and
+/// tally accesses over its collisions) in the depleted-fuel SMR problem.
+pub const LOOKUPS_PER_PARTICLE: f64 = 1000.0;
+
+// ---------------------------------------------------------------------
+// Real multigroup Monte Carlo
+// ---------------------------------------------------------------------
+
+/// Multigroup cross sections of a homogeneous medium.
+#[derive(Debug, Clone)]
+pub struct MultigroupXs {
+    /// Total cross section per group.
+    pub total: Vec<f64>,
+    /// Scattering matrix: `scatter[g][g2]` = Σs(g → g2).
+    pub scatter: Vec<Vec<f64>>,
+    /// ν·Σ_fission per group.
+    pub nu_fission: Vec<f64>,
+    /// Fission spectrum (χ), sums to 1.
+    pub chi: Vec<f64>,
+}
+
+impl MultigroupXs {
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.total.len()
+    }
+
+    /// Absorption per group: Σt − Σs(g→*).
+    pub fn absorption(&self, g: usize) -> f64 {
+        self.total[g] - self.scatter[g].iter().sum::<f64>()
+    }
+
+    /// A simple depleted-fuel-like two-group set.
+    pub fn two_group_fuel() -> Self {
+        MultigroupXs {
+            total: vec![0.30, 0.80],
+            scatter: vec![vec![0.23, 0.03], vec![0.00, 0.65]],
+            nu_fission: vec![0.015, 0.30],
+            chi: vec![1.0, 0.0],
+        }
+    }
+
+    /// One-group set with analytic k∞ = νΣf / Σa.
+    pub fn one_group(total: f64, scatter: f64, nu_fission: f64) -> Self {
+        MultigroupXs {
+            total: vec![total],
+            scatter: vec![vec![scatter]],
+            nu_fission: vec![nu_fission],
+            chi: vec![1.0],
+        }
+    }
+
+    /// Deterministic k∞ by power iteration on the multigroup balance
+    /// equations (the verification oracle for the Monte Carlo answer).
+    pub fn k_inf_deterministic(&self) -> f64 {
+        let g = self.groups();
+        let mut src: Vec<f64> = self.chi.clone();
+        let mut k = 1.0;
+        for _ in 0..500 {
+            // Solve for the collision-density spectrum given the fission
+            // source: φ·Σt = source + scatter-in.
+            let mut flux = vec![0.0f64; g];
+            for _ in 0..1000 {
+                let mut next = vec![0.0f64; g];
+                for to in 0..g {
+                    let inscatter: f64 = flux
+                        .iter()
+                        .zip(self.scatter.iter())
+                        .map(|(f, row)| f * row[to])
+                        .sum();
+                    next[to] = (src[to] + inscatter) / self.total[to];
+                }
+                let delta: f64 = next
+                    .iter()
+                    .zip(flux.iter())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                flux = next;
+                if delta < 1e-14 {
+                    break;
+                }
+            }
+            let production: f64 = (0..g).map(|gg| flux[gg] * self.nu_fission[gg]).sum();
+            k = production;
+            // Renormalise the fission source.
+            src = self.chi.iter().map(|c| c * production / k).collect();
+        }
+        k
+    }
+}
+
+/// Tally results of one Monte Carlo run.
+#[derive(Debug, Clone)]
+pub struct TransportTallies {
+    /// Collision-estimator k-effective.
+    pub k_eff: f64,
+    /// Standard deviation of per-batch k estimates.
+    pub k_std: f64,
+    /// Collision-estimator group flux (arbitrary normalisation).
+    pub flux: Vec<f64>,
+    /// Histories run.
+    pub particles: u64,
+}
+
+/// Runs `batches` batches of `particles_per_batch` histories in the
+/// infinite medium (rayon over particles — the GPU's event/history
+/// parallelism).
+pub fn run_transport(
+    xs: &MultigroupXs,
+    particles_per_batch: usize,
+    batches: usize,
+    seed: u64,
+) -> TransportTallies {
+    let g = xs.groups();
+    let mut k_batches = Vec::with_capacity(batches);
+    let mut flux = vec![0.0f64; g];
+    for batch in 0..batches {
+        let results: Vec<(f64, Vec<f64>)> = (0..particles_per_batch)
+            .into_par_iter()
+            .map(|p| {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ ((batch as u64) << 40) ^ (p as u64));
+                let mut local_flux = vec![0.0f64; g];
+                let mut k_score = 0.0;
+                // Sample birth group from χ.
+                let mut group = sample_discrete(&xs.chi, &mut rng);
+                loop {
+                    // Collision in an infinite medium: score first.
+                    local_flux[group] += 1.0 / xs.total[group];
+                    k_score += xs.nu_fission[group] / xs.total[group];
+                    // Outcome: scatter to g2 or absorption (history end).
+                    let u: f64 = rng.random::<f64>() * xs.total[group];
+                    let mut acc = 0.0;
+                    let mut scattered = false;
+                    for (g2, &s) in xs.scatter[group].iter().enumerate() {
+                        acc += s;
+                        if u < acc {
+                            group = g2;
+                            scattered = true;
+                            break;
+                        }
+                    }
+                    if !scattered {
+                        break;
+                    }
+                }
+                (k_score, local_flux)
+            })
+            .collect();
+        let k_batch: f64 =
+            results.iter().map(|(k, _)| k).sum::<f64>() / particles_per_batch as f64;
+        k_batches.push(k_batch);
+        for (_, f) in &results {
+            for (dst, src) in flux.iter_mut().zip(f.iter()) {
+                *dst += src;
+            }
+        }
+    }
+    let mean = k_batches.iter().sum::<f64>() / batches as f64;
+    let var = k_batches
+        .iter()
+        .map(|k| (k - mean) * (k - mean))
+        .sum::<f64>()
+        / (batches.max(2) - 1) as f64;
+    TransportTallies {
+        k_eff: mean,
+        k_std: var.sqrt(),
+        flux,
+        particles: (particles_per_batch * batches) as u64,
+    }
+}
+
+fn sample_discrete(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let u: f64 = rng.random::<f64>() * total;
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if u < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+// ---------------------------------------------------------------------
+// FOM model
+// ---------------------------------------------------------------------
+
+/// FOM in thousands of particles/s for a full node of `system` (Table VI
+/// reports OpenMC at node level only).
+pub fn fom_node(system: System) -> f64 {
+    let engine = Engine::new(system);
+    let node = engine.node().clone();
+    let per_partition = engine.random_access_rate() / LOOKUPS_PER_PARTICLE;
+    per_partition * node.partitions() as f64 / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_arch::units::rel_err;
+
+    #[test]
+    fn fom_matches_table_vi_row_5() {
+        // OpenMC: Aurora 2039, H100 1191, MI250 720 kparticles/s.
+        assert!(rel_err(fom_node(System::Aurora), 2039.0) < 0.02);
+        assert!(rel_err(fom_node(System::JlseH100), 1191.0) < 0.02);
+        assert!(rel_err(fom_node(System::JlseMi250), 720.0) < 0.02);
+    }
+
+    #[test]
+    fn aurora_node_is_1_7x_h100_node() {
+        // §VI-B1: "the Aurora 6× PVC node design offering 1.7× the
+        // performance of the JLSE 4× H100 node design".
+        let r = fom_node(System::Aurora) / fom_node(System::JlseH100);
+        assert!((r - 1.7).abs() < 0.05, "ratio {r:.2}");
+    }
+
+    #[test]
+    fn one_group_k_matches_analytic() {
+        // k∞ = νΣf / Σa = 0.06 / 0.05 = 1.2.
+        let xs = MultigroupXs::one_group(0.30, 0.25, 0.06);
+        assert!((xs.k_inf_deterministic() - 1.2).abs() < 1e-6);
+        let t = run_transport(&xs, 4000, 10, 42);
+        assert!(
+            (t.k_eff - 1.2).abs() < 0.02,
+            "MC k {} vs analytic 1.2 (σ={})",
+            t.k_eff,
+            t.k_std
+        );
+    }
+
+    #[test]
+    fn two_group_mc_matches_power_iteration() {
+        let xs = MultigroupXs::two_group_fuel();
+        let k_det = xs.k_inf_deterministic();
+        let t = run_transport(&xs, 4000, 10, 7);
+        assert!(
+            rel_err(t.k_eff, k_det) < 0.03,
+            "MC {} vs deterministic {k_det}",
+            t.k_eff
+        );
+    }
+
+    #[test]
+    fn flux_spectrum_softens_into_thermal_group() {
+        // χ puts all births in group 0; down-scatter populates group 1;
+        // with these cross sections the thermal group carries more
+        // collision density per source neutron than direct birth alone.
+        let xs = MultigroupXs::two_group_fuel();
+        let t = run_transport(&xs, 2000, 5, 3);
+        assert!(t.flux[1] > 0.0);
+        assert!(t.flux[0] > 0.0);
+    }
+
+    #[test]
+    fn absorption_is_total_minus_scatter() {
+        let xs = MultigroupXs::two_group_fuel();
+        assert!((xs.absorption(0) - (0.30 - 0.26)).abs() < 1e-12);
+        assert!((xs.absorption(1) - (0.80 - 0.65)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transport_is_deterministic_per_seed() {
+        let xs = MultigroupXs::two_group_fuel();
+        let a = run_transport(&xs, 500, 3, 11);
+        let b = run_transport(&xs, 500, 3, 11);
+        assert_eq!(a.k_eff, b.k_eff);
+        assert_eq!(a.particles, 1500);
+    }
+
+    #[test]
+    fn subcritical_medium_kills_histories() {
+        // Pure absorber: k = 0, every history ends at first collision.
+        let xs = MultigroupXs::one_group(1.0, 0.0, 0.0);
+        let t = run_transport(&xs, 1000, 2, 5);
+        assert_eq!(t.k_eff, 0.0);
+        assert!((t.flux[0] - 2000.0).abs() < 1e-9, "one collision each");
+    }
+}

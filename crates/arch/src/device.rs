@@ -1,0 +1,322 @@
+//! GPU device models.
+//!
+//! A [`GpuModel`] is a device (one PVC card, one H100, one MI250) made of
+//! one or more identical [`Partition`]s — the paper's unit of "explicit
+//! scaling" (§II): a PVC Xe-Stack, an MI250 GCD, or the whole H100. Each
+//! partition owns compute units, a cache hierarchy and local HBM, which is
+//! why flops and memory bandwidth scale linearly with partition count
+//! (§IV-B1) while PCIe does not (one host link per *card*, §II).
+
+use crate::governor::ClockPolicy;
+use crate::precision::Precision;
+
+/// GPU vendor, used to select programming-model variants in the mini-app
+/// harnesses (SYCL on Intel, CUDA on NVIDIA, HIP on AMD — Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    Intel,
+    Nvidia,
+    Amd,
+}
+
+/// A per-precision scalar table (ops per engine per clock, efficiency
+/// factors, …). Indexed by [`Precision`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PerPrecision {
+    pub fp64: f64,
+    pub fp32: f64,
+    pub fp16: f64,
+    pub bf16: f64,
+    pub tf32: f64,
+    pub fp8: f64,
+    pub int8: f64,
+}
+
+impl PerPrecision {
+    /// Value for precision `p`.
+    pub fn get(&self, p: Precision) -> f64 {
+        match p {
+            Precision::Fp64 => self.fp64,
+            Precision::Fp32 => self.fp32,
+            Precision::Fp16 => self.fp16,
+            Precision::Bf16 => self.bf16,
+            Precision::Tf32 => self.tf32,
+            Precision::Fp8 => self.fp8,
+            Precision::Int8 => self.int8,
+        }
+    }
+
+    /// Same value for every precision.
+    pub fn uniform(v: f64) -> Self {
+        PerPrecision {
+            fp64: v,
+            fp32: v,
+            fp16: v,
+            bf16: v,
+            tf32: v,
+            fp8: v,
+            int8: v,
+        }
+    }
+}
+
+/// One level of the on-partition cache hierarchy (Figure 1 of the paper
+/// sweeps pointer-chase footprints across these levels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheLevel {
+    /// Human name: "L1", "L2".
+    pub name: &'static str,
+    /// Capacity in bytes, *per compute unit* for private levels and per
+    /// partition for shared levels (see `per_compute_unit`).
+    pub size_bytes: u64,
+    /// True for private (per-Xe-Core / per-SM / per-CU) caches.
+    pub per_compute_unit: bool,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// Associativity (ways).
+    pub associativity: u32,
+    /// Load-to-use latency in GPU core cycles for a coalesced sub-group
+    /// access (the paper's modified `lats`, §IV-A7).
+    pub latency_cycles: f64,
+}
+
+/// Local device memory (HBM) attached to one partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemorySpec {
+    /// Capacity in bytes per partition (64 GiB per Xe-Stack).
+    pub capacity_bytes: u64,
+    /// Vendor-spec peak bandwidth per partition, bytes/s.
+    pub spec_bandwidth: f64,
+    /// Fraction of spec bandwidth a STREAM-triad style kernel achieves.
+    /// §IV-B3: PVC triad reaches 1 TB/s per stack of the ≈1.6 TB/s
+    /// per-stack spec; MI250x reaches ≈80% of peak on Frontier.
+    pub stream_efficiency: f64,
+    /// Memory access latency in core cycles for a pointer chase that
+    /// misses all caches (Figure 1 plateau).
+    pub latency_cycles: f64,
+    /// Sustainable outstanding random line requests per partition
+    /// (memory-level parallelism). Sets the throughput of latency-bound
+    /// irregular codes via Little's law (OpenMC in Table VI is "memory
+    /// latency/bandwidth bound" — Table V).
+    pub random_concurrency: f64,
+}
+
+impl MemorySpec {
+    /// Achievable STREAM-triad bandwidth, bytes/s, per partition.
+    pub fn stream_bandwidth(&self) -> f64 {
+        self.spec_bandwidth * self.stream_efficiency
+    }
+
+    /// Random-access line throughput (lines/s) of one partition at a
+    /// given core clock: `random_concurrency / latency` (Little's law).
+    pub fn random_access_rate(&self, clock_hz: f64) -> f64 {
+        self.random_concurrency / (self.latency_cycles / clock_hz)
+    }
+}
+
+/// One explicit-scaling partition: a PVC Xe-Stack, an MI250 GCD, or a
+/// whole H100.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Name of the partition kind in the source architecture
+    /// ("Xe-Stack", "GCD", "H100").
+    pub kind: &'static str,
+    /// Compute units: Xe-Cores per stack (56 on Aurora, 64 on Dawn —
+    /// §III), SMs on H100 (132), CUs per GCD on MI250 (104).
+    pub compute_units: u32,
+    /// Vector engines per compute unit (8 XVE per Xe-Core, §II).
+    pub vector_engines_per_cu: u32,
+    /// Matrix engines per compute unit (8 XMX per Xe-Core, §II). Zero if
+    /// the architecture has none.
+    pub matrix_engines_per_cu: u32,
+    /// Vector-pipe operations per vector engine per clock, by precision.
+    /// PVC: 32 for FP64 *and* FP32 (8-wide SIMD × 2 FMA ops × 2
+    /// issues/clock; §II and the design statement in §IV-B2 that FP32 and
+    /// FP64 have equal per-clock throughput).
+    pub vector_ops_per_engine_clock: PerPrecision,
+    /// Matrix-unit operations per matrix engine per clock, by precision.
+    pub matrix_ops_per_engine_clock: PerPrecision,
+    /// Cache hierarchy, ordered inner to outer.
+    pub caches: Vec<CacheLevel>,
+    /// Local HBM.
+    pub memory: MemorySpec,
+}
+
+impl Partition {
+    /// Total vector engines in the partition (448 on an Aurora stack:
+    /// 56 Xe-Cores × 8 XVE — the number in the paper's §IV-B1 peak
+    /// derivation).
+    pub fn vector_engines(&self) -> u32 {
+        self.compute_units * self.vector_engines_per_cu
+    }
+
+    /// Total matrix engines in the partition.
+    pub fn matrix_engines(&self) -> u32 {
+        self.compute_units * self.matrix_engines_per_cu
+    }
+
+    /// Effective capacity of cache level `i`, aggregated over the
+    /// partition, in bytes.
+    pub fn cache_capacity(&self, i: usize) -> u64 {
+        let c = &self.caches[i];
+        if c.per_compute_unit {
+            c.size_bytes * self.compute_units as u64
+        } else {
+            c.size_bytes
+        }
+    }
+}
+
+/// A whole GPU device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Marketing/deployment name ("PVC (Aurora)", "H100 SXM5 80GB", …).
+    pub name: &'static str,
+    pub vendor: Vendor,
+    /// The repeated partition.
+    pub partition: Partition,
+    /// Partitions per device: 2 Xe-Stacks per PVC card, 2 GCDs per
+    /// MI250, 1 for H100.
+    pub partitions: u32,
+    /// Clock / TDP governor.
+    pub clock: ClockPolicy,
+}
+
+impl GpuModel {
+    /// Theoretical vector peak of one partition at the governed clock for
+    /// precision `p`, with `active` partitions busy node-wide (node-level
+    /// TDP derates apply — §IV-B1/2).
+    ///
+    /// Flop/s (or Iop/s for INT8).
+    pub fn vector_peak_per_partition(&self, p: Precision, active: u32) -> f64 {
+        let engines = self.partition.vector_engines() as f64;
+        let ops = self.partition.vector_ops_per_engine_clock.get(p);
+        engines * ops * self.clock.vector_clock_hz(p) * self.clock.scale_derate(p, active)
+    }
+
+    /// Theoretical matrix-unit peak of one partition (0.0 if the
+    /// precision has no matrix path).
+    pub fn matrix_peak_per_partition(&self, p: Precision, active: u32) -> f64 {
+        let engines = self.partition.matrix_engines() as f64;
+        let ops = self.partition.matrix_ops_per_engine_clock.get(p);
+        engines * ops * self.clock.matrix_clock_hz(p) * self.clock.scale_derate(p, active)
+    }
+
+    /// Best achievable peak for `p` on one partition (max of vector and
+    /// matrix paths).
+    pub fn peak_per_partition(&self, p: Precision, active: u32) -> f64 {
+        self.vector_peak_per_partition(p, active)
+            .max(self.matrix_peak_per_partition(p, active))
+    }
+
+    /// Device-level theoretical peak (all partitions of one device busy).
+    pub fn device_peak(&self, p: Precision) -> f64 {
+        self.peak_per_partition(p, self.partitions) * self.partitions as f64
+    }
+
+    /// STREAM bandwidth per partition, bytes/s.
+    pub fn stream_bandwidth_per_partition(&self) -> f64 {
+        self.partition.memory.stream_bandwidth()
+    }
+
+    /// HBM pointer-chase latency in seconds (cycles at max core clock).
+    pub fn memory_latency_secs(&self) -> f64 {
+        self.partition.memory.latency_cycles / self.clock.max_hz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::ScaleCurve;
+    use crate::units::{ghz, GIB};
+
+    fn toy_gpu() -> GpuModel {
+        GpuModel {
+            name: "toy",
+            vendor: Vendor::Intel,
+            partition: Partition {
+                kind: "stack",
+                compute_units: 10,
+                vector_engines_per_cu: 8,
+                matrix_engines_per_cu: 8,
+                vector_ops_per_engine_clock: PerPrecision::uniform(32.0),
+                matrix_ops_per_engine_clock: PerPrecision {
+                    fp16: 512.0,
+                    ..Default::default()
+                },
+                caches: vec![CacheLevel {
+                    name: "L1",
+                    size_bytes: 512 * 1024,
+                    per_compute_unit: true,
+                    line_bytes: 64,
+                    associativity: 8,
+                    latency_cycles: 64.0,
+                }],
+                memory: MemorySpec {
+                    capacity_bytes: (64.0 * GIB) as u64,
+                    spec_bandwidth: 1.6e12,
+                    stream_efficiency: 0.625,
+                    latency_cycles: 860.0,
+                    random_concurrency: 64.0,
+                },
+            },
+            partitions: 2,
+            clock: ClockPolicy {
+                max_ghz: 1.6,
+                fp64_vector_ghz: 1.2,
+                derate_fp64: ScaleCurve::flat(),
+                derate_fp32: ScaleCurve::flat(),
+                derate_matrix: ScaleCurve::flat(),
+                derate_memory: ScaleCurve::flat(),
+            },
+        }
+    }
+
+    #[test]
+    fn vector_peak_follows_paper_arithmetic() {
+        // engines × ops/clock × clock: 80 × 32 × 1.2 GHz = 3.072 TF FP64.
+        let g = toy_gpu();
+        let fp64 = g.vector_peak_per_partition(Precision::Fp64, 1);
+        assert!((fp64 - 80.0 * 32.0 * ghz(1.2)).abs() < 1.0);
+        // FP32 runs at 1.6 GHz: ratio 1.6/1.2 = 1.333 (the paper's "1.3x").
+        let fp32 = g.vector_peak_per_partition(Precision::Fp32, 1);
+        assert!((fp32 / fp64 - 1.6 / 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_peak_only_for_matrix_precisions() {
+        let g = toy_gpu();
+        assert_eq!(g.matrix_peak_per_partition(Precision::Fp64, 1), 0.0);
+        let h = g.matrix_peak_per_partition(Precision::Fp16, 1);
+        assert!((h - 80.0 * 512.0 * ghz(1.6)).abs() < 1.0);
+        // best path for FP16 is the matrix unit
+        assert_eq!(g.peak_per_partition(Precision::Fp16, 1), h);
+    }
+
+    #[test]
+    fn device_peak_is_partition_sum() {
+        let g = toy_gpu();
+        let one = g.peak_per_partition(Precision::Fp32, 2);
+        assert_eq!(g.device_peak(Precision::Fp32), 2.0 * one);
+    }
+
+    #[test]
+    fn stream_bandwidth_applies_efficiency() {
+        let g = toy_gpu();
+        assert!((g.stream_bandwidth_per_partition() - 1e12).abs() < 1e6);
+    }
+
+    #[test]
+    fn cache_capacity_aggregates_private_levels() {
+        let g = toy_gpu();
+        assert_eq!(g.partition.cache_capacity(0), 512 * 1024 * 10);
+    }
+
+    #[test]
+    fn memory_latency_in_seconds() {
+        let g = toy_gpu();
+        let l = g.memory_latency_secs();
+        assert!((l - 860.0 / 1.6e9).abs() < 1e-15);
+    }
+}

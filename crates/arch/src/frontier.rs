@@ -1,0 +1,176 @@
+//! Extension: a Frontier (MI250X) node model.
+//!
+//! §VII of the paper: "in future work we plan to further compare
+//! mini-apps and applications on other supercomputing systems such as
+//! Frontier against Dawn and Aurora results." This module builds that
+//! comparison point from the published Frontier data the paper already
+//! cites (its reference 13 and Table IV): MI250X with 110 CUs per GCD,
+//! 1.3 TB/s measured stream per GCD, 24.1/33.8 TFlop/s measured
+//! D/SGEMM, 37 GB/s GCD-to-GCD, and the single-socket "optimised
+//! 3rd Gen EPYC" host with four cards.
+//!
+//! Unlike the four in-paper systems this is a *projection* target: it is
+//! not part of [`crate::System`] and never enters the Tables II–VI
+//! comparisons; examples and tests use it through the free functions
+//! here.
+
+use crate::cpu::CpuModel;
+use crate::device::{CacheLevel, GpuModel, MemorySpec, Partition, PerPrecision, Vendor};
+use crate::governor::{ClockPolicy, ScaleCurve};
+use crate::node::{FabricSpec, NodeModel, PcieSpec};
+use crate::systems::System;
+use crate::units::{gb_s, GIB, KIB, MIB};
+
+/// AMD Instinct MI250X as deployed in Frontier: 110 CUs per GCD (vs 104
+/// on the MI250), 1.7 GHz, 64 GiB HBM2e per GCD.
+pub fn mi250x_gpu() -> GpuModel {
+    GpuModel {
+        name: "AMD Instinct MI250X (Frontier)",
+        vendor: Vendor::Amd,
+        partition: Partition {
+            kind: "GCD",
+            compute_units: 110,
+            vector_engines_per_cu: 4,
+            matrix_engines_per_cu: 4,
+            vector_ops_per_engine_clock: PerPrecision {
+                fp64: 32.0,
+                fp32: 32.0,
+                ..Default::default()
+            },
+            // Matrix cores at twice the vector rate (§IV-B5); 110 CU x
+            // 4 x 64 x 1.7 GHz ≈ 47.9 TFlop/s — the "48 Tflop/s per
+            // GCD" the paper quotes.
+            matrix_ops_per_engine_clock: PerPrecision {
+                fp64: 64.0,
+                fp32: 64.0,
+                fp16: 256.0,
+                bf16: 256.0,
+                int8: 512.0,
+                ..Default::default()
+            },
+            caches: vec![
+                CacheLevel {
+                    name: "L1",
+                    size_bytes: (16.0 * KIB) as u64,
+                    per_compute_unit: true,
+                    line_bytes: 64,
+                    associativity: 4,
+                    latency_cycles: 130.0,
+                },
+                CacheLevel {
+                    name: "L2",
+                    size_bytes: (8.0 * MIB) as u64,
+                    per_compute_unit: false,
+                    line_bytes: 64,
+                    associativity: 16,
+                    latency_cycles: 219.0,
+                },
+            ],
+            memory: MemorySpec {
+                capacity_bytes: (64.0 * GIB) as u64,
+                spec_bandwidth: 1.6384e12,
+                // Ref [13] of the paper: stream reaches 1.3 TB/s per
+                // GCD, "matching the expected 80% of the theoretical
+                // peak".
+                stream_efficiency: 0.7935,
+                latency_cycles: 597.0,
+                random_concurrency: 34.0,
+            },
+        },
+        partitions: 2,
+        clock: ClockPolicy {
+            max_ghz: 1.7,
+            fp64_vector_ghz: 1.7,
+            derate_fp64: ScaleCurve::flat(),
+            derate_fp32: ScaleCurve::flat(),
+            derate_matrix: ScaleCurve::flat(),
+            derate_memory: ScaleCurve::flat(),
+        },
+    }
+}
+
+/// A Frontier compute node: one 64-core "optimised 3rd Gen EPYC"
+/// (Trento) socket + four MI250X, all links Infinity-Fabric attached.
+pub fn frontier_node() -> NodeModel {
+    NodeModel {
+        // Projection nodes reuse the closest in-paper system id for
+        // plane-assignment purposes (straight plane = stack).
+        system: System::JlseMi250,
+        name: "Frontier (MI250X)",
+        cpu: CpuModel {
+            name: "AMD EPYC 7A53 (Trento)",
+            cores: 64,
+            threads: 128,
+            mem_bandwidth: 164e9,
+            mem_capacity: 512 * (1 << 30),
+            rc_h2d: 288e9,
+            rc_d2h: 288e9,
+            rc_duplex: 400e9,
+        },
+        sockets: 1,
+        gpu: mi250x_gpu(),
+        gpus: 4,
+        gpu_power_cap_w: 560.0,
+        pcie: PcieSpec {
+            // Host attach on Frontier is Infinity Fabric (36+36 GB/s),
+            // reported by ref [13] at 25 GB/s achieved per direction.
+            gen: 4,
+            lanes: 16,
+            raw_per_dir: gb_s(36.0),
+            per_card_h2d: gb_s(25.0),
+            per_card_d2h: gb_s(25.0),
+            per_card_duplex: gb_s(40.0),
+            latency: 10e-6,
+        },
+        fabric: FabricSpec {
+            aggregate_derate: ScaleCurve::flat(),
+            local_uni: gb_s(200.0),
+            local_duplex: gb_s(300.0),
+            remote_uni: gb_s(37.0),
+            remote_duplex: gb_s(55.0),
+            latency: 8e-6,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::Precision;
+    use crate::units::rel_err;
+
+    #[test]
+    fn mi250x_gcd_matrix_peak_is_48_tflops() {
+        // §IV-B5: "MI250x's theoretical peak double precision matrix
+        // performance (48 Tflop/s per GCD)".
+        let g = mi250x_gpu();
+        let m = g.matrix_peak_per_partition(Precision::Fp64, 1);
+        assert!(rel_err(m / 1e12, 47.9) < 0.01, "{}", m / 1e12);
+    }
+
+    #[test]
+    fn mi250x_stream_matches_frontier_measurement() {
+        // Table IV: 1.3 TB/s per GCD measured on Frontier.
+        let g = mi250x_gpu();
+        assert!(rel_err(g.stream_bandwidth_per_partition(), 1.3e12) < 0.01);
+    }
+
+    #[test]
+    fn frontier_node_shape() {
+        let n = frontier_node();
+        assert_eq!(n.sockets, 1);
+        assert_eq!(n.partitions(), 8);
+        assert_eq!(n.gpus_per_socket(), 4);
+        // All eight GCDs hang off one socket: worse GPU:CPU ratio than
+        // even Aurora (6 per socket).
+        assert!(n.partitions_per_socket() > System::Aurora.node().partitions_per_socket());
+    }
+
+    #[test]
+    fn mi250x_outruns_mi250_per_gcd() {
+        // 110 vs 104 CUs.
+        let x = mi250x_gpu().vector_peak_per_partition(Precision::Fp64, 1);
+        let plain = crate::systems::mi250_gpu().vector_peak_per_partition(Precision::Fp64, 1);
+        assert!(rel_err(x / plain, 110.0 / 104.0) < 1e-9);
+    }
+}

@@ -1,0 +1,202 @@
+//! Clock and TDP governor model.
+//!
+//! §IV-B2 of the paper: "we observe the ratio between single and double
+//! precision Flops is 1.3x … explained by the GPU running at a lower
+//! frequency during FP64 FMA computations due to the TDP design … the PVC
+//! operated at ~1.2 GHz for FP64 and ~1.6 GHz for FP32 FMA operations."
+//!
+//! §IV-B1: scaling efficiency is below 100% when many stacks are busy
+//! (97%/95% on Aurora for 2/12 stacks, 92%/88% on Dawn), because the
+//! per-card power cap (600 W on Dawn, 500 W on Aurora, §III) forces
+//! additional downclocking under sustained multi-stack FP64 load, while
+//! memory-bound work scales perfectly (Table II triad row).
+//!
+//! The governor encodes those *measured* frequencies and derate curves as
+//! named calibration data; the rest of the stack derives everything from
+//! them.
+
+use crate::precision::Precision;
+
+/// Piecewise-linear derate factor as a function of the number of busy
+/// partitions node-wide. Points must be sorted by partition count;
+/// queries clamp at the ends and interpolate between points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleCurve {
+    points: Vec<(u32, f64)>,
+}
+
+impl ScaleCurve {
+    /// Builds a curve from `(active_partitions, derate)` points.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, unsorted, or contains derates outside
+    /// (0, 1].
+    pub fn new(points: Vec<(u32, f64)>) -> Self {
+        assert!(!points.is_empty(), "scale curve needs at least one point");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "scale curve points must be sorted");
+        }
+        for &(_, d) in &points {
+            assert!(d > 0.0 && d <= 1.0, "derate {d} outside (0, 1]");
+        }
+        ScaleCurve { points }
+    }
+
+    /// No derate at any scale.
+    pub fn flat() -> Self {
+        ScaleCurve {
+            points: vec![(1, 1.0)],
+        }
+    }
+
+    /// Derate factor with `active` busy partitions.
+    pub fn at(&self, active: u32) -> f64 {
+        let pts = &self.points;
+        if active <= pts[0].0 {
+            return pts[0].1;
+        }
+        if active >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if active >= x0 && active <= x1 {
+                let t = (active - x0) as f64 / (x1 - x0) as f64;
+                return y0 + t * (y1 - y0);
+            }
+        }
+        unreachable!("scale curve interpolation fell through")
+    }
+}
+
+/// Frequency policy of one GPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockPolicy {
+    /// Maximum core clock, GHz (PVC: 1.6, §II).
+    pub max_ghz: f64,
+    /// Sustained clock under FP64 vector FMA load, GHz (PVC: ~1.2,
+    /// measured in §IV-B2). Equal to `max_ghz` on architectures without
+    /// the FP64 TDP cliff.
+    pub fp64_vector_ghz: f64,
+    /// Node-scaling derate for FP64 vector work (§IV-B1).
+    pub derate_fp64: ScaleCurve,
+    /// Node-scaling derate for FP32 vector work.
+    pub derate_fp32: ScaleCurve,
+    /// Node-scaling derate for matrix-unit (GEMM lower-precision) work.
+    pub derate_matrix: ScaleCurve,
+    /// Node-scaling derate for memory/fabric-bound work (triad, MDFI
+    /// transfers). Flat on both PVC systems: Table II triad row scales
+    /// perfectly.
+    pub derate_memory: ScaleCurve,
+}
+
+impl ClockPolicy {
+    /// Maximum clock in Hz.
+    pub fn max_hz(&self) -> f64 {
+        self.max_ghz * 1e9
+    }
+
+    /// Sustained vector-pipe clock (Hz) for precision `p`.
+    pub fn vector_clock_hz(&self, p: Precision) -> f64 {
+        let ghz = match p {
+            Precision::Fp64 => self.fp64_vector_ghz,
+            _ => self.max_ghz,
+        };
+        ghz * 1e9
+    }
+
+    /// Sustained matrix-unit clock (Hz). Lower-precision matrix work runs
+    /// at the max clock on all modelled parts.
+    pub fn matrix_clock_hz(&self, _p: Precision) -> f64 {
+        self.max_hz()
+    }
+
+    /// Node-scaling derate for compute at precision `p` with `active`
+    /// busy partitions.
+    pub fn scale_derate(&self, p: Precision, active: u32) -> f64 {
+        let curve = if p.uses_matrix_unit() {
+            &self.derate_matrix
+        } else if matches!(p, Precision::Fp64) {
+            &self.derate_fp64
+        } else {
+            &self.derate_fp32
+        };
+        curve.at(active)
+    }
+
+    /// Node-scaling derate for memory- and fabric-bound work.
+    pub fn memory_derate(&self, active: u32) -> f64 {
+        self.derate_memory.at(active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_clamps_and_interpolates() {
+        let c = ScaleCurve::new(vec![(1, 1.0), (2, 0.97), (12, 0.95)]);
+        assert_eq!(c.at(0), 1.0);
+        assert_eq!(c.at(1), 1.0);
+        assert_eq!(c.at(2), 0.97);
+        assert_eq!(c.at(12), 0.95);
+        assert_eq!(c.at(20), 0.95);
+        let mid = c.at(7);
+        assert!(mid < 0.97 && mid > 0.95);
+    }
+
+    #[test]
+    fn flat_curve_is_one_everywhere() {
+        let c = ScaleCurve::flat();
+        for n in [1, 2, 12, 100] {
+            assert_eq!(c.at(n), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be sorted")]
+    fn unsorted_points_rejected() {
+        let _ = ScaleCurve::new(vec![(2, 0.9), (1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn derate_above_one_rejected() {
+        let _ = ScaleCurve::new(vec![(1, 1.5)]);
+    }
+
+    #[test]
+    fn fp64_downclock_gives_paper_ratio() {
+        let p = ClockPolicy {
+            max_ghz: 1.6,
+            fp64_vector_ghz: 1.2,
+            derate_fp64: ScaleCurve::flat(),
+            derate_fp32: ScaleCurve::flat(),
+            derate_matrix: ScaleCurve::flat(),
+            derate_memory: ScaleCurve::flat(),
+        };
+        let ratio =
+            p.vector_clock_hz(Precision::Fp32) / p.vector_clock_hz(Precision::Fp64);
+        // §IV-B2: "the ratio between single and double precision Flops is
+        // 1.3x (23/17)".
+        assert!((ratio - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derate_selection_by_precision_class() {
+        let p = ClockPolicy {
+            max_ghz: 1.6,
+            fp64_vector_ghz: 1.2,
+            derate_fp64: ScaleCurve::new(vec![(1, 1.0), (12, 0.95)]),
+            derate_fp32: ScaleCurve::new(vec![(1, 1.0), (12, 0.97)]),
+            derate_matrix: ScaleCurve::new(vec![(1, 1.0), (12, 0.93)]),
+            derate_memory: ScaleCurve::flat(),
+        };
+        assert_eq!(p.scale_derate(Precision::Fp64, 12), 0.95);
+        assert_eq!(p.scale_derate(Precision::Fp32, 12), 0.97);
+        assert_eq!(p.scale_derate(Precision::Fp16, 12), 0.93);
+        assert_eq!(p.memory_derate(12), 1.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Node-level models: host sockets + GPUs + the link specs the fabric
+//! crate turns into a contention graph.
+
+use crate::cpu::CpuModel;
+use crate::device::GpuModel;
+use crate::precision::Precision;
+use crate::systems::System;
+
+/// Per-card PCIe characteristics (§IV-A3, §IV-B4). Values are the
+/// *achieved* per-card rates for large pinned-memory transfers; the
+/// gen/lane raw rate is kept for documentation and ablations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieSpec {
+    /// PCIe generation (5 for PVC, 4 for MI250).
+    pub gen: u8,
+    /// Lane count (x16 on every modelled card).
+    pub lanes: u8,
+    /// Raw protocol bandwidth per direction, bytes/s.
+    pub raw_per_dir: f64,
+    /// Achieved host→device rate per card, bytes/s.
+    pub per_card_h2d: f64,
+    /// Achieved device→host rate per card, bytes/s.
+    pub per_card_d2h: f64,
+    /// Achieved aggregate cap when both directions are busy, bytes/s.
+    /// §IV-B4: "we observe only 1.4x bandwidth for bi- vs uni-directional"
+    /// on PVC, so this is ≈1.4 × per-direction rather than 2×.
+    pub per_card_duplex: f64,
+    /// Copy-launch latency, seconds.
+    pub latency: f64,
+}
+
+/// On-device and device-to-device fabric characteristics (§IV-A4,
+/// §IV-B7, Table III).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricSpec {
+    /// Aggregate derate when many stack-pairs communicate at once.
+    /// Table III: Aurora's six simultaneous local pairs reach 1129 GB/s
+    /// = 95.5% of 6 × 197 ("95% parallel efficiency", §IV-B7), while
+    /// Dawn's four pairs scale perfectly (786 ≈ 4 × 196).
+    pub aggregate_derate: crate::governor::ScaleCurve,
+    /// Stack-to-stack (MDFI) unidirectional bandwidth within one card,
+    /// bytes/s. Zero if the device has a single partition.
+    pub local_uni: f64,
+    /// Stack-to-stack aggregate when both directions are busy.
+    pub local_duplex: f64,
+    /// Remote (Xe-Link / Infinity Fabric / NVLink) per-link
+    /// unidirectional bandwidth, bytes/s.
+    pub remote_uni: f64,
+    /// Remote per-link aggregate for bidirectional traffic.
+    pub remote_duplex: f64,
+    /// Message-launch latency, seconds.
+    pub latency: f64,
+}
+
+/// A complete single node of one of the four systems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeModel {
+    /// System this node belongs to.
+    pub system: System,
+    /// Display name used in table headers.
+    pub name: &'static str,
+    /// Socket model (two identical sockets per node on all four systems).
+    pub cpu: CpuModel,
+    /// Number of CPU sockets.
+    pub sockets: u32,
+    /// GPU model.
+    pub gpu: GpuModel,
+    /// GPU cards per node (6 on Aurora, 4 elsewhere).
+    pub gpus: u32,
+    /// Operational per-card power cap, watts (§III: 600 W on Dawn,
+    /// 500 W on Aurora).
+    pub gpu_power_cap_w: f64,
+    /// PCIe per card.
+    pub pcie: PcieSpec,
+    /// Device fabric.
+    pub fabric: FabricSpec,
+}
+
+impl NodeModel {
+    /// Explicit-scaling partitions per node (12 on Aurora, 8 on Dawn and
+    /// JLSE-MI250, 4 on JLSE-H100).
+    pub fn partitions(&self) -> u32 {
+        self.gpus * self.gpu.partitions
+    }
+
+    /// GPU cards attached to each socket (cards are divided evenly; §III
+    /// and §IV-A bind each rank to the socket closest to its GPU).
+    pub fn gpus_per_socket(&self) -> u32 {
+        self.gpus / self.sockets
+    }
+
+    /// Partitions (ranks, under one-rank-per-stack explicit scaling)
+    /// per socket.
+    pub fn partitions_per_socket(&self) -> u32 {
+        self.partitions() / self.sockets
+    }
+
+    /// Theoretical node peak for precision `p`, flop/s, with every
+    /// partition busy.
+    pub fn node_peak(&self, p: Precision) -> f64 {
+        let n = self.partitions();
+        self.gpu.peak_per_partition(p, n) * n as f64
+    }
+
+    /// Node-aggregate STREAM bandwidth, bytes/s.
+    pub fn node_stream_bandwidth(&self) -> f64 {
+        let n = self.partitions();
+        self.gpu.stream_bandwidth_per_partition() * self.gpu.clock.memory_derate(n) * n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::systems::System;
+
+    #[test]
+    fn partition_counts_match_section_iii() {
+        assert_eq!(System::Aurora.node().partitions(), 12);
+        assert_eq!(System::Dawn.node().partitions(), 8);
+        assert_eq!(System::JlseH100.node().partitions(), 4);
+        assert_eq!(System::JlseMi250.node().partitions(), 8);
+    }
+
+    #[test]
+    fn gpus_per_socket() {
+        assert_eq!(System::Aurora.node().gpus_per_socket(), 3);
+        assert_eq!(System::Dawn.node().gpus_per_socket(), 2);
+        assert_eq!(System::Aurora.node().partitions_per_socket(), 6);
+    }
+
+    #[test]
+    fn power_caps_match_section_iii() {
+        assert_eq!(System::Aurora.node().gpu_power_cap_w, 500.0);
+        assert_eq!(System::Dawn.node().gpu_power_cap_w, 600.0);
+    }
+}

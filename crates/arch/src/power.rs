@@ -1,0 +1,102 @@
+//! Extension: power and energy accounting.
+//!
+//! §III notes the operational caps ("each PVC card is power-capped to
+//! 600 W" on Dawn, 500 W on Aurora) and §IV-B2 attributes the FP64
+//! downclock to TDP. This module turns those caps into energy
+//! estimates: workload energy = sustained node GPU power × simulated
+//! time, with a simple cubic frequency→power model to connect the
+//! governed clocks to the caps.
+//!
+//! This is an extension beyond the paper's reported results (it prints
+//! no energy numbers), but it is directly implied by the TDP discussion
+//! and enables efficiency (flops/W) comparisons across the four systems.
+
+use crate::node::NodeModel;
+use crate::precision::Precision;
+
+/// Dynamic power scales roughly with f³ (V ∝ f around the operating
+/// point); idle/static draw is a fixed fraction of the cap.
+const STATIC_FRACTION: f64 = 0.25;
+
+/// Sustained per-card power (watts) while running vector work at
+/// precision `p` with `active` partitions busy node-wide: the cap scaled
+/// by the cubic frequency ratio of the governed clock to the max clock,
+/// floored at the static draw.
+pub fn card_power(node: &NodeModel, p: Precision, active: u32) -> f64 {
+    let cap = node.gpu_power_cap_w;
+    let f_ratio = node.gpu.clock.vector_clock_hz(p) * node.gpu.clock.scale_derate(p, active)
+        / node.gpu.clock.max_hz();
+    let dynamic = cap * (1.0 - STATIC_FRACTION) * f_ratio.powi(3);
+    cap * STATIC_FRACTION + dynamic
+}
+
+/// Node GPU power (watts) with every partition busy at precision `p`.
+pub fn node_power(node: &NodeModel, p: Precision) -> f64 {
+    card_power(node, p, node.partitions()) * node.gpus as f64
+}
+
+/// Node-level compute efficiency: sustained vector flop/s per watt at
+/// precision `p`.
+pub fn flops_per_watt(node: &NodeModel, p: Precision) -> f64 {
+    let n = node.partitions();
+    let flops = node.gpu.vector_peak_per_partition(p, n) * n as f64;
+    flops / node_power(node, p)
+}
+
+/// Energy (joules) to run a kernel of `flops` floating-point operations
+/// at the node's sustained vector rate.
+pub fn kernel_energy(node: &NodeModel, p: Precision, flops: f64) -> f64 {
+    let n = node.partitions();
+    let rate = node.gpu.vector_peak_per_partition(p, n) * n as f64;
+    let time = flops / rate;
+    node_power(node, p) * time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::System;
+
+    #[test]
+    fn fp64_draws_less_than_fp32_on_pvc() {
+        // The FP64 downclock (1.2 vs 1.6 GHz) means lower sustained
+        // power — that is the point of the TDP governor.
+        let node = System::Aurora.node();
+        let p64 = card_power(&node, Precision::Fp64, 1);
+        let p32 = card_power(&node, Precision::Fp32, 1);
+        assert!(p64 < p32, "{p64:.0} W vs {p32:.0} W");
+        assert!(p32 <= node.gpu_power_cap_w * 1.0001);
+    }
+
+    #[test]
+    fn power_never_exceeds_cap_or_drops_below_static() {
+        for sys in System::ALL {
+            let node = sys.node();
+            for p in [Precision::Fp64, Precision::Fp32] {
+                for active in [1, node.partitions()] {
+                    let w = card_power(&node, p, active);
+                    assert!(w <= node.gpu_power_cap_w + 1e-9);
+                    assert!(w >= node.gpu_power_cap_w * STATIC_FRACTION);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dawn_fp64_beats_aurora_in_flops_per_watt() {
+        // Dawn: more Xe-Cores per stack at the same per-stack bandwidth
+        // and a similar governed clock — better FP64 efficiency per watt
+        // despite the higher 600 W cap.
+        let a = flops_per_watt(&System::Aurora.node(), Precision::Fp64);
+        let d = flops_per_watt(&System::Dawn.node(), Precision::Fp64);
+        assert!(d > a * 0.9, "Dawn {d:.2e} vs Aurora {a:.2e}");
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_work() {
+        let node = System::JlseH100.node();
+        let e1 = kernel_energy(&node, Precision::Fp32, 1e15);
+        let e2 = kernel_energy(&node, Precision::Fp32, 2e15);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Numeric precisions benchmarked by the paper's GEMM and peak-flops
+//! microbenchmarks (Table II rows: FP64, FP32, FP16, BF16, TF32, I8;
+//! §IV-A5 also names FP8).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A numeric precision / data type used in compute throughput
+/// measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE double precision.
+    Fp64,
+    /// IEEE single precision.
+    Fp32,
+    /// IEEE half precision.
+    Fp16,
+    /// bfloat16.
+    Bf16,
+    /// NVIDIA TensorFloat-32 (19-bit mantissa+exp format, 4-byte storage).
+    Tf32,
+    /// 8-bit floating point (E4M3/E5M2 family).
+    Fp8,
+    /// 8-bit integer (GEMM measured in Iop/s).
+    Int8,
+}
+
+impl Precision {
+    /// All precisions in the order Table II reports GEMM rows.
+    pub const GEMM_ORDER: [Precision; 6] = [
+        Precision::Fp64,
+        Precision::Fp32,
+        Precision::Fp16,
+        Precision::Bf16,
+        Precision::Tf32,
+        Precision::Int8,
+    ];
+
+    /// Storage size of one element in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::Fp64 => 8,
+            Precision::Fp32 | Precision::Tf32 => 4,
+            Precision::Fp16 | Precision::Bf16 => 2,
+            Precision::Fp8 | Precision::Int8 => 1,
+        }
+    }
+
+    /// True for the precisions executed on matrix (XMX / tensor-core /
+    /// matrix-core) units rather than vector pipes in the paper's GEMM
+    /// benchmark (§IV-A5: "The matrix unit ... supports only lower
+    /// precision operations").
+    pub fn uses_matrix_unit(self) -> bool {
+        !matches!(self, Precision::Fp64 | Precision::Fp32)
+    }
+
+    /// Label used in the paper's tables (DGEMM, SGEMM, HGEMM, …).
+    pub fn gemm_name(self) -> &'static str {
+        match self {
+            Precision::Fp64 => "DGEMM",
+            Precision::Fp32 => "SGEMM",
+            Precision::Fp16 => "HGEMM",
+            Precision::Bf16 => "BF16GEMM",
+            Precision::Tf32 => "TF32GEMM",
+            Precision::Fp8 => "FP8GEMM",
+            Precision::Int8 => "I8GEMM",
+        }
+    }
+
+    /// Unit string for throughput in this precision (`TFlop/s` or
+    /// `TIop/s`).
+    pub fn throughput_unit(self) -> &'static str {
+        if matches!(self, Precision::Int8) {
+            "TIop/s"
+        } else {
+            "TFlop/s"
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Precision::Fp64 => "FP64",
+            Precision::Fp32 => "FP32",
+            Precision::Fp16 => "FP16",
+            Precision::Bf16 => "BF16",
+            Precision::Tf32 => "TF32",
+            Precision::Fp8 => "FP8",
+            Precision::Int8 => "I8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_sizes() {
+        assert_eq!(Precision::Fp64.bytes(), 8);
+        assert_eq!(Precision::Fp32.bytes(), 4);
+        assert_eq!(Precision::Tf32.bytes(), 4);
+        assert_eq!(Precision::Fp16.bytes(), 2);
+        assert_eq!(Precision::Bf16.bytes(), 2);
+        assert_eq!(Precision::Int8.bytes(), 1);
+        assert_eq!(Precision::Fp8.bytes(), 1);
+    }
+
+    #[test]
+    fn matrix_unit_assignment_follows_paper() {
+        // §II: the vector unit supports FP64/FP32 FMA; the matrix unit
+        // supports only lower precisions.
+        assert!(!Precision::Fp64.uses_matrix_unit());
+        assert!(!Precision::Fp32.uses_matrix_unit());
+        for p in [
+            Precision::Fp16,
+            Precision::Bf16,
+            Precision::Tf32,
+            Precision::Fp8,
+            Precision::Int8,
+        ] {
+            assert!(p.uses_matrix_unit(), "{p} should map to the XMX unit");
+        }
+    }
+
+    #[test]
+    fn gemm_names_match_table_ii() {
+        let names: Vec<_> = Precision::GEMM_ORDER
+            .iter()
+            .map(|p| p.gemm_name())
+            .collect();
+        assert_eq!(
+            names,
+            ["DGEMM", "SGEMM", "HGEMM", "BF16GEMM", "TF32GEMM", "I8GEMM"]
+        );
+    }
+
+    #[test]
+    fn int8_uses_iops_unit() {
+        assert_eq!(Precision::Int8.throughput_unit(), "TIop/s");
+        assert_eq!(Precision::Fp64.throughput_unit(), "TFlop/s");
+    }
+}

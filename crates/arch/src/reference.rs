@@ -1,0 +1,104 @@
+//! Table IV: vendor reference characteristics of the comparison GPUs.
+//!
+//! "Performance characteristic of Nvidia H100, AMD MI250 and AMD MI250x
+//! GPUs. H100 and MI250 are theoretical, MI250x are measured." These are
+//! the denominators of the expected-performance (black-bar) computations
+//! in Figures 3 and 4, so they are kept verbatim as published data rather
+//! than re-derived.
+
+/// One column of Table IV. `None` reproduces the dashes in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferenceSpec {
+    /// Column label.
+    pub name: &'static str,
+    /// FP32 peak, flop/s.
+    pub fp32_peak: Option<f64>,
+    /// FP64 peak, flop/s.
+    pub fp64_peak: Option<f64>,
+    /// Measured SGEMM, flop/s.
+    pub sgemm: Option<f64>,
+    /// Measured DGEMM, flop/s.
+    pub dgemm: Option<f64>,
+    /// Memory bandwidth, bytes/s.
+    pub mem_bw: Option<f64>,
+    /// PCIe bandwidth, bytes/s.
+    pub pcie_bw: Option<f64>,
+    /// GCD-to-GCD bandwidth, bytes/s.
+    pub gcd_to_gcd: Option<f64>,
+}
+
+/// H100 column (theoretical, NVIDIA datasheet). The paper prints the
+/// memory bandwidth as "3.4 GB/s" — a typo for 3.4 TB/s; the body text
+/// uses 3.35 TB/s, which we keep.
+pub const H100: ReferenceSpec = ReferenceSpec {
+    name: "H100",
+    fp32_peak: Some(67.0e12),
+    fp64_peak: Some(34.0e12),
+    sgemm: None,
+    dgemm: None,
+    mem_bw: Some(3.35e12),
+    pcie_bw: Some(128.0e9),
+    gcd_to_gcd: None,
+};
+
+/// MI250 column (theoretical, AMD datasheet).
+pub const MI250: ReferenceSpec = ReferenceSpec {
+    name: "MI250",
+    fp32_peak: Some(45.3e12),
+    fp64_peak: Some(45.3e12),
+    sgemm: None,
+    dgemm: None,
+    mem_bw: Some(3.2e12),
+    pcie_bw: Some(64.0e9),
+    gcd_to_gcd: None,
+};
+
+/// Single-GCD MI250x column (measured on Frontier, reference 13 of the
+/// paper).
+pub const MI250X_GCD: ReferenceSpec = ReferenceSpec {
+    name: "1x GCD MI250x",
+    fp32_peak: None,
+    fp64_peak: None,
+    sgemm: Some(33.8e12),
+    dgemm: Some(24.1e12),
+    mem_bw: Some(1.3e12),
+    pcie_bw: Some(25.0e9),
+    gcd_to_gcd: Some(37.0e9),
+};
+
+/// The three Table IV columns in print order.
+pub const TABLE_IV: [ReferenceSpec; 3] = [H100, MI250, MI250X_GCD];
+
+/// MI250X theoretical per-GCD double-precision *matrix* peak, used in
+/// §IV-B5's efficiency comparison ("48 Tflop/s per GCD").
+pub const MI250X_GCD_MATRIX_FP64: f64 = 48.0e12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_values_as_published() {
+        assert_eq!(H100.fp32_peak, Some(67.0e12));
+        assert_eq!(H100.fp64_peak, Some(34.0e12));
+        assert_eq!(H100.pcie_bw, Some(128.0e9));
+        assert_eq!(MI250.fp64_peak, MI250.fp32_peak);
+        assert_eq!(MI250X_GCD.dgemm, Some(24.1e12));
+        assert_eq!(MI250X_GCD.gcd_to_gcd, Some(37.0e9));
+    }
+
+    #[test]
+    fn dashes_reproduced() {
+        assert!(H100.sgemm.is_none());
+        assert!(MI250.gcd_to_gcd.is_none());
+        assert!(MI250X_GCD.fp32_peak.is_none());
+    }
+
+    #[test]
+    fn gemm_efficiency_comparison_of_section_iv_b5() {
+        // MI250x DGEMM vs matrix peak: 24.1/48 ≈ 50% — the paper's
+        // "efficiency is lower (50% versus GEMM on PVC is 80%)".
+        let eff = MI250X_GCD.dgemm.unwrap() / MI250X_GCD_MATRIX_FP64;
+        assert!((eff - 0.50).abs() < 0.01);
+    }
+}

@@ -1,0 +1,578 @@
+//! The four systems of §III, fully parameterised.
+//!
+//! Aurora and Dawn share the PVC silicon but differ in: active Xe-Cores
+//! per stack (56 vs 64 — §III), GPUs per node (6 vs 4), per-card power
+//! cap (500 W vs 600 W) and host CPU. JLSE-H100 and JLSE-MI250 are the
+//! comparison nodes.
+
+use crate::cpu::CpuModel;
+use crate::device::{CacheLevel, GpuModel, MemorySpec, Partition, PerPrecision, Vendor};
+use crate::governor::{ClockPolicy, ScaleCurve};
+use crate::node::{FabricSpec, NodeModel, PcieSpec};
+use crate::units::{gb_s, GIB, KIB, MIB};
+
+/// One of the four benchmarked systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum System {
+    /// ALCF Aurora: 2× Xeon Max + 6× PVC (56 Xe-Cores/stack), 500 W cap.
+    Aurora,
+    /// Cambridge Dawn: 2× Xeon 8468 + 4× PVC (64 Xe-Cores/stack), 600 W cap.
+    Dawn,
+    /// JLSE H100 node: 2× Xeon 8468 + 4× H100 SXM5 80 GB.
+    JlseH100,
+    /// JLSE MI250 node: 2× EPYC 7713 + 4× MI250.
+    JlseMi250,
+}
+
+impl System {
+    /// All four systems in the order the paper's tables list them.
+    pub const ALL: [System; 4] = [
+        System::Aurora,
+        System::Dawn,
+        System::JlseH100,
+        System::JlseMi250,
+    ];
+
+    /// The two PVC systems (microbenchmark Tables II/III cover only
+    /// these).
+    pub const PVC: [System; 2] = [System::Aurora, System::Dawn];
+
+    /// Table-header label.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Aurora => "Aurora (PVC)",
+            System::Dawn => "Dawn (PVC)",
+            System::JlseH100 => "JLSE (H100)",
+            System::JlseMi250 => "JLSE (MI250)",
+        }
+    }
+
+    /// True for the two Intel PVC systems.
+    pub fn is_pvc(self) -> bool {
+        matches!(self, System::Aurora | System::Dawn)
+    }
+
+    /// Builds the node model.
+    pub fn node(self) -> NodeModel {
+        match self {
+            System::Aurora => aurora(),
+            System::Dawn => dawn(),
+            System::JlseH100 => jlse_h100(),
+            System::JlseMi250 => jlse_mi250(),
+        }
+    }
+}
+
+/// PVC vector ops per XVE per clock: 8-wide (512-bit) SIMD × 2 FMA ops ×
+/// 2 issues/clock = 32, identical for FP64 and FP32 by design (§II,
+/// §IV-B2). Lower precisions run on the XMX matrix unit instead.
+fn pvc_vector_ops() -> PerPrecision {
+    PerPrecision {
+        fp64: 32.0,
+        fp32: 32.0,
+        ..Default::default()
+    }
+}
+
+/// PVC matrix (XMX) ops per engine per clock. The XMX unit is 4096 bits
+/// wide (§II); ops/clock double as precision halves, with TF32 at half
+/// the FP16 rate (4-byte storage).
+fn pvc_matrix_ops() -> PerPrecision {
+    PerPrecision {
+        fp16: 512.0,
+        bf16: 512.0,
+        tf32: 256.0,
+        fp8: 1024.0,
+        int8: 1024.0,
+        ..Default::default()
+    }
+}
+
+/// PVC cache hierarchy (§II: 512 KiB register file/L1 per Xe-Core,
+/// 192 MiB LLC per stack). Latencies in core cycles are calibrated to
+/// Figure 1: PVC L1 is ~90% slower than H100's and ~51% faster than
+/// MI250's; L2 is 50%/78% slower than H100/MI250; HBM2e is 23%/44%
+/// slower than H100's HBM3 / MI250's HBM2e (§IV-B6).
+fn pvc_caches() -> Vec<CacheLevel> {
+    vec![
+        CacheLevel {
+            name: "L1",
+            size_bytes: (512.0 * KIB) as u64,
+            per_compute_unit: true,
+            line_bytes: 64,
+            associativity: 8,
+            latency_cycles: 64.0,
+        },
+        CacheLevel {
+            name: "L2",
+            size_bytes: (192.0 * MIB) as u64,
+            per_compute_unit: false,
+            line_bytes: 64,
+            associativity: 16,
+            latency_cycles: 390.0,
+        },
+    ]
+}
+
+/// PVC per-stack HBM2e: 64 GiB, ≈1.64 TB/s spec per stack (half the
+/// 3.2768 TB/s card spec). §IV-B3: triad reaches 1 TB/s per stack, i.e.
+/// 61% of spec.
+fn pvc_memory() -> MemorySpec {
+    MemorySpec {
+        capacity_bytes: (64.0 * GIB) as u64,
+        spec_bandwidth: 1.6384e12,
+        stream_efficiency: 0.61,
+        latency_cycles: 860.0,
+        // Calibrated to the OpenMC row of Table VI (2039 kparticles/s
+        // across 12 stacks) via the Little's-law model in pvc-engine.
+        random_concurrency: 91.0,
+    }
+}
+
+fn pvc_partition(xe_cores: u32) -> Partition {
+    Partition {
+        kind: "Xe-Stack",
+        compute_units: xe_cores,
+        vector_engines_per_cu: 8,
+        matrix_engines_per_cu: 8,
+        vector_ops_per_engine_clock: pvc_vector_ops(),
+        matrix_ops_per_engine_clock: pvc_matrix_ops(),
+        caches: pvc_caches(),
+        memory: pvc_memory(),
+    }
+}
+
+/// PCIe Gen5 x16 per PVC card. Raw 63 GB/s per direction; achieved
+/// values from Table II single-card columns.
+fn pvc_pcie(h2d: f64, d2h: f64, duplex: f64) -> PcieSpec {
+    PcieSpec {
+        gen: 5,
+        lanes: 16,
+        raw_per_dir: gb_s(63.0),
+        per_card_h2d: h2d,
+        per_card_d2h: d2h,
+        per_card_duplex: duplex,
+        latency: 12e-6,
+    }
+}
+
+/// PVC on-card MDFI and Xe-Link fabric, Table III single-pair columns.
+/// §IV-B7: Xe-Link "are in fact slower than PCIe, and they reach 55%
+/// efficiency in each direction".
+fn pvc_fabric(aggregate_derate: ScaleCurve) -> FabricSpec {
+    FabricSpec {
+        aggregate_derate,
+        local_uni: gb_s(197.0),
+        local_duplex: gb_s(284.0),
+        remote_uni: gb_s(15.0),
+        remote_duplex: gb_s(23.0),
+        latency: 8e-6,
+    }
+}
+
+/// Aurora's PVC variant: 56 active Xe-Cores per stack, 500 W cap.
+///
+/// Scale-derate curves are calibrated so the governed peaks land on
+/// Table II: FP64 17/33/195 TFlop/s at 1/2/12 stacks; FP32 23/45/268.
+pub fn pvc_aurora_gpu() -> GpuModel {
+    GpuModel {
+        name: "Intel Data Center GPU Max 1550 (Aurora, 56 Xe-Cores/stack)",
+        vendor: Vendor::Intel,
+        partition: pvc_partition(56),
+        partitions: 2,
+        clock: ClockPolicy {
+            max_ghz: 1.6,
+            fp64_vector_ghz: 1.2,
+            derate_fp64: ScaleCurve::new(vec![(1, 1.0), (2, 0.96), (12, 0.945)]),
+            derate_fp32: ScaleCurve::new(vec![(1, 1.0), (2, 0.98), (12, 0.975)]),
+            derate_matrix: ScaleCurve::new(vec![(1, 1.0), (2, 0.99), (12, 0.94)]),
+            derate_memory: ScaleCurve::flat(),
+        },
+    }
+}
+
+/// Dawn's PVC variant: all 64 Xe-Cores active per stack, 600 W cap.
+/// Curves calibrated to Table II: FP64 20/37/140; FP32 26/52/207.
+pub fn pvc_dawn_gpu() -> GpuModel {
+    GpuModel {
+        name: "Intel Data Center GPU Max 1550 (Dawn, 64 Xe-Cores/stack)",
+        vendor: Vendor::Intel,
+        partition: pvc_partition(64),
+        partitions: 2,
+        clock: ClockPolicy {
+            max_ghz: 1.6,
+            fp64_vector_ghz: 1.2,
+            derate_fp64: ScaleCurve::new(vec![(1, 1.0), (2, 0.94), (8, 0.89)]),
+            derate_fp32: ScaleCurve::new(vec![(1, 1.0), (2, 0.99), (8, 0.988)]),
+            derate_matrix: ScaleCurve::new(vec![(1, 1.0), (2, 1.0), (8, 0.96)]),
+            derate_memory: ScaleCurve::flat(),
+        },
+    }
+}
+
+/// NVIDIA H100 SXM5 80 GB: 132 SMs × 4 sub-partitions; FP32 67 TFlop/s,
+/// FP64 34 TFlop/s at 1.98 GHz (Table IV).
+pub fn h100_gpu() -> GpuModel {
+    GpuModel {
+        name: "NVIDIA H100 SXM5 80GB",
+        vendor: Vendor::Nvidia,
+        partition: Partition {
+            kind: "H100",
+            compute_units: 132,
+            vector_engines_per_cu: 4,
+            matrix_engines_per_cu: 4,
+            vector_ops_per_engine_clock: PerPrecision {
+                fp64: 32.0,
+                fp32: 64.0,
+                ..Default::default()
+            },
+            // Tensor cores; FP64 tensor path intentionally capped at the
+            // vector rate so `peak()` matches the 34 TFlop/s the paper
+            // uses for H100 FP64 comparisons.
+            matrix_ops_per_engine_clock: PerPrecision {
+                fp64: 32.0,
+                fp16: 947.0,
+                bf16: 947.0,
+                tf32: 473.0,
+                fp8: 1893.0,
+                int8: 1893.0,
+                fp32: 0.0,
+            },
+            caches: vec![
+                CacheLevel {
+                    name: "L1",
+                    size_bytes: (256.0 * KIB) as u64,
+                    per_compute_unit: true,
+                    line_bytes: 128,
+                    associativity: 8,
+                    latency_cycles: 34.0,
+                },
+                CacheLevel {
+                    name: "L2",
+                    size_bytes: (50.0 * MIB) as u64,
+                    per_compute_unit: false,
+                    line_bytes: 128,
+                    associativity: 16,
+                    latency_cycles: 260.0,
+                },
+            ],
+            memory: MemorySpec {
+                capacity_bytes: (80.0 * GIB) as u64,
+                spec_bandwidth: 3.35e12,
+                stream_efficiency: 0.83,
+                latency_cycles: 700.0,
+                // Calibrated to OpenMC on JLSE-H100 (1191 kparticles/s,
+                // Table VI).
+                random_concurrency: 105.0,
+            },
+        },
+        partitions: 1,
+        clock: ClockPolicy {
+            max_ghz: 1.98,
+            fp64_vector_ghz: 1.98,
+            derate_fp64: ScaleCurve::flat(),
+            derate_fp32: ScaleCurve::flat(),
+            derate_matrix: ScaleCurve::flat(),
+            derate_memory: ScaleCurve::flat(),
+        },
+    }
+}
+
+/// AMD Instinct MI250: 2 GCDs × 104 CUs; FP64 = FP32 vector = 45.3
+/// TFlop/s per card at 1.7 GHz (Table IV).
+pub fn mi250_gpu() -> GpuModel {
+    GpuModel {
+        name: "AMD Instinct MI250",
+        vendor: Vendor::Amd,
+        partition: Partition {
+            kind: "GCD",
+            compute_units: 104,
+            vector_engines_per_cu: 4,
+            matrix_engines_per_cu: 4,
+            vector_ops_per_engine_clock: PerPrecision {
+                fp64: 32.0,
+                fp32: 32.0,
+                ..Default::default()
+            },
+            // Matrix cores: §IV-B5 "the MI250X GEMM makes use of the
+            // matrix core units, which have twice the peak of the
+            // non-matrix cores".
+            matrix_ops_per_engine_clock: PerPrecision {
+                fp64: 64.0,
+                fp32: 64.0,
+                fp16: 256.0,
+                bf16: 256.0,
+                int8: 512.0,
+                ..Default::default()
+            },
+            caches: vec![
+                CacheLevel {
+                    name: "L1",
+                    size_bytes: (16.0 * KIB) as u64,
+                    per_compute_unit: true,
+                    line_bytes: 64,
+                    associativity: 4,
+                    latency_cycles: 130.0,
+                },
+                CacheLevel {
+                    name: "L2",
+                    size_bytes: (8.0 * MIB) as u64,
+                    per_compute_unit: false,
+                    line_bytes: 64,
+                    associativity: 16,
+                    latency_cycles: 219.0,
+                },
+            ],
+            memory: MemorySpec {
+                capacity_bytes: (64.0 * GIB) as u64,
+                spec_bandwidth: 1.6384e12,
+                stream_efficiency: 0.80,
+                latency_cycles: 597.0,
+                // Calibrated to OpenMC on JLSE-MI250 (720 kparticles/s,
+                // Table VI).
+                random_concurrency: 32.0,
+            },
+        },
+        partitions: 2,
+        clock: ClockPolicy {
+            max_ghz: 1.7,
+            fp64_vector_ghz: 1.7,
+            derate_fp64: ScaleCurve::flat(),
+            derate_fp32: ScaleCurve::flat(),
+            derate_matrix: ScaleCurve::flat(),
+            derate_memory: ScaleCurve::flat(),
+        },
+    }
+}
+
+fn aurora() -> NodeModel {
+    NodeModel {
+        system: System::Aurora,
+        name: "Aurora (PVC)",
+        cpu: CpuModel::xeon_max_aurora(),
+        sockets: 2,
+        gpu: pvc_aurora_gpu(),
+        gpus: 6,
+        gpu_power_cap_w: 500.0,
+        pcie: pvc_pcie(gb_s(55.0), gb_s(56.0), gb_s(77.0)),
+        fabric: pvc_fabric(ScaleCurve::new(vec![(2, 1.0), (12, 0.955)])),
+    }
+}
+
+fn dawn() -> NodeModel {
+    NodeModel {
+        system: System::Dawn,
+        name: "Dawn (PVC)",
+        cpu: CpuModel::xeon_platinum_8468(),
+        sockets: 2,
+        gpu: pvc_dawn_gpu(),
+        gpus: 4,
+        gpu_power_cap_w: 600.0,
+        pcie: pvc_pcie(gb_s(54.0), gb_s(53.0), gb_s(72.0)),
+        fabric: pvc_fabric(ScaleCurve::flat()),
+    }
+}
+
+fn jlse_h100() -> NodeModel {
+    NodeModel {
+        system: System::JlseH100,
+        name: "JLSE (H100)",
+        cpu: CpuModel::xeon_platinum_8468(),
+        sockets: 2,
+        gpu: h100_gpu(),
+        gpus: 4,
+        gpu_power_cap_w: 700.0,
+        pcie: PcieSpec {
+            gen: 5,
+            lanes: 16,
+            raw_per_dir: gb_s(63.0),
+            per_card_h2d: gb_s(55.0),
+            per_card_d2h: gb_s(55.0),
+            per_card_duplex: gb_s(100.0),
+            latency: 10e-6,
+        },
+        fabric: FabricSpec {
+            aggregate_derate: ScaleCurve::flat(),
+            local_uni: 0.0,
+            local_duplex: 0.0,
+            // NVLink 4 (900 GB/s aggregate; ~450 per direction).
+            remote_uni: gb_s(450.0),
+            remote_duplex: gb_s(800.0),
+            latency: 5e-6,
+        },
+    }
+}
+
+fn jlse_mi250() -> NodeModel {
+    NodeModel {
+        system: System::JlseMi250,
+        name: "JLSE (MI250)",
+        cpu: CpuModel::epyc_7713(),
+        sockets: 2,
+        gpu: mi250_gpu(),
+        gpus: 4,
+        gpu_power_cap_w: 560.0,
+        pcie: PcieSpec {
+            gen: 4,
+            lanes: 16,
+            raw_per_dir: gb_s(32.0),
+            per_card_h2d: gb_s(25.0),
+            per_card_d2h: gb_s(25.0),
+            per_card_duplex: gb_s(40.0),
+            latency: 12e-6,
+        },
+        fabric: FabricSpec {
+            aggregate_derate: ScaleCurve::flat(),
+            // In-package Infinity Fabric between the two GCDs.
+            local_uni: gb_s(200.0),
+            local_duplex: gb_s(300.0),
+            // GCD-to-GCD across cards: 37 GB/s measured on Frontier
+            // (Table IV).
+            remote_uni: gb_s(37.0),
+            remote_duplex: gb_s(55.0),
+            latency: 8e-6,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::Precision;
+    use crate::units::rel_err;
+
+    /// Table II peak-flops rows: (system, precision, active, per-partition
+    /// TFlop/s published).
+    #[test]
+    fn pvc_peaks_match_table_ii() {
+        let cases = [
+            (System::Aurora, Precision::Fp64, 1, 17.0),
+            (System::Aurora, Precision::Fp64, 2, 16.5), // 33 / 2
+            (System::Aurora, Precision::Fp64, 12, 16.25), // 195 / 12
+            (System::Aurora, Precision::Fp32, 1, 23.0),
+            (System::Aurora, Precision::Fp32, 2, 22.5),
+            (System::Aurora, Precision::Fp32, 12, 22.33),
+            (System::Dawn, Precision::Fp64, 1, 20.0),
+            (System::Dawn, Precision::Fp64, 2, 18.5),
+            (System::Dawn, Precision::Fp64, 8, 17.5),
+            (System::Dawn, Precision::Fp32, 1, 26.0),
+            (System::Dawn, Precision::Fp32, 2, 26.0),
+            (System::Dawn, Precision::Fp32, 8, 25.875),
+        ];
+        for (sys, p, active, tflops) in cases {
+            let got = sys.node().gpu.vector_peak_per_partition(p, active) / 1e12;
+            assert!(
+                rel_err(got, tflops) < 0.02,
+                "{sys:?} {p} x{active}: model {got:.2} vs paper {tflops:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn h100_peaks_match_table_iv() {
+        let g = h100_gpu();
+        assert!(rel_err(g.device_peak(Precision::Fp32) / 1e12, 67.0) < 0.01);
+        assert!(rel_err(g.device_peak(Precision::Fp64) / 1e12, 34.0) < 0.02);
+    }
+
+    #[test]
+    fn mi250_peaks_match_table_iv() {
+        let g = mi250_gpu();
+        // Vector FP64 = FP32 = 45.3 TFlop/s for the card.
+        let v64 = g.vector_peak_per_partition(Precision::Fp64, 1) * 2.0 / 1e12;
+        let v32 = g.vector_peak_per_partition(Precision::Fp32, 1) * 2.0 / 1e12;
+        assert!(rel_err(v64, 45.3) < 0.01, "MI250 FP64 {v64}");
+        assert!(rel_err(v32, 45.3) < 0.01);
+        // Matrix FP64 = 2x vector (§IV-B5), ≈48 TFlop/s per GCD
+        // (Table IV / MI250X datasheet).
+        let m64 = g.matrix_peak_per_partition(Precision::Fp64, 1) / 1e12;
+        assert!(rel_err(m64, 45.3) < 0.01, "MI250 matrix FP64/GCD {m64}");
+    }
+
+    #[test]
+    fn pvc_stream_bandwidth_is_one_tb_per_stack() {
+        for sys in System::PVC {
+            let bw = sys.node().gpu.stream_bandwidth_per_partition();
+            assert!(rel_err(bw, 1e12) < 0.01, "{sys:?} stream {bw:e}");
+        }
+    }
+
+    #[test]
+    fn node_stream_bandwidth_scales_linearly() {
+        // Table II triad row: 12 TB/s on Aurora, 8 TB/s on Dawn.
+        assert!(rel_err(System::Aurora.node().node_stream_bandwidth(), 12e12) < 0.01);
+        assert!(rel_err(System::Dawn.node().node_stream_bandwidth(), 8e12) < 0.01);
+    }
+
+    #[test]
+    fn aurora_to_dawn_compute_ratio_is_core_ratio() {
+        // §VII: "the compute-bound microbenchmarks on Aurora performed
+        // about 0.875x (the ratio of compute units) as on Dawn".
+        let a = pvc_aurora_gpu();
+        let d = pvc_dawn_gpu();
+        assert_eq!(
+            a.partition.compute_units as f64 / d.partition.compute_units as f64,
+            0.875
+        );
+        let r = a.vector_peak_per_partition(Precision::Fp64, 1)
+            / d.vector_peak_per_partition(Precision::Fp64, 1);
+        assert!((r - 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xe_hierarchy_counts() {
+        // §II: 8 XVE per Xe-Core; 448 XVE per 56-core Aurora stack (the
+        // paper's peak derivation), 512 per Dawn stack; 128 Xe-Cores and
+        // 32768 flops/clock per card.
+        let a = pvc_aurora_gpu();
+        assert_eq!(a.partition.vector_engines(), 448);
+        let d = pvc_dawn_gpu();
+        assert_eq!(d.partition.vector_engines(), 512);
+        let flops_per_clock_card = 2.0
+            * d.partition.vector_engines() as f64
+            * d.partition.vector_ops_per_engine_clock.get(Precision::Fp64)
+            / 2.0; // ops include the x2 FMA factor; per-clock FLOP count is engines*32
+        assert_eq!(flops_per_clock_card, 512.0 * 32.0);
+    }
+
+    #[test]
+    fn pvc_llc_and_l1_match_section_ii() {
+        let p = pvc_partition(64);
+        assert_eq!(p.caches[0].size_bytes, 512 * 1024);
+        assert_eq!(p.caches[1].size_bytes, 192 * 1024 * 1024);
+        assert_eq!(p.cache_capacity(0), 64 * 512 * 1024);
+    }
+
+    #[test]
+    fn figure1_latency_ratios() {
+        // §IV-B6: PVC L1 90% higher than H100, 51% lower than MI250;
+        // L2 50%/78% higher; HBM 23%/44% higher.
+        let pvc = pvc_aurora_gpu();
+        let h = h100_gpu();
+        let m = mi250_gpu();
+        let l1 = |g: &GpuModel| g.partition.caches[0].latency_cycles;
+        let l2 = |g: &GpuModel| g.partition.caches[1].latency_cycles;
+        let hbm = |g: &GpuModel| g.partition.memory.latency_cycles;
+        assert!(rel_err(l1(&pvc) / l1(&h), 1.9) < 0.02);
+        assert!(rel_err(l1(&pvc) / l1(&m), 0.49) < 0.02);
+        assert!(rel_err(l2(&pvc) / l2(&h), 1.5) < 0.02);
+        assert!(rel_err(l2(&pvc) / l2(&m), 1.78) < 0.02);
+        assert!(rel_err(hbm(&pvc) / hbm(&h), 1.23) < 0.02);
+        assert!(rel_err(hbm(&pvc) / hbm(&m), 1.44) < 0.02);
+    }
+
+    #[test]
+    fn pcie_gen_matches_section_iv() {
+        // §IV-B4: PVC is Gen5, MI250 is Gen4.
+        assert_eq!(System::Aurora.node().pcie.gen, 5);
+        assert_eq!(System::JlseMi250.node().pcie.gen, 4);
+    }
+
+    #[test]
+    fn xelink_is_slower_than_pcie() {
+        // §IV-B7: Xe-Link remote-stack links "are in fact slower than
+        // PCIe".
+        let n = System::Aurora.node();
+        assert!(n.fabric.remote_uni < n.pcie.per_card_h2d);
+    }
+}

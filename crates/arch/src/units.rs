@@ -1,0 +1,92 @@
+//! Unit helpers: the tables in the paper mix GB/s, TB/s, TFlop/s and
+//! PFlop/s; internally everything is SI base units (bytes/s, flop/s,
+//! seconds, Hz).
+
+/// 1 KiB in bytes.
+pub const KIB: f64 = 1024.0;
+/// 1 MiB in bytes.
+pub const MIB: f64 = 1024.0 * 1024.0;
+/// 1 GiB in bytes.
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Converts GB/s (decimal, as in the paper's tables) to bytes/s.
+pub const fn gb_s(v: f64) -> f64 {
+    v * 1e9
+}
+
+/// Converts TB/s to bytes/s.
+pub const fn tb_s(v: f64) -> f64 {
+    v * 1e12
+}
+
+/// Converts TFlop/s to flop/s.
+pub const fn tflops(v: f64) -> f64 {
+    v * 1e12
+}
+
+/// Converts GHz to Hz.
+pub const fn ghz(v: f64) -> f64 {
+    v * 1e9
+}
+
+/// Formats a flop rate the way the paper's tables do (TFlop/s below 1
+/// PFlop/s, PFlop/s above).
+pub fn fmt_flops(flops_per_s: f64) -> String {
+    if flops_per_s >= 1e15 {
+        format!("{:.1} PFlop/s", flops_per_s / 1e15)
+    } else {
+        format!("{:.0} TFlop/s", flops_per_s / 1e12)
+    }
+}
+
+/// Formats a bandwidth the way the paper's tables do.
+pub fn fmt_bw(bytes_per_s: f64) -> String {
+    if bytes_per_s >= 1e12 {
+        format!("{:.0} TB/s", bytes_per_s / 1e12)
+    } else {
+        format!("{:.0} GB/s", bytes_per_s / 1e9)
+    }
+}
+
+/// Relative error |a-b| / |b|; used by tests comparing simulated values
+/// against the paper's published numbers.
+pub fn rel_err(measured: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (measured - reference).abs() / reference.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(gb_s(54.0), 5.4e10);
+        assert_eq!(tb_s(1.0), 1e12);
+        assert_eq!(tflops(17.0), 1.7e13);
+        assert_eq!(ghz(1.6), 1.6e9);
+        assert_eq!(MIB, 1048576.0);
+    }
+
+    #[test]
+    fn formatting_matches_table_style() {
+        assert_eq!(fmt_flops(17e12), "17 TFlop/s");
+        assert_eq!(fmt_flops(2.3e15), "2.3 PFlop/s");
+        assert_eq!(fmt_bw(1e12), "1 TB/s");
+        assert_eq!(fmt_bw(54e9), "54 GB/s");
+    }
+
+    #[test]
+    fn relative_error() {
+        assert!((rel_err(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(rel_err(0.0, 0.0), 0.0);
+        assert_eq!(rel_err(1.0, 0.0), f64::INFINITY);
+    }
+}

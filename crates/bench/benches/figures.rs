@@ -1,0 +1,39 @@
+//! Benchmarks regenerating the paper's figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pvc_core::arch::System;
+use pvc_core::memsim::{latency_profile, LatsConfig};
+use pvc_core::predict::{figure2, figure3, figure4};
+use std::hint::black_box;
+
+/// Figure 1: one latency staircase sweep per architecture (reduced
+/// footprint range to keep iterations short; the shape is identical).
+fn fig1_lats(c: &mut Criterion) {
+    let cfg = LatsConfig {
+        min_bytes: 64 * 1024,
+        max_bytes: 64 << 20,
+        points_per_octave: 1,
+        steps: 1 << 12,
+    };
+    let mut g = c.benchmark_group("fig1_lats");
+    g.sample_size(10);
+    for sys in System::ALL {
+        let gpu = sys.node().gpu;
+        g.bench_function(sys.label(), |b| {
+            b.iter(|| black_box(latency_profile(&gpu, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+/// Figures 2–4: the full measured + expected bar computation.
+fn fig2_to_4_bars(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relative_performance_figures");
+    g.bench_function("fig2_aurora_vs_dawn", |b| b.iter(|| black_box(figure2())));
+    g.bench_function("fig3_vs_h100", |b| b.iter(|| black_box(figure3())));
+    g.bench_function("fig4_vs_mi250", |b| b.iter(|| black_box(figure4())));
+    g.finish();
+}
+
+criterion_group!(figures, fig1_lats, fig2_to_4_bars);
+criterion_main!(figures);

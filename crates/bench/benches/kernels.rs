@@ -1,0 +1,133 @@
+//! Benchmarks of the real host-executed kernels (reduced paper shapes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pvc_core::kernels::chase::ChaseRing;
+use pvc_core::kernels::fft::{fft, Complex, Direction};
+use pvc_core::kernels::fma;
+use pvc_core::kernels::gemm::{gemm, gemm_flops, test_matrix};
+use pvc_core::kernels::triad;
+use std::hint::black_box;
+
+/// Chain-of-FMA kernel at the paper's per-work-item shape.
+fn bench_fma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_fma_chain");
+    let lanes = 4096;
+    g.throughput(Throughput::Elements(
+        2 * lanes as u64 * fma::FMA_PER_WORK_ITEM,
+    ));
+    g.bench_function("fp32", |b| {
+        b.iter(|| black_box(fma::paper_kernel::<f32>(lanes)))
+    });
+    g.bench_function("fp64", |b| {
+        b.iter(|| black_box(fma::paper_kernel::<f64>(lanes)))
+    });
+    g.finish();
+}
+
+/// STREAM triad at 1/64 of the paper array.
+fn bench_triad(c: &mut Criterion) {
+    let n = triad::PAPER_ARRAY_BYTES / 64 / 8;
+    let bsrc: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let csrc: Vec<f64> = (0..n).map(|i| (i * 2) as f64).collect();
+    let mut a = vec![0.0f64; n];
+    let mut g = c.benchmark_group("kernel_triad");
+    g.throughput(Throughput::Bytes(triad::triad_bytes(n, 8)));
+    g.bench_function("f64", |b| {
+        b.iter(|| {
+            triad::triad(&mut a, &bsrc, &csrc, 3.0);
+            black_box(a[0]);
+        })
+    });
+    g.finish();
+}
+
+/// Blocked GEMM at N = 512 (paper runs N = 20480 on device).
+fn bench_gemm(c: &mut Criterion) {
+    let n = 512;
+    let a = test_matrix::<f64>(n, 1);
+    let bm = test_matrix::<f64>(n, 2);
+    let mut out = vec![0.0f64; n * n];
+    let mut g = c.benchmark_group("kernel_gemm");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(gemm_flops(n)));
+    g.bench_function("f64_blocked_512", |b| {
+        b.iter(|| {
+            gemm(n, &a, &bm, &mut out);
+            black_box(out[0]);
+        })
+    });
+    g.finish();
+}
+
+/// FFT at the paper's 1D sizes (4096 power-of-two, 20000 Bluestein).
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_fft");
+    for n in [4096usize, 20_000] {
+        let signal: Vec<Complex<f64>> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
+        g.bench_function(format!("c2c_{n}"), |b| {
+            b.iter(|| {
+                let mut x = signal.clone();
+                fft(&mut x, Direction::Forward);
+                black_box(x[0]);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Pointer chase over an L2-resident ring.
+fn bench_chase(c: &mut Criterion) {
+    let ring = ChaseRing::new(1 << 16, 7);
+    let mut g = c.benchmark_group("kernel_chase");
+    g.throughput(Throughput::Elements(1 << 16));
+    g.bench_function("dependent_walk", |b| {
+        b.iter(|| black_box(ring.chase(1 << 16)))
+    });
+    g.finish();
+}
+
+/// CSR SpMV (the §VII sparse extension).
+fn bench_spmv(c: &mut Criterion) {
+    use pvc_core::kernels::spmv::synthetic_sparse;
+    let n = 100_000;
+    let a = synthetic_sparse::<f64>(n, 16, 3);
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut y = vec![0.0f64; n];
+    let mut g = c.benchmark_group("kernel_spmv");
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.bench_function("csr_f64", |b| {
+        b.iter(|| {
+            a.spmv(&x, &mut y);
+            black_box(y[0]);
+        })
+    });
+    g.finish();
+}
+
+/// 3D FFT + particle-mesh gravity (the HACC long-range substrate).
+fn bench_pm(c: &mut Criterion) {
+    use pvc_core::apps::hacc::particle_cube;
+    use pvc_core::apps::pm::PmSolver;
+    let pm = PmSolver::new(32);
+    let ps = particle_cube(12, 5);
+    let mut g = c.benchmark_group("kernel_particle_mesh");
+    g.sample_size(10);
+    g.bench_function("pm_forces_32cube", |b| {
+        b.iter(|| black_box(pm.forces(&ps)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_fma,
+    bench_triad,
+    bench_gemm,
+    bench_fft,
+    bench_chase,
+    bench_spmv,
+    bench_pm
+);
+criterion_main!(kernels);

@@ -1,0 +1,112 @@
+//! Benchmarks regenerating the paper's result tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pvc_core::arch::{Precision, System};
+use pvc_core::microbench::{fftbench, gemmbench, membw, p2p, pcie, peakflops};
+use pvc_core::miniapps::ScaleLevel;
+use pvc_core::predict::{fom, AppKind};
+use std::hint::black_box;
+
+/// Table II rows 1–3: peak flops and triad bandwidth on both PVC
+/// systems.
+fn table2_peaks_and_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_peaks");
+    g.bench_function("peak_flops_all_cells", |b| {
+        b.iter(|| {
+            for sys in System::PVC {
+                for p in [Precision::Fp64, Precision::Fp32] {
+                    black_box(peakflops::run(sys, p).rates);
+                }
+            }
+        })
+    });
+    g.bench_function("triad_bandwidth", |b| {
+        b.iter(|| {
+            for sys in System::PVC {
+                black_box(membw::run(sys).bandwidth);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Table II rows 4–6: the PCIe contention simulation (18 cells).
+fn table2_pcie(c: &mut Criterion) {
+    c.bench_function("table2_pcie_all_modes", |b| {
+        b.iter(|| {
+            for sys in System::PVC {
+                for mode in [
+                    pcie::PcieMode::H2d,
+                    pcie::PcieMode::D2h,
+                    pcie::PcieMode::Bidirectional,
+                ] {
+                    black_box(pcie::run(sys, mode).bandwidth);
+                }
+            }
+        })
+    });
+}
+
+/// Table II rows 7–12: GEMM model over six precisions.
+fn table2_gemm(c: &mut Criterion) {
+    c.bench_function("table2_gemm_six_precisions", |b| {
+        b.iter(|| {
+            for sys in System::PVC {
+                black_box(gemmbench::run_all(sys));
+            }
+        })
+    });
+}
+
+/// Table II rows 13–14: FFT verification + model.
+fn table2_fft(c: &mut Criterion) {
+    use pvc_core::engine::fft_model::FftDim;
+    c.bench_function("table2_fft_1d_2d", |b| {
+        b.iter(|| {
+            for sys in System::PVC {
+                for dim in [FftDim::OneD, FftDim::TwoD] {
+                    black_box(fftbench::run(sys, dim).rates);
+                }
+            }
+        })
+    });
+}
+
+/// Table III: the four point-to-point scenarios.
+fn table3_p2p(c: &mut Criterion) {
+    c.bench_function("table3_p2p", |b| {
+        b.iter(|| {
+            for sys in System::PVC {
+                for kind in [p2p::PairKind::LocalStack, p2p::PairKind::RemoteStack] {
+                    black_box(p2p::run(sys, kind));
+                }
+            }
+        })
+    });
+}
+
+/// Table VI: all sixty FOM cells.
+fn table6_foms(c: &mut Criterion) {
+    c.bench_function("table6_foms", |b| {
+        b.iter(|| {
+            for app in AppKind::ALL {
+                for sys in System::ALL {
+                    for level in ScaleLevel::ALL {
+                        black_box(fom(app, sys, level));
+                    }
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(
+    tables,
+    table2_peaks_and_bandwidth,
+    table2_pcie,
+    table2_gemm,
+    table2_fft,
+    table3_p2p,
+    table6_foms
+);
+criterion_main!(tables);

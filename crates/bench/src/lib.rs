@@ -1,0 +1,15 @@
+//! # pvc-bench — Criterion benchmark harness
+//!
+//! One Criterion group per paper element:
+//!
+//! * `benches/tables.rs` — Tables II, III and VI regeneration
+//!   (`table2_*`, `table3_p2p`, `table6_foms`);
+//! * `benches/figures.rs` — Figure 1 latency sweep and Figures 2–4 bar
+//!   computation;
+//! * `benches/ablations.rs` — the DESIGN.md ablations: FP64 downclock
+//!   (E11), PCIe root-complex contention (E12), miniQMC host congestion
+//!   (E13), Xe-Link plane routing (E14);
+//! * `benches/kernels.rs` — the real host kernels (GEMM, FFT, triad,
+//!   FMA chain, pointer chase) at reduced scale.
+//!
+//! Run with `cargo bench -p pvc-bench`.

@@ -1,0 +1,187 @@
+//! The execution engine: kernel profile → simulated seconds.
+
+use crate::workload::KernelProfile;
+use pvc_arch::{NodeModel, Precision, System};
+
+/// Per-line bytes assumed for random-access traffic when converting
+/// dependent accesses to bandwidth cross-checks.
+const LINE_BYTES: f64 = 64.0;
+
+/// A performance engine bound to one system's node model.
+///
+/// # Example
+/// ```
+/// use pvc_engine::{Engine, KernelProfile};
+/// use pvc_arch::{Precision, System};
+///
+/// let engine = Engine::new(System::Aurora);
+/// // 17 Tflop of FP64 at the governed 17 TFlop/s peak: ~1 second.
+/// let kernel = KernelProfile::compute(17e12, Precision::Fp64);
+/// let t = engine.kernel_time(&kernel, 1);
+/// assert!((t - 1.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    system: System,
+    node: NodeModel,
+}
+
+impl Engine {
+    /// Engine for `system`.
+    pub fn new(system: System) -> Self {
+        Engine {
+            system,
+            node: system.node(),
+        }
+    }
+
+    /// The system this engine models.
+    pub fn system(&self) -> System {
+        self.system
+    }
+
+    /// The node model.
+    pub fn node(&self) -> &NodeModel {
+        &self.node
+    }
+
+    /// Governed vector peak of one partition (flop/s).
+    pub fn vector_peak(&self, p: Precision, active: u32) -> f64 {
+        self.node.gpu.vector_peak_per_partition(p, active)
+    }
+
+    /// Best compute rate (vector or matrix) of one partition.
+    pub fn compute_peak(&self, p: Precision, active: u32) -> f64 {
+        self.node.gpu.peak_per_partition(p, active)
+    }
+
+    /// STREAM bandwidth of one partition (bytes/s) with `active`
+    /// partitions busy.
+    pub fn stream_bandwidth(&self, active: u32) -> f64 {
+        self.node.gpu.stream_bandwidth_per_partition() * self.node.gpu.clock.memory_derate(active)
+    }
+
+    /// Random-access line rate of one partition (lines/s): Little's law
+    /// over the HBM latency with the device's sustainable concurrency.
+    pub fn random_access_rate(&self) -> f64 {
+        self.node
+            .gpu
+            .partition
+            .memory
+            .random_access_rate(self.node.gpu.clock.max_hz())
+    }
+
+    /// Simulated time of `profile` on one partition with `active`
+    /// partitions busy node-wide: the slowest of the compute, streaming
+    /// and latency components (perfect overlap, the standard bound
+    /// model — consistent with classifying each app by its *dominant*
+    /// bound as Table V does).
+    pub fn kernel_time(&self, profile: &KernelProfile, active: u32) -> f64 {
+        let mut t: f64 = 0.0;
+        if profile.flops > 0.0 {
+            let rate = self.compute_peak(profile.precision, active) * profile.compute_efficiency;
+            t = t.max(profile.flops / rate);
+        }
+        if profile.bytes > 0.0 {
+            t = t.max(profile.bytes / self.stream_bandwidth(active));
+        }
+        if profile.random_accesses > 0.0 {
+            let lat_rate = self.random_access_rate();
+            // Random traffic also consumes bandwidth; take the tighter of
+            // the concurrency-limited and bandwidth-limited rates.
+            let bw_rate = self.stream_bandwidth(active) / LINE_BYTES;
+            t = t.max(profile.random_accesses / lat_rate.min(bw_rate));
+        }
+        assert!(t > 0.0, "empty kernel profile");
+        t
+    }
+
+    /// Achieved flop rate of `profile` on one partition.
+    pub fn achieved_flops(&self, profile: &KernelProfile, active: u32) -> f64 {
+        profile.flops / self.kernel_time(profile, active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_arch::units::rel_err;
+
+    #[test]
+    fn compute_bound_kernel_runs_at_peak() {
+        let e = Engine::new(System::Aurora);
+        let k = KernelProfile::compute(17e12, Precision::Fp64);
+        let t = e.kernel_time(&k, 1);
+        assert!(rel_err(t, 1.0) < 0.02, "17 Tflop at 17 TF/s ≈ 1 s, got {t}");
+    }
+
+    #[test]
+    fn streaming_kernel_runs_at_stream_bw() {
+        let e = Engine::new(System::Dawn);
+        let k = KernelProfile::streaming(1e12);
+        assert!(rel_err(e.kernel_time(&k, 1), 1.0) < 0.02);
+    }
+
+    #[test]
+    fn roofline_takes_the_max() {
+        let e = Engine::new(System::Aurora);
+        // High-intensity kernel: compute dominates.
+        let hot = KernelProfile {
+            flops: 17e12,
+            precision: Precision::Fp64,
+            compute_efficiency: 1.0,
+            bytes: 1e9,
+            random_accesses: 0.0,
+        };
+        // Low-intensity: memory dominates.
+        let cold = KernelProfile {
+            flops: 1e9,
+            precision: Precision::Fp64,
+            compute_efficiency: 1.0,
+            bytes: 1e12,
+            random_accesses: 0.0,
+        };
+        assert!(rel_err(e.kernel_time(&hot, 1), 1.0) < 0.05);
+        assert!(rel_err(e.kernel_time(&cold, 1), 1.0) < 0.05);
+    }
+
+    #[test]
+    fn random_access_rate_uses_littles_law() {
+        let e = Engine::new(System::Aurora);
+        // 91 outstanding / (860 cycles / 1.6 GHz) ≈ 169 M lines/s.
+        let rate = e.random_access_rate();
+        assert!(rel_err(rate, 91.0 / (860.0 / 1.6e9)) < 1e-9);
+    }
+
+    #[test]
+    fn latency_bound_kernel_time() {
+        let e = Engine::new(System::JlseMi250);
+        let k = KernelProfile::random(1e6);
+        let expect = 1e6 / e.random_access_rate();
+        assert!(rel_err(e.kernel_time(&k, 1), expect) < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_scales_compute_time() {
+        let e = Engine::new(System::Dawn);
+        let k = KernelProfile::compute(1e12, Precision::Fp32);
+        let k_half = k.with_efficiency(0.5);
+        let t1 = e.kernel_time(&k, 1);
+        let t2 = e.kernel_time(&k_half, 1);
+        assert!(rel_err(t2, 2.0 * t1) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty kernel profile")]
+    fn empty_profile_panics() {
+        let e = Engine::new(System::Aurora);
+        let k = KernelProfile {
+            flops: 0.0,
+            precision: Precision::Fp64,
+            compute_efficiency: 1.0,
+            bytes: 0.0,
+            random_accesses: 0.0,
+        };
+        let _ = e.kernel_time(&k, 1);
+    }
+}

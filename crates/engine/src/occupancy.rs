@@ -1,0 +1,212 @@
+//! Work-group occupancy and launch model.
+//!
+//! §II describes the resident-thread rules this model implements: "The
+//! register file can be partitioned among hardware threads in two
+//! different ways: with 8 active hardware threads with 128 registers
+//! each, or 4 active hardware threads with 256 registers each." A
+//! kernel's register demand therefore sets the resident-thread count per
+//! Xe-Core, and with it the latency-hiding capacity that decides whether
+//! the launch can reach the governed peak. The miniBUDE tuning sweep
+//! (§V-A1) is the paper's application of exactly this trade-off.
+
+use pvc_arch::{GpuModel, Precision};
+
+/// Per-thread register budget in the 8-resident-thread mode (§II).
+pub const REGS_FULL_OCCUPANCY: u32 = 128;
+/// Per-thread register budget in the 4-resident-thread mode (§II).
+pub const REGS_HALF_OCCUPANCY: u32 = 256;
+
+/// A kernel launch shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Launch {
+    /// Total work-items.
+    pub global_size: u64,
+    /// Work-items per work-group.
+    pub work_group: u32,
+    /// Registers needed per work-item.
+    pub regs_per_item: u32,
+    /// Sub-group (SIMD) width the kernel compiles to.
+    pub sub_group: u32,
+}
+
+/// Occupancy analysis of a launch on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident hardware threads per compute unit (8 or 4 on PVC; 0 if
+    /// the kernel cannot launch).
+    pub threads_per_cu: u32,
+    /// Fraction of the device's work-item slots the launch can keep
+    /// resident (0–1).
+    pub slot_fill: f64,
+    /// Whether the whole grid fits in one "wave" of resident groups.
+    pub single_wave: bool,
+    /// Number of waves needed to drain the grid.
+    pub waves: u64,
+}
+
+/// Analyses `launch` on one partition of `gpu`.
+///
+/// # Panics
+/// Panics on a zero-sized launch or sub-group.
+pub fn analyse(gpu: &GpuModel, launch: &Launch) -> Occupancy {
+    assert!(launch.global_size > 0 && launch.work_group > 0 && launch.sub_group > 0);
+    // Register mode.
+    let threads_per_cu = if launch.regs_per_item <= REGS_FULL_OCCUPANCY {
+        8
+    } else if launch.regs_per_item <= REGS_HALF_OCCUPANCY {
+        4
+    } else {
+        0 // spills: modelled as unlaunchable at full speed
+    };
+    if threads_per_cu == 0 {
+        return Occupancy {
+            threads_per_cu,
+            slot_fill: 0.0,
+            single_wave: false,
+            waves: u64::MAX,
+        };
+    }
+    // Each hardware thread runs one sub-group.
+    let cu = gpu.partition.compute_units as u64;
+    let resident_items = cu * threads_per_cu as u64 * launch.sub_group as u64;
+    let slot_fill = (launch.global_size as f64 / resident_items as f64).min(1.0);
+    let waves = launch.global_size.div_ceil(resident_items);
+    Occupancy {
+        threads_per_cu,
+        slot_fill,
+        single_wave: waves == 1,
+        waves,
+    }
+}
+
+/// Launch efficiency factor: the fraction of governed peak a launch of
+/// this shape can sustain — slot fill for undersized grids, a
+/// half-occupancy penalty for register-heavy kernels (latency hiding at
+/// 4 threads covers most but not all stalls), and a partial-wave tail
+/// for grids that do not divide the resident capacity.
+pub fn launch_efficiency(gpu: &GpuModel, launch: &Launch) -> f64 {
+    let occ = analyse(gpu, launch);
+    if occ.threads_per_cu == 0 {
+        return 0.05; // spilling kernels crawl
+    }
+    let occupancy_factor = if occ.threads_per_cu == 8 { 1.0 } else { 0.72 };
+    // Tail effect: final partial wave wastes slots.
+    let tail = if occ.waves == u64::MAX || occ.waves == 0 {
+        1.0
+    } else {
+        let cu = gpu.partition.compute_units as u64;
+        let resident = cu * occ.threads_per_cu as u64 * launch.sub_group as u64;
+        let full_waves = launch.global_size / resident;
+        let remainder = launch.global_size % resident;
+        if remainder == 0 {
+            1.0
+        } else {
+            let total_slots = (full_waves + 1) * resident;
+            launch.global_size as f64 / total_slots as f64
+        }
+    };
+    occ.slot_fill.min(1.0) * occupancy_factor * tail.max(0.05)
+}
+
+/// Simulated time for a compute kernel launched with `launch` shape:
+/// the engine's peak scaled by the launch efficiency.
+pub fn launched_kernel_time(
+    gpu: &GpuModel,
+    launch: &Launch,
+    flops: f64,
+    precision: Precision,
+    active: u32,
+) -> f64 {
+    let peak = gpu.peak_per_partition(precision, active);
+    flops / (peak * launch_efficiency(gpu, launch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_arch::systems::pvc_aurora_gpu;
+
+    fn big_launch(regs: u32) -> Launch {
+        Launch {
+            global_size: 1 << 24,
+            work_group: 256,
+            regs_per_item: regs,
+            sub_group: 16,
+        }
+    }
+
+    #[test]
+    fn register_modes_follow_section_ii() {
+        let gpu = pvc_aurora_gpu();
+        assert_eq!(analyse(&gpu, &big_launch(96)).threads_per_cu, 8);
+        assert_eq!(analyse(&gpu, &big_launch(128)).threads_per_cu, 8);
+        assert_eq!(analyse(&gpu, &big_launch(129)).threads_per_cu, 4);
+        assert_eq!(analyse(&gpu, &big_launch(256)).threads_per_cu, 4);
+        assert_eq!(analyse(&gpu, &big_launch(300)).threads_per_cu, 0);
+    }
+
+    #[test]
+    fn big_grids_fill_the_device() {
+        let gpu = pvc_aurora_gpu();
+        let occ = analyse(&gpu, &big_launch(64));
+        assert_eq!(occ.slot_fill, 1.0);
+        assert!(!occ.single_wave);
+        // Resident items: 56 CU x 8 threads x 16 = 7168.
+        assert_eq!(occ.waves, (1u64 << 24).div_ceil(7168));
+    }
+
+    #[test]
+    fn tiny_grids_underfill() {
+        let gpu = pvc_aurora_gpu();
+        let launch = Launch {
+            global_size: 512,
+            work_group: 64,
+            regs_per_item: 64,
+            sub_group: 16,
+        };
+        let occ = analyse(&gpu, &launch);
+        assert!(occ.single_wave);
+        assert!(occ.slot_fill < 0.1, "512 items on 7168 slots: {occ:?}");
+        assert!(launch_efficiency(&gpu, &launch) < 0.1);
+    }
+
+    #[test]
+    fn half_occupancy_costs_but_spilling_costs_more() {
+        let gpu = pvc_aurora_gpu();
+        let full = launch_efficiency(&gpu, &big_launch(100));
+        let half = launch_efficiency(&gpu, &big_launch(200));
+        let spill = launch_efficiency(&gpu, &big_launch(400));
+        assert!(full > half, "{full} vs {half}");
+        assert!(half > spill, "{half} vs {spill}");
+        assert!(spill <= 0.05);
+    }
+
+    #[test]
+    fn divisible_grids_have_no_tail_penalty() {
+        let gpu = pvc_aurora_gpu();
+        // Exactly 10 waves.
+        let resident = 56 * 8 * 16u64;
+        let exact = Launch {
+            global_size: resident * 10,
+            work_group: 128,
+            regs_per_item: 64,
+            sub_group: 16,
+        };
+        assert!((launch_efficiency(&gpu, &exact) - 1.0).abs() < 1e-12);
+        // One extra item costs a whole wave's worth of slots.
+        let ragged = Launch {
+            global_size: resident * 10 + 1,
+            ..exact
+        };
+        let eff = launch_efficiency(&gpu, &ragged);
+        assert!((eff - 10.0 / 11.0).abs() < 0.01, "tail eff {eff}");
+    }
+
+    #[test]
+    fn launched_time_reflects_efficiency() {
+        let gpu = pvc_aurora_gpu();
+        let fast = launched_kernel_time(&gpu, &big_launch(64), 1e12, Precision::Fp32, 1);
+        let slow = launched_kernel_time(&gpu, &big_launch(200), 1e12, Precision::Fp32, 1);
+        assert!(slow > fast);
+    }
+}

@@ -1,0 +1,132 @@
+//! Workload descriptors: what a kernel *does*, independent of any device.
+
+use pvc_arch::Precision;
+
+/// Performance-bound classification (the "Characteristic" column of the
+/// paper's Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundKind {
+    /// Limited by flop rate at some precision (miniBUDE: FP32).
+    Compute(Precision),
+    /// Limited by device memory bandwidth (CloverLeaf).
+    MemoryBandwidth,
+    /// Limited by random-access memory latency (OpenMC).
+    MemoryLatency,
+    /// Limited by DGEMM library throughput (mini-GAMESS).
+    Dgemm,
+    /// Limited by host-side resources shared across GPUs (miniQMC's
+    /// second bottleneck, §V-B1).
+    HostCongestion,
+}
+
+/// Operation counts of one kernel invocation on one partition.
+///
+/// Produced by the real kernels (which know exactly what they execute)
+/// and consumed by [`crate::Engine`], which turns counts into seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Floating-point (or integer) operations.
+    pub flops: f64,
+    /// Precision the flops execute in.
+    pub precision: Precision,
+    /// Fraction of peak the kernel's instruction mix can reach even when
+    /// compute-bound (1.0 for a pure FMA chain; lower when the mix has
+    /// non-FMA overhead).
+    pub compute_efficiency: f64,
+    /// Bytes moved to/from device memory.
+    pub bytes: f64,
+    /// Dependent random line accesses (pointer-chase-like); 0 for
+    /// streaming kernels.
+    pub random_accesses: f64,
+}
+
+impl KernelProfile {
+    /// A pure compute kernel.
+    pub fn compute(flops: f64, precision: Precision) -> Self {
+        KernelProfile {
+            flops,
+            precision,
+            compute_efficiency: 1.0,
+            bytes: 0.0,
+            random_accesses: 0.0,
+        }
+    }
+
+    /// A pure streaming kernel.
+    pub fn streaming(bytes: f64) -> Self {
+        KernelProfile {
+            flops: 0.0,
+            precision: Precision::Fp64,
+            compute_efficiency: 1.0,
+            bytes,
+            random_accesses: 0.0,
+        }
+    }
+
+    /// A pure latency-bound kernel of `n` dependent random accesses.
+    pub fn random(n: f64) -> Self {
+        KernelProfile {
+            flops: 0.0,
+            precision: Precision::Fp64,
+            compute_efficiency: 1.0,
+            bytes: 0.0,
+            random_accesses: n,
+        }
+    }
+
+    /// Arithmetic intensity (flop/byte); infinite for compute-only
+    /// kernels.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+
+    /// Sets the compute-efficiency factor, returning self (builder
+    /// style).
+    pub fn with_efficiency(mut self, eff: f64) -> Self {
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency {eff} outside (0,1]");
+        self.compute_efficiency = eff;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_expected_fields() {
+        let c = KernelProfile::compute(1e12, Precision::Fp32);
+        assert_eq!(c.flops, 1e12);
+        assert_eq!(c.bytes, 0.0);
+        assert_eq!(c.arithmetic_intensity(), f64::INFINITY);
+
+        let s = KernelProfile::streaming(1e9);
+        assert_eq!(s.flops, 0.0);
+        assert_eq!(s.arithmetic_intensity(), 0.0);
+
+        let r = KernelProfile::random(1e6);
+        assert_eq!(r.random_accesses, 1e6);
+    }
+
+    #[test]
+    fn intensity_ratio() {
+        let k = KernelProfile {
+            flops: 100.0,
+            precision: Precision::Fp64,
+            compute_efficiency: 1.0,
+            bytes: 50.0,
+            random_accesses: 0.0,
+        };
+        assert_eq!(k.arithmetic_intensity(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1]")]
+    fn zero_efficiency_rejected() {
+        let _ = KernelProfile::compute(1.0, Precision::Fp64).with_efficiency(0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Rank-to-socket binding (§IV-A).
+//!
+//! "In addition, binding the MPI ranks to the CPU closest to the GPU
+//! ensures data transfer doesn't happen between CPU sockets. For
+//! example, Aurora uses CPU cores 0 and 52 (the first core from each
+//! CPU socket) for OS kernel threads. Therefore, rank 0 is bound to CPU
+//! core 1 and PVC 0 Stack 0."
+//!
+//! This module models what the binding *prevents*: with a mis-bound
+//! rank, host↔device traffic must cross the socket interconnect (UPI)
+//! before reaching the right root complex — an extra shared resource
+//! that throttles every crossed transfer. The binding plan below
+//! reproduces the paper's core assignment, and the mis-binding ablation
+//! quantifies why the paper bothers.
+
+use crate::plane::StackId;
+use crate::topology::NodeFabric;
+use pvc_arch::NodeModel;
+use pvc_simrt::{FlowNetwork, FlowSpec, ResourceId, Time};
+
+/// Cross-socket (UPI/xGMI) bandwidth available to mis-routed DMA
+/// traffic, bytes/s per direction. Xeon-class UPI: 3 links × ~20.8 GB/s
+/// usable ≈ 62 GB/s; a single mis-bound rank competes there with all
+/// coherence traffic.
+pub const CROSS_SOCKET_BW: f64 = 62e9;
+
+/// How a rank is bound relative to its GPU's socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binding {
+    /// The paper's setup: rank on the socket its GPU hangs off.
+    Nearest,
+    /// Mis-bound: rank on the other socket; traffic crosses UPI.
+    Crossed,
+}
+
+/// The core each rank is bound to under the paper's scheme: core 0 of
+/// each socket is reserved for OS kernel threads, so rank r gets core
+/// `socket_base + 1 + (r mod ranks_per_socket)`.
+pub fn bound_core(node: &NodeModel, rank: u32) -> u32 {
+    let per_socket = node.partitions_per_socket();
+    let socket = rank / per_socket;
+    let offset = rank % per_socket;
+    socket * node.cpu.cores + 1 + offset
+}
+
+/// A fabric wrapper with an explicit UPI resource for mis-bound
+/// traffic.
+pub struct BoundFabric {
+    fabric: NodeFabric,
+    /// One UPI pipe per direction between the two sockets.
+    upi: [ResourceId; 2],
+    net: FlowNetwork,
+}
+
+impl BoundFabric {
+    /// Builds the graph for `node` with `active` busy partitions.
+    pub fn new(node: &NodeModel, active: u32) -> Self {
+        let fabric = NodeFabric::with_active(node, active);
+        let mut net = fabric.net.clone_resources();
+        let upi = [
+            net.add_resource(CROSS_SOCKET_BW),
+            net.add_resource(CROSS_SOCKET_BW),
+        ];
+        BoundFabric { fabric, upi, net }
+    }
+
+    /// H2D path for a rank under `binding`: mis-bound ranks prepend the
+    /// socket-crossing hop.
+    pub fn h2d_path(&self, stack: StackId, binding: Binding) -> Vec<ResourceId> {
+        let mut path = self.fabric.h2d_path(stack);
+        if binding == Binding::Crossed {
+            path.push(self.upi[0]);
+        }
+        path
+    }
+
+    /// D2H path for a rank under `binding`.
+    pub fn d2h_path(&self, stack: StackId, binding: Binding) -> Vec<ResourceId> {
+        let mut path = self.fabric.d2h_path(stack);
+        if binding == Binding::Crossed {
+            path.push(self.upi[1]);
+        }
+        path
+    }
+
+    /// Runs simultaneous D2H transfers from every stack in `stacks`
+    /// under the given binding, returning the aggregate bandwidth.
+    pub fn d2h_aggregate(&self, stacks: &[StackId], binding: Binding, bytes: f64) -> f64 {
+        let mut net = self.net.clone_resources();
+        let ids: Vec<_> = stacks
+            .iter()
+            .map(|&s| {
+                net.add_flow(FlowSpec {
+                    start: Time::ZERO,
+                    bytes,
+                    path: self.d2h_path(s, binding),
+                    latency: 0.0,
+                })
+            })
+            .collect();
+        let done = net.run();
+        ids.iter().map(|id| done[id].bandwidth()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_arch::System;
+
+    fn all_stacks(node: &NodeModel) -> Vec<StackId> {
+        (0..node.gpus)
+            .flat_map(|g| (0..node.gpu.partitions).map(move |s| StackId::new(g, s)))
+            .collect()
+    }
+
+    #[test]
+    fn core_assignment_matches_the_paper_example() {
+        // "rank 0 is bound to CPU core 1" on Aurora; socket 1's ranks
+        // start after core 52 (core 52 is the OS core, so rank 6 -> 53).
+        let node = System::Aurora.node();
+        assert_eq!(bound_core(&node, 0), 1);
+        assert_eq!(bound_core(&node, 1), 2);
+        assert_eq!(bound_core(&node, 6), 53);
+        assert_eq!(bound_core(&node, 11), 58);
+    }
+
+    #[test]
+    fn no_rank_lands_on_an_os_core() {
+        for sys in System::PVC {
+            let node = sys.node();
+            for r in 0..node.partitions() {
+                let core = bound_core(&node, r);
+                assert_ne!(core % node.cpu.cores, 0, "rank {r} on an OS core");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_binding_matches_plain_fabric() {
+        let node = System::Aurora.node();
+        let bound = BoundFabric::new(&node, 12);
+        let stacks = all_stacks(&node);
+        let nearest = bound.d2h_aggregate(&stacks, Binding::Nearest, 500e6);
+        // Same result as the unbound model: 264 GB/s.
+        assert!((nearest / 1e9 - 264.0).abs() < 10.0, "{}", nearest / 1e9);
+    }
+
+    #[test]
+    fn crossed_binding_collapses_to_upi() {
+        // Mis-bind every rank: all 12 D2H flows squeeze through one
+        // 62 GB/s UPI pipe — a >4x collapse vs the paper's binding.
+        let node = System::Aurora.node();
+        let bound = BoundFabric::new(&node, 12);
+        let stacks = all_stacks(&node);
+        let crossed = bound.d2h_aggregate(&stacks, Binding::Crossed, 500e6);
+        assert!(
+            (crossed / 1e9 - 62.0).abs() < 2.0,
+            "crossed aggregate {}",
+            crossed / 1e9
+        );
+        let nearest = bound.d2h_aggregate(&stacks, Binding::Nearest, 500e6);
+        assert!(nearest > 4.0 * crossed);
+    }
+
+    #[test]
+    fn single_crossed_rank_is_upi_bound_but_not_pool_bound() {
+        let node = System::Aurora.node();
+        let bound = BoundFabric::new(&node, 1);
+        let one = [StackId::new(0, 0)];
+        let crossed = bound.d2h_aggregate(&one, Binding::Crossed, 500e6);
+        // One rank: min(adapter 53, UPI 62) = 53 — a single mis-bound
+        // rank hides; the damage appears at scale.
+        assert!((crossed / 1e9 - 53.0).abs() < 2.0, "{}", crossed / 1e9);
+    }
+}

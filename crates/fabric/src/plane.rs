@@ -1,0 +1,142 @@
+//! Stack identity and the two-plane Xe-Link connectivity of §IV-A4.
+//!
+//! "At the hardware level, each Stack belongs to one of two planes. If we
+//! look at the connectivity pattern on Aurora, the two planes consist of
+//! 0.0, 1.1, 2.0, 3.0, 4.0, 5.1 for the first plane and 0.1, 1.0, 2.1,
+//! 3.1, 4.1, 5.0 for the second."
+//!
+//! Stacks within one plane are all-to-all connected by Xe-Link; crossing
+//! planes requires an MDFI hop at one of the endpoints.
+
+use pvc_arch::System;
+use std::fmt;
+
+/// A stack address in the paper's `GPU_ID.STACK_ID` notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StackId {
+    /// Card index within the node.
+    pub gpu: u32,
+    /// Stack (partition) index within the card.
+    pub stack: u32,
+}
+
+impl StackId {
+    /// Constructs `gpu.stack`.
+    pub fn new(gpu: u32, stack: u32) -> Self {
+        StackId { gpu, stack }
+    }
+
+    /// The other stack on the same card.
+    pub fn sibling(self) -> StackId {
+        StackId {
+            gpu: self.gpu,
+            stack: 1 - self.stack,
+        }
+    }
+
+    /// Maps an MPI rank to a stack under the paper's explicit-scaling
+    /// convention (rank r → PVC r/2, Stack r%2; ZE_AFFINITY_MASK binds
+    /// each rank to one stack — §IV-A).
+    pub fn from_rank(rank: u32, stacks_per_gpu: u32) -> StackId {
+        StackId {
+            gpu: rank / stacks_per_gpu,
+            stack: rank % stacks_per_gpu,
+        }
+    }
+}
+
+impl fmt::Display for StackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.gpu, self.stack)
+    }
+}
+
+/// Cards whose stacks are *swapped* between planes on Aurora: the paper's
+/// plane-0 list (0.0, 1.1, 2.0, 3.0, 4.0, 5.1) puts stack **1** of GPUs 1
+/// and 5 in plane 0 — "even though 0.0 and 1.1 Stack are in different
+/// positions, since they are physically close to each other, they are
+/// connected in a single plane".
+const AURORA_SWAPPED_CARDS: [u32; 2] = [1, 5];
+
+/// Plane (0 or 1) of a stack on the given system.
+///
+/// Dawn's plane assignment is not published (Table III leaves the remote
+/// rows blank); the straight assignment `plane = stack` is used there and
+/// on the comparison systems.
+pub fn plane_of(system: System, id: StackId) -> u32 {
+    match system {
+        System::Aurora if AURORA_SWAPPED_CARDS.contains(&id.gpu) => 1 - id.stack,
+        _ => id.stack,
+    }
+}
+
+/// True when two stacks share a plane (single Xe-Link hop apart).
+pub fn same_plane(system: System, a: StackId, b: StackId) -> bool {
+    plane_of(system, a) == plane_of(system, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aurora_planes_match_paper_listing() {
+        // Plane 0: 0.0, 1.1, 2.0, 3.0, 4.0, 5.1
+        let plane0 = [(0, 0), (1, 1), (2, 0), (3, 0), (4, 0), (5, 1)];
+        for (g, s) in plane0 {
+            assert_eq!(
+                plane_of(System::Aurora, StackId::new(g, s)),
+                0,
+                "{g}.{s} should be plane 0"
+            );
+        }
+        // Plane 1: 0.1, 1.0, 2.1, 3.1, 4.1, 5.0
+        let plane1 = [(0, 1), (1, 0), (2, 1), (3, 1), (4, 1), (5, 0)];
+        for (g, s) in plane1 {
+            assert_eq!(
+                plane_of(System::Aurora, StackId::new(g, s)),
+                1,
+                "{g}.{s} should be plane 1"
+            );
+        }
+    }
+
+    #[test]
+    fn planes_partition_the_node() {
+        for sys in [System::Aurora, System::Dawn] {
+            let node = sys.node();
+            let mut counts = [0u32; 2];
+            for g in 0..node.gpus {
+                for s in 0..node.gpu.partitions {
+                    counts[plane_of(sys, StackId::new(g, s)) as usize] += 1;
+                }
+            }
+            assert_eq!(counts[0], counts[1], "{sys:?} planes must be balanced");
+            assert_eq!(counts[0] + counts[1], node.partitions());
+        }
+    }
+
+    #[test]
+    fn paper_example_0_0_to_1_0_crosses_planes() {
+        // §IV-A4's worked example: 0.0 → 1.0 needs a two-hop route.
+        assert!(!same_plane(
+            System::Aurora,
+            StackId::new(0, 0),
+            StackId::new(1, 0)
+        ));
+        // while 0.0 → 1.1 is one hop.
+        assert!(same_plane(
+            System::Aurora,
+            StackId::new(0, 0),
+            StackId::new(1, 1)
+        ));
+    }
+
+    #[test]
+    fn sibling_and_rank_mapping() {
+        assert_eq!(StackId::new(3, 0).sibling(), StackId::new(3, 1));
+        assert_eq!(StackId::from_rank(0, 2), StackId::new(0, 0));
+        assert_eq!(StackId::from_rank(5, 2), StackId::new(2, 1));
+        assert_eq!(format!("{}", StackId::new(4, 1)), "4.1");
+    }
+}

@@ -1,0 +1,269 @@
+//! The node contention graph: PCIe, root complexes, MDFI, Xe-Link.
+
+use crate::plane::{plane_of, same_plane, StackId};
+use pvc_arch::NodeModel;
+use pvc_simrt::{FlowNetwork, ResourceId};
+use std::collections::HashMap;
+
+/// Route selection for cross-plane stack-to-stack transfers. §IV-A4: "to
+/// transfer data from 0.0 to 1.0, the driver can use one of two possible
+/// paths: 0.0→1.1→1.0 or 0.0→0.1→1.0".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteVia {
+    /// Let the model pick (deterministically: the destination-sibling
+    /// path, keeping the MDFI hop on the receive side like the Level
+    /// Zero driver's default).
+    Auto,
+    /// Hop MDFI on the source card, then Xe-Link (0.0→0.1→1.0).
+    SourceSibling,
+    /// Xe-Link to the destination's sibling, then MDFI (0.0→1.1→1.0).
+    DestSibling,
+}
+
+/// Calibrated per-stack PCIe adapter efficiencies relative to the card
+/// link: single-stack transfers in Table II run 1–5% below the one-PVC
+/// (both-stacks) rate (e.g. 54 vs 55 GB/s H2D, 53 vs 56 GB/s D2H on
+/// Aurora), reflecting per-stack copy-engine limits.
+const STACK_ADAPTER_H2D: f64 = 0.98;
+const STACK_ADAPTER_D2H: f64 = 0.95;
+const STACK_ADAPTER_DUPLEX: f64 = 0.985;
+
+/// The resource graph for one node, wrapping a [`FlowNetwork`].
+pub struct NodeFabric {
+    node: NodeModel,
+    /// The underlying fluid-flow network. Public so callers submit flows
+    /// directly with paths built by this type.
+    pub net: FlowNetwork,
+    pcie_h2d: Vec<ResourceId>,
+    pcie_d2h: Vec<ResourceId>,
+    pcie_duplex: Vec<ResourceId>,
+    adapter_h2d: HashMap<StackId, ResourceId>,
+    adapter_d2h: HashMap<StackId, ResourceId>,
+    adapter_duplex: HashMap<StackId, ResourceId>,
+    rc_h2d: Vec<ResourceId>,
+    rc_d2h: Vec<ResourceId>,
+    rc_duplex: Vec<ResourceId>,
+    mdfi_dir: HashMap<(StackId, StackId), ResourceId>,
+    mdfi_duplex: Vec<ResourceId>,
+    xel_dir: HashMap<(StackId, StackId), ResourceId>,
+    xel_duplex: HashMap<(StackId, StackId), ResourceId>,
+}
+
+impl NodeFabric {
+    /// Builds the graph with a single active stack-pair (no aggregate
+    /// fabric derate).
+    pub fn new(node: &NodeModel) -> Self {
+        Self::with_active(node, 2)
+    }
+
+    /// Builds the graph with `active` busy partitions node-wide; the
+    /// fabric's aggregate derate (Table III multi-pair efficiency) scales
+    /// MDFI capacity accordingly.
+    pub fn with_active(node: &NodeModel, active: u32) -> Self {
+        let mut net = FlowNetwork::new();
+        let derate = node.fabric.aggregate_derate.at(active);
+
+        let mut f = NodeFabric {
+            node: node.clone(),
+            pcie_h2d: Vec::new(),
+            pcie_d2h: Vec::new(),
+            pcie_duplex: Vec::new(),
+            adapter_h2d: HashMap::new(),
+            adapter_d2h: HashMap::new(),
+            adapter_duplex: HashMap::new(),
+            rc_h2d: Vec::new(),
+            rc_d2h: Vec::new(),
+            rc_duplex: Vec::new(),
+            mdfi_dir: HashMap::new(),
+            mdfi_duplex: Vec::new(),
+            xel_dir: HashMap::new(),
+            xel_duplex: HashMap::new(),
+            net: FlowNetwork::new(),
+        };
+
+        // Host sockets.
+        for _ in 0..node.sockets {
+            f.rc_h2d.push(net.add_resource(node.cpu.rc_h2d));
+            f.rc_d2h.push(net.add_resource(node.cpu.rc_d2h));
+            f.rc_duplex.push(net.add_resource(node.cpu.rc_duplex));
+        }
+
+        // Cards: PCIe link + per-stack adapters + MDFI.
+        for g in 0..node.gpus {
+            f.pcie_h2d.push(net.add_resource(node.pcie.per_card_h2d));
+            f.pcie_d2h.push(net.add_resource(node.pcie.per_card_d2h));
+            f.pcie_duplex
+                .push(net.add_resource(node.pcie.per_card_duplex));
+            for s in 0..node.gpu.partitions {
+                let id = StackId::new(g, s);
+                f.adapter_h2d.insert(
+                    id,
+                    net.add_resource(node.pcie.per_card_h2d * STACK_ADAPTER_H2D),
+                );
+                f.adapter_d2h.insert(
+                    id,
+                    net.add_resource(node.pcie.per_card_d2h * STACK_ADAPTER_D2H),
+                );
+                f.adapter_duplex.insert(
+                    id,
+                    net.add_resource(node.pcie.per_card_duplex * STACK_ADAPTER_DUPLEX),
+                );
+            }
+            if node.gpu.partitions == 2 && node.fabric.local_uni > 0.0 {
+                let a = StackId::new(g, 0);
+                let b = StackId::new(g, 1);
+                f.mdfi_dir
+                    .insert((a, b), net.add_resource(node.fabric.local_uni * derate));
+                f.mdfi_dir
+                    .insert((b, a), net.add_resource(node.fabric.local_uni * derate));
+                f.mdfi_duplex
+                    .push(net.add_resource(node.fabric.local_duplex * derate));
+            }
+        }
+
+        // Xe-Link planes: all-to-all within each plane.
+        if node.fabric.remote_uni > 0.0 {
+            let stacks: Vec<StackId> = (0..node.gpus)
+                .flat_map(|g| (0..node.gpu.partitions).map(move |s| StackId::new(g, s)))
+                .collect();
+            for (i, &u) in stacks.iter().enumerate() {
+                for &v in &stacks[i + 1..] {
+                    if u.gpu != v.gpu && same_plane(node.system, u, v) {
+                        f.xel_dir
+                            .insert((u, v), net.add_resource(node.fabric.remote_uni));
+                        f.xel_dir
+                            .insert((v, u), net.add_resource(node.fabric.remote_uni));
+                        let pool = net.add_resource(node.fabric.remote_duplex);
+                        f.xel_duplex.insert((u, v), pool);
+                        f.xel_duplex.insert((v, u), pool);
+                    }
+                }
+            }
+        }
+
+        f.net = net;
+        f
+    }
+
+    /// The node this fabric was built from.
+    pub fn node(&self) -> &NodeModel {
+        &self.node
+    }
+
+    /// Socket a card is attached to (cards split evenly across sockets,
+    /// ranks bound to the closest socket — §IV-A).
+    pub fn socket_of(&self, gpu: u32) -> usize {
+        (gpu / self.node.gpus_per_socket()) as usize
+    }
+
+    /// Host→device transfer path for one stack.
+    pub fn h2d_path(&self, dst: StackId) -> Vec<ResourceId> {
+        self.host_path(dst, true)
+    }
+
+    /// Device→host transfer path for one stack.
+    pub fn d2h_path(&self, src: StackId) -> Vec<ResourceId> {
+        self.host_path(src, false)
+    }
+
+    fn host_path(&self, stack: StackId, h2d: bool) -> Vec<ResourceId> {
+        let g = stack.gpu as usize;
+        let sock = self.socket_of(stack.gpu);
+        let mut path = if h2d {
+            vec![
+                self.adapter_h2d[&stack],
+                self.adapter_duplex[&stack],
+                self.pcie_h2d[g],
+                self.pcie_duplex[g],
+                self.rc_h2d[sock],
+                self.rc_duplex[sock],
+            ]
+        } else {
+            vec![
+                self.adapter_d2h[&stack],
+                self.adapter_duplex[&stack],
+                self.pcie_d2h[g],
+                self.pcie_duplex[g],
+                self.rc_d2h[sock],
+                self.rc_duplex[sock],
+            ]
+        };
+        // §II: only the first Xe-Stack owns the PCIe link; second-stack
+        // traffic crosses MDFI first. MDFI is ~4x the PCIe rate so it is
+        // never the bottleneck for host traffic, but it participates in
+        // contention with concurrent stack-to-stack transfers.
+        if stack.stack == 1 && self.node.fabric.local_uni > 0.0 {
+            let sib = stack.sibling();
+            let key = if h2d { (sib, stack) } else { (stack, sib) };
+            path.push(self.mdfi_dir[&key]);
+            path.push(self.mdfi_duplex[g]);
+        }
+        path
+    }
+
+    /// Device-to-device transfer path.
+    ///
+    /// # Panics
+    /// Panics if `from == to` or the topology has no fabric links.
+    pub fn d2d_path(&self, from: StackId, to: StackId, via: RouteVia) -> Vec<ResourceId> {
+        assert_ne!(from, to, "transfer endpoints must differ");
+        if from.gpu == to.gpu {
+            // Local: MDFI inside the card.
+            return vec![self.mdfi_dir[&(from, to)], self.mdfi_duplex[from.gpu as usize]];
+        }
+        if same_plane(self.node.system, from, to) {
+            // Remote, one Xe-Link hop.
+            return vec![self.xel_dir[&(from, to)], self.xel_duplex[&(from, to)]];
+        }
+        // Cross-plane: two candidate two-hop routes.
+        let via = match via {
+            RouteVia::Auto => RouteVia::DestSibling,
+            v => v,
+        };
+        match via {
+            RouteVia::SourceSibling => {
+                let sib = from.sibling();
+                debug_assert_eq!(
+                    plane_of(self.node.system, sib),
+                    plane_of(self.node.system, to)
+                );
+                vec![
+                    self.mdfi_dir[&(from, sib)],
+                    self.mdfi_duplex[from.gpu as usize],
+                    self.xel_dir[&(sib, to)],
+                    self.xel_duplex[&(sib, to)],
+                ]
+            }
+            RouteVia::DestSibling => {
+                let sib = to.sibling();
+                debug_assert_eq!(
+                    plane_of(self.node.system, from),
+                    plane_of(self.node.system, sib)
+                );
+                vec![
+                    self.xel_dir[&(from, sib)],
+                    self.xel_duplex[&(from, sib)],
+                    self.mdfi_dir[&(sib, to)],
+                    self.mdfi_duplex[to.gpu as usize],
+                ]
+            }
+            RouteVia::Auto => unreachable!(),
+        }
+    }
+
+    /// Bandwidth a single flow achieves on `path` with nothing else
+    /// running, bytes/s — the path's bottleneck capacity. Used by
+    /// analytic collective models (ring allreduce, halo exchange).
+    pub fn isolated_bandwidth(&self, path: Vec<ResourceId>) -> f64 {
+        use pvc_simrt::{FlowSpec, Time};
+        let mut net = self.net.clone_resources();
+        let id = net.add_flow(FlowSpec {
+            start: Time::ZERO,
+            bytes: 1e9,
+            path,
+            latency: 0.0,
+        });
+        let done = net.run();
+        done[&id].bandwidth()
+    }
+}

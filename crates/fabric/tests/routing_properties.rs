@@ -1,0 +1,96 @@
+//! Property tests of the fabric topology and routing invariants.
+
+use proptest::prelude::*;
+use pvc_arch::System;
+use pvc_fabric::plane::{plane_of, same_plane};
+use pvc_fabric::{NodeFabric, RouteVia, StackId};
+
+fn stacks(system: System) -> Vec<StackId> {
+    let node = system.node();
+    (0..node.gpus)
+        .flat_map(|g| (0..node.gpu.partitions).map(move |s| StackId::new(g, s)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Plane membership is symmetric and the sibling of every stack is in
+    /// the other plane (PVC systems).
+    #[test]
+    fn planes_are_symmetric_and_siblings_cross(gi in 0u32..6, si in 0u32..2, gj in 0u32..6, sj in 0u32..2) {
+        let sys = System::Aurora;
+        let a = StackId::new(gi, si);
+        let b = StackId::new(gj, sj);
+        prop_assert_eq!(same_plane(sys, a, b), same_plane(sys, b, a));
+        prop_assert_ne!(plane_of(sys, a), plane_of(sys, a.sibling()));
+    }
+
+    /// Every distinct stack pair on a PVC node has a route, and its
+    /// isolated bandwidth equals the expected class value (MDFI for
+    /// local, Xe-Link for remote — including the two-hop case).
+    #[test]
+    fn every_pair_routes_at_class_bandwidth(i in 0usize..12, j in 0usize..12) {
+        prop_assume!(i != j);
+        let sys = System::Aurora;
+        let node = sys.node();
+        let all = stacks(sys);
+        let (a, b) = (all[i], all[j]);
+        let fabric = NodeFabric::new(&node);
+        let bw = fabric.isolated_bandwidth(fabric.d2d_path(a, b, RouteVia::Auto));
+        if a.gpu == b.gpu {
+            prop_assert!((bw - node.fabric.local_uni).abs() / node.fabric.local_uni < 1e-6);
+        } else {
+            prop_assert!((bw - node.fabric.remote_uni).abs() / node.fabric.remote_uni < 1e-6);
+        }
+    }
+
+    /// Host paths exist for every stack and are bounded by the card link.
+    #[test]
+    fn host_paths_bounded_by_card_link(i in 0usize..12) {
+        let sys = System::Aurora;
+        let node = sys.node();
+        let fabric = NodeFabric::new(&node);
+        let s = stacks(sys)[i];
+        let h2d = fabric.isolated_bandwidth(fabric.h2d_path(s));
+        let d2h = fabric.isolated_bandwidth(fabric.d2h_path(s));
+        prop_assert!(h2d <= node.pcie.per_card_h2d * 1.0001);
+        prop_assert!(d2h <= node.pcie.per_card_d2h * 1.0001);
+        prop_assert!(h2d > 0.9 * node.pcie.per_card_h2d * 0.95);
+        prop_assert!(d2h > 0.0);
+    }
+
+    /// Cross-plane routes through either sibling end at the same
+    /// bottleneck bandwidth when the fabric is otherwise idle.
+    #[test]
+    fn two_hop_route_choice_is_neutral_when_idle(gi in 0u32..6, gj in 0u32..6, s in 0u32..2) {
+        prop_assume!(gi != gj);
+        let sys = System::Aurora;
+        let a = StackId::new(gi, s);
+        let b = StackId::new(gj, s);
+        prop_assume!(!same_plane(sys, a, b));
+        let fabric = NodeFabric::new(&sys.node());
+        let src = fabric.isolated_bandwidth(fabric.d2d_path(a, b, RouteVia::SourceSibling));
+        let dst = fabric.isolated_bandwidth(fabric.d2d_path(a, b, RouteVia::DestSibling));
+        prop_assert!((src - dst).abs() / dst < 1e-6);
+    }
+}
+
+/// Dawn's 8 stacks route pairwise too (non-property smoke over the full
+/// cross product).
+#[test]
+fn dawn_full_cross_product_routes() {
+    let sys = System::Dawn;
+    let node = sys.node();
+    let fabric = NodeFabric::new(&node);
+    let all = stacks(sys);
+    for &a in &all {
+        for &b in &all {
+            if a == b {
+                continue;
+            }
+            let bw = fabric.isolated_bandwidth(fabric.d2d_path(a, b, RouteVia::Auto));
+            assert!(bw > 0.0, "{a} -> {b} must route");
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! General matrix multiplication (§IV-A5).
+//!
+//! "GEMM is used to measure floating-point (FP64, FP32, FP8, BF16, and
+//! TF32) and small integer (I8) operation throughput. We use a square
+//! N × N matrix of size N = 20480. … A total of 2·N³ floating point
+//! operations is expected to be performed."
+//!
+//! This module provides a cache-blocked, rayon-parallel C = A·B (row
+//! major) plus a naive reference used in tests, and an i32-accumulating
+//! integer GEMM standing in for the I8 benchmark's arithmetic.
+
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// The paper's matrix dimension.
+pub const PAPER_N: usize = 20480;
+
+/// Flop count of a square GEMM: 2·N³.
+pub fn gemm_flops(n: usize) -> u64 {
+    2 * (n as u64).pow(3)
+}
+
+/// Block edge used by the tiled kernel; sized so three f64 tiles fit in
+/// a typical 256 KiB L2 slice of a host core.
+const BLOCK: usize = 64;
+
+/// Naive triple-loop reference, O(n³), single-threaded.
+pub fn gemm_naive<T: Scalar>(n: usize, a: &[T], b: &[T], c: &mut [T]) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(c.len(), n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = T::ZERO;
+            for k in 0..n {
+                acc = a[i * n + k].mul_add(b[k * n + j], acc);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Cache-blocked parallel GEMM: C = A·B, row-major square matrices.
+///
+/// Parallelises over row panels; each task walks k/j blocks with a
+/// register-friendly inner loop using fused multiply-add.
+pub fn gemm<T: Scalar>(n: usize, a: &[T], b: &[T], c: &mut [T]) {
+    assert_eq!(a.len(), n * n, "A must be n x n");
+    assert_eq!(b.len(), n * n, "B must be n x n");
+    assert_eq!(c.len(), n * n, "C must be n x n");
+    c.par_chunks_mut(BLOCK * n)
+        .enumerate()
+        .for_each(|(bi, c_panel)| {
+            let i0 = bi * BLOCK;
+            let rows = c_panel.len() / n;
+            for row in c_panel.iter_mut() {
+                *row = T::ZERO;
+            }
+            for k0 in (0..n).step_by(BLOCK) {
+                let kmax = (k0 + BLOCK).min(n);
+                for i in 0..rows {
+                    let ai = i0 + i;
+                    for k in k0..kmax {
+                        let aik = a[ai * n + k];
+                        let brow = &b[k * n..k * n + n];
+                        let crow = &mut c_panel[i * n..(i + 1) * n];
+                        for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                            *cj = aik.mul_add(bj, *cj);
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/// Batched GEMM: `C[b] = A[b] · B[b]` for every batch entry, parallel
+/// over batches (the oneMKL `gemm_batch` shape the RI-MP2 mini-app
+/// drives; each batch item is small, so the parallelism lives across
+/// the batch, not inside one multiply).
+///
+/// # Panics
+/// Panics if the slices disagree in batch count or matrix size.
+pub fn gemm_batch<T: Scalar>(n: usize, a: &[Vec<T>], b: &[Vec<T>], c: &mut [Vec<T>]) {
+    assert_eq!(a.len(), b.len(), "batch count mismatch");
+    assert_eq!(a.len(), c.len(), "batch count mismatch");
+    c.par_iter_mut().enumerate().for_each(|(i, ci)| {
+        assert_eq!(a[i].len(), n * n);
+        assert_eq!(b[i].len(), n * n);
+        assert_eq!(ci.len(), n * n);
+        // Small per-item multiplies: serial triple loop beats nested
+        // parallelism here.
+        for row in 0..n {
+            for col in 0..n {
+                let mut acc = T::ZERO;
+                for k in 0..n {
+                    acc = a[i][row * n + k].mul_add(b[i][k * n + col], acc);
+                }
+                ci[row * n + col] = acc;
+            }
+        }
+    });
+}
+
+/// Integer GEMM (I8 inputs, i32 accumulation) — the arithmetic of the
+/// paper's I8GEMM row.
+pub fn gemm_i8(n: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(c.len(), n * n);
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        for v in crow.iter_mut() {
+            *v = 0;
+        }
+        for k in 0..n {
+            let aik = a[i * n + k] as i32;
+            let brow = &b[k * n..k * n + n];
+            for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                *cj += aik * bj as i32;
+            }
+        }
+    });
+}
+
+/// Deterministic test matrix with entries in [-1, 1].
+pub fn test_matrix<T: Scalar>(n: usize, seed: u64) -> Vec<T> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    (0..n * n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            T::from_f64((state % 2000) as f64 / 1000.0 - 1.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_multiplication() {
+        let n = 16;
+        let mut eye = vec![0.0f64; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let a = test_matrix::<f64>(n, 7);
+        let mut c = vec![0.0f64; n * n];
+        gemm(n, &a, &eye, &mut c);
+        for (x, y) in a.iter().zip(c.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_f64() {
+        let n = 97; // deliberately not a multiple of BLOCK
+        let a = test_matrix::<f64>(n, 1);
+        let b = test_matrix::<f64>(n, 2);
+        let mut c1 = vec![0.0f64; n * n];
+        let mut c2 = vec![0.0f64; n * n];
+        gemm(n, &a, &b, &mut c1);
+        gemm_naive(n, &a, &b, &mut c2);
+        for (x, y) in c1.iter().zip(c2.iter()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_f32() {
+        let n = 65;
+        let a = test_matrix::<f32>(n, 3);
+        let b = test_matrix::<f32>(n, 4);
+        let mut c1 = vec![0.0f32; n * n];
+        let mut c2 = vec![0.0f32; n * n];
+        gemm(n, &a, &b, &mut c1);
+        gemm_naive(n, &a, &b, &mut c2);
+        for (x, y) in c1.iter().zip(c2.iter()) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batched_matches_single() {
+        let n = 24;
+        let batch = 6;
+        let a: Vec<Vec<f64>> = (0..batch).map(|i| test_matrix(n, i as u64)).collect();
+        let b: Vec<Vec<f64>> = (0..batch).map(|i| test_matrix(n, 100 + i as u64)).collect();
+        let mut c: Vec<Vec<f64>> = vec![vec![0.0; n * n]; batch];
+        gemm_batch(n, &a, &b, &mut c);
+        for i in 0..batch {
+            let mut single = vec![0.0f64; n * n];
+            gemm(n, &a[i], &b[i], &mut single);
+            for (x, y) in c[i].iter().zip(single.iter()) {
+                assert!((x - y).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch count mismatch")]
+    fn batched_shape_mismatch_panics() {
+        let a = vec![vec![1.0f64; 4]];
+        let b: Vec<Vec<f64>> = vec![];
+        let mut c = vec![vec![0.0f64; 4]];
+        gemm_batch(2, &a, &b, &mut c);
+    }
+
+    #[test]
+    fn integer_gemm_small_case() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a: Vec<i8> = vec![1, 2, 3, 4];
+        let b: Vec<i8> = vec![5, 6, 7, 8];
+        let mut c = vec![0i32; 4];
+        gemm_i8(2, &a, &b, &mut c);
+        assert_eq!(c, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn flop_count_of_paper_size() {
+        // 2 * 20480^3 ≈ 1.718e13 flops per GEMM call.
+        assert_eq!(gemm_flops(PAPER_N), 2 * 20480u64.pow(3));
+        assert!((gemm_flops(PAPER_N) as f64 - 1.718e13).abs() / 1.718e13 < 0.001);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_blocked_matches_naive(n in 1usize..48, s1 in 0u64..1000, s2 in 0u64..1000) {
+            let a = test_matrix::<f64>(n, s1);
+            let b = test_matrix::<f64>(n, s2);
+            let mut c1 = vec![0.0f64; n * n];
+            let mut c2 = vec![0.0f64; n * n];
+            gemm(n, &a, &b, &mut c1);
+            gemm_naive(n, &a, &b, &mut c2);
+            for (x, y) in c1.iter().zip(c2.iter()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_gemm_is_linear_in_a(n in 1usize..24, s in 0u64..100) {
+            // (2A)·B == 2(A·B)
+            let a = test_matrix::<f64>(n, s);
+            let b = test_matrix::<f64>(n, s + 1);
+            let a2: Vec<f64> = a.iter().map(|x| 2.0 * x).collect();
+            let mut c = vec![0.0f64; n * n];
+            let mut c2 = vec![0.0f64; n * n];
+            gemm(n, &a, &b, &mut c);
+            gemm(n, &a2, &b, &mut c2);
+            for (x, y) in c.iter().zip(c2.iter()) {
+                prop_assert!((2.0 * x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # pvc-kernels — real host-executed computational kernels
+//!
+//! The paper's microbenchmarks are "new ports of industry-standard
+//! algorithms used for benchmarking (stream triad, chain of FMAs,
+//! data-transfert)" (§IV). This crate implements those algorithms — plus
+//! the GEMM and FFT workloads behind the oneMKL rows of Table II — as
+//! real, verifiable Rust code parallelised with rayon.
+//!
+//! The kernels serve two purposes:
+//!
+//! 1. **Correctness ground truth.** Every kernel computes a checkable
+//!    result (unit- and property-tested), so the workload definitions
+//!    feeding the performance engine are demonstrably the right
+//!    algorithms, not opaque op-count constants.
+//! 2. **Operation counting.** Each kernel reports its flop/byte counts,
+//!    which the engine converts to simulated time on each modelled GPU.
+
+pub mod chase;
+pub mod fft;
+pub mod fma;
+pub mod gemm;
+pub mod scalar;
+pub mod spmv;
+pub mod triad;
+
+pub use fft::Complex;
+pub use scalar::Scalar;

@@ -1,0 +1,97 @@
+//! Minimal float abstraction so kernels are generic over f32/f64 without
+//! external numeric-trait crates.
+
+use std::fmt::Debug;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Floating-point scalar usable in the generic kernels.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialOrd
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    const ZERO: Self;
+    const ONE: Self;
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    fn abs(self) -> Self;
+    fn sqrt(self) -> Self;
+    fn sin(self) -> Self;
+    fn cos(self) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn sin(self) -> Self {
+                <$t>::sin(self)
+            }
+            #[inline]
+            fn cos(self) -> Self {
+                <$t>::cos(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_sum<T: Scalar>(n: usize) -> f64 {
+        (0..n).map(|i| T::from_f64(i as f64)).sum::<T>().to_f64()
+    }
+
+    #[test]
+    fn works_for_both_widths() {
+        assert_eq!(generic_sum::<f64>(10), 45.0);
+        assert_eq!(generic_sum::<f32>(10), 45.0);
+    }
+
+    #[test]
+    fn mul_add_is_fused_semantics() {
+        let x: f64 = 3.0;
+        assert_eq!(x.mul_add(2.0, 1.0), 7.0);
+        let y: f32 = 3.0;
+        assert_eq!(Scalar::mul_add(y, 2.0, 1.0), 7.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Extension: sparse matrix–vector multiplication (CSR SpMV).
+//!
+//! §VII of the paper: "Future work should also include study of machine
+//! learning and sparse data applications." SpMV is the canonical sparse
+//! kernel — bandwidth-bound with an irregular gather — so it exercises
+//! exactly the two device properties (triad bandwidth, memory latency)
+//! the paper's microbenchmarks measured. The projection built on this
+//! kernel lives in `pvc-apps::sparse`.
+
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// A compressed-sparse-row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<T> {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row start offsets into `col_idx`/`values`, length `rows + 1`.
+    pub row_ptr: Vec<usize>,
+    /// Column index of each stored entry.
+    pub col_idx: Vec<u32>,
+    /// Stored values.
+    pub values: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Builds a CSR matrix from (row, col, value) triplets.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of range.
+    pub fn from_triplets(rows: usize, cols: usize, mut t: Vec<(usize, usize, T)>) -> Self {
+        t.sort_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(t.len());
+        let mut values = Vec::with_capacity(t.len());
+        for &(r, c, v) in &t {
+            assert!(r < rows && c < cols, "entry ({r},{c}) out of bounds");
+            row_ptr[r + 1] += 1;
+            col_idx.push(c as u32);
+            values.push(v);
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// y = A·x, parallel over rows.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.cols, "x length != cols");
+        assert_eq!(y.len(), self.rows, "y length != rows");
+        y.par_iter_mut().enumerate().for_each(|(r, out)| {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = T::ZERO;
+            for k in lo..hi {
+                acc = self.values[k].mul_add(x[self.col_idx[k] as usize], acc);
+            }
+            *out = acc;
+        });
+    }
+
+    /// Bytes moved from memory by one SpMV pass — values, column
+    /// indices, row pointers, gathered x and stored y: the standard CSR
+    /// traffic model with a gather-hit factor of 1 (worst case).
+    pub fn traffic_bytes(&self) -> u64 {
+        let elem = std::mem::size_of::<T>() as u64;
+        let nnz = self.nnz() as u64;
+        let rows = self.rows as u64;
+        nnz * elem          // values
+            + nnz * 4       // column indices
+            + (rows + 1) * 8 // row pointers
+            + nnz * elem    // gathered x (no reuse assumed)
+            + rows * elem // stored y
+    }
+
+    /// Flops of one pass: 2·nnz.
+    pub fn flops(&self) -> u64 {
+        2 * self.nnz() as u64
+    }
+}
+
+/// Deterministic synthetic banded + random-fill sparse matrix with
+/// ~`nnz_per_row` entries per row (a stencil-plus-scatter pattern
+/// typical of graph/FEM workloads).
+pub fn synthetic_sparse<T: Scalar>(n: usize, nnz_per_row: usize, seed: u64) -> Csr<T> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut triplets = Vec::with_capacity(n * nnz_per_row);
+    for r in 0..n {
+        // Diagonal, guaranteed.
+        triplets.push((r, r, T::from_f64(4.0)));
+        // Band neighbours.
+        if r > 0 {
+            triplets.push((r, r - 1, T::from_f64(-1.0)));
+        }
+        if r + 1 < n {
+            triplets.push((r, r + 1, T::from_f64(-1.0)));
+        }
+        // Random fill to reach the target density.
+        for _ in 3..nnz_per_row {
+            let c = (next() % n as u64) as usize;
+            if c != r && (c + 1 != r) && (r + 1 != c) {
+                triplets.push((r, c, T::from_f64(0.1)));
+            }
+        }
+    }
+    // Deduplicate (keep first occurrence).
+    triplets.sort_by_key(|&(r, c, _)| (r, c));
+    triplets.dedup_by_key(|&mut (r, c, _)| (r, c));
+    Csr::from_triplets(n, n, triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[allow(clippy::needless_range_loop)]
+    fn dense_mv(n: usize, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; n];
+        for r in 0..n {
+            for k in a.row_ptr[r]..a.row_ptr[r + 1] {
+                y[r] += a.values[k] * x[a.col_idx[k] as usize];
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn identity_spmv() {
+        let eye = Csr::from_triplets(3, 3, vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let x = vec![7.0, -2.0, 3.5];
+        let mut y = vec![0.0; 3];
+        eye.spmv(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn laplacian_row_sums() {
+        // Pure tridiagonal [-1, 4, -1]: A·1 per interior row = 2.
+        let a = synthetic_sparse::<f64>(64, 3, 1);
+        let x = vec![1.0; 64];
+        let mut y = vec![0.0; 64];
+        a.spmv(&x, &mut y);
+        for r in 1..63 {
+            assert!((y[r] - 2.0).abs() < 1e-12, "row {r}: {}", y[r]);
+        }
+        assert!((y[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_and_flop_models() {
+        let a = synthetic_sparse::<f64>(100, 8, 2);
+        assert_eq!(a.flops(), 2 * a.nnz() as u64);
+        let t = a.traffic_bytes();
+        // At least values + indices.
+        assert!(t >= a.nnz() as u64 * 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_triplets_rejected() {
+        let _ = Csr::from_triplets(2, 2, vec![(5, 0, 1.0f64)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_spmv_matches_dense(n in 1usize..64, nnz in 3usize..12, seed in 0u64..500) {
+            let a = synthetic_sparse::<f64>(n, nnz, seed);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let mut y = vec![0.0; n];
+            a.spmv(&x, &mut y);
+            let oracle = dense_mv(n, &a, &x);
+            for (a, b) in y.iter().zip(oracle.iter()) {
+                prop_assert!((a - b).abs() < 1e-10);
+            }
+        }
+
+        #[test]
+        fn prop_spmv_is_linear(n in 2usize..32, seed in 0u64..200) {
+            let a = synthetic_sparse::<f64>(n, 5, seed);
+            let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let x2: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+            let mut y = vec![0.0; n];
+            let mut y2 = vec![0.0; n];
+            a.spmv(&x, &mut y);
+            a.spmv(&x2, &mut y2);
+            for (a, b) in y.iter().zip(y2.iter()) {
+                prop_assert!((2.0 * a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! STREAM-triad device-memory bandwidth kernel (§IV-A2).
+//!
+//! "We measure bandwidth to/from the device local High Bandwidth Memory
+//! though a simple triad (two loads, one store) kernel in OpenMP loading
+//! 805 MB (192*1024*1024 Bytes (LLC per Stack) * 4 (STREAM factor)) of
+//! double precision values per array."
+//!
+//! The 4× LLC sizing guarantees the arrays cannot live in the 192 MiB L2,
+//! so the kernel measures HBM, not cache.
+
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// The paper's array size: 4 × the 192 MiB per-stack LLC, in bytes.
+pub const PAPER_ARRAY_BYTES: usize = 4 * 192 * 1024 * 1024;
+
+/// Byte traffic of one triad pass over arrays of `n` elements of size
+/// `elem` (two loads + one store per element).
+pub fn triad_bytes(n: usize, elem: usize) -> u64 {
+    3 * (n as u64) * (elem as u64)
+}
+
+/// `a[i] = b[i] + s·c[i]` over the whole arrays, in parallel.
+///
+/// # Panics
+/// Panics if array lengths differ.
+pub fn triad<T: Scalar>(a: &mut [T], b: &[T], c: &[T], s: T) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    a.par_iter_mut()
+        .zip(b.par_iter().zip(c.par_iter()))
+        .for_each(|(a, (&b, &c))| {
+            *a = c.mul_add(s, b);
+        });
+}
+
+/// Allocates paper-shaped arrays (scaled by `scale` to keep tests quick),
+/// runs `reps` triad passes, and returns (bytes_moved, checksum).
+pub fn run_paper_triad<T: Scalar>(scale: f64, reps: usize) -> (u64, f64) {
+    let n = ((PAPER_ARRAY_BYTES as f64 * scale) as usize / std::mem::size_of::<T>()).max(1);
+    let b: Vec<T> = (0..n).map(|i| T::from_f64((i % 97) as f64)).collect();
+    let c: Vec<T> = (0..n).map(|i| T::from_f64((i % 89) as f64)).collect();
+    let mut a = vec![T::ZERO; n];
+    let s = T::from_f64(3.0);
+    for _ in 0..reps {
+        triad(&mut a, &b, &c, s);
+    }
+    let checksum = a.iter().map(|x| x.to_f64()).sum();
+    (reps as u64 * triad_bytes(n, std::mem::size_of::<T>()), checksum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_array_is_805_megabytes() {
+        // The paper calls 192*2^20*4 bytes "805 MB" (decimal MB).
+        assert_eq!(PAPER_ARRAY_BYTES, 805_306_368);
+    }
+
+    #[test]
+    fn triad_computes_b_plus_sc() {
+        let b = vec![1.0f64, 2.0, 3.0];
+        let c = vec![10.0f64, 20.0, 30.0];
+        let mut a = vec![0.0f64; 3];
+        triad(&mut a, &b, &c, 2.0);
+        assert_eq!(a, vec![21.0, 42.0, 63.0]);
+    }
+
+    #[test]
+    fn byte_traffic_three_arrays() {
+        assert_eq!(triad_bytes(100, 8), 2400);
+        // Paper-shaped double-precision run: 3 × 805 MB ≈ 2.4 GB/pass.
+        assert_eq!(
+            triad_bytes(PAPER_ARRAY_BYTES / 8, 8),
+            3 * PAPER_ARRAY_BYTES as u64
+        );
+    }
+
+    #[test]
+    fn scaled_paper_run_is_deterministic() {
+        let (bytes1, sum1) = run_paper_triad::<f32>(1e-4, 2);
+        let (bytes2, sum2) = run_paper_triad::<f32>(1e-4, 2);
+        assert_eq!(bytes1, bytes2);
+        assert_eq!(sum1, sum2);
+        assert!(bytes1 > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_rejected() {
+        let b = vec![1.0f64; 3];
+        let c = vec![1.0f64; 4];
+        let mut a = vec![0.0f64; 3];
+        triad(&mut a, &b, &c, 1.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! The `lats` pointer-chase latency benchmark (§IV-A7, Figure 1).
+//!
+//! Chases pointers around a ring laid out at cache-line stride across an
+//! array of a given footprint, exactly like the original benchmark the
+//! paper modified: dependent loads, one outstanding access, measured in
+//! core cycles. Sweeping the footprint walks the working set across L1,
+//! L2 and HBM, producing the staircase of Figure 1.
+//!
+//! A serial ring at line stride defeats spatial locality; the dependent
+//! chain defeats memory-level parallelism. The paper's 16-work-item
+//! coalesced variant maps all 16 lanes into the same cache line, so a
+//! chase step is one line access (see crate docs).
+
+use crate::cache::Hierarchy;
+use pvc_arch::GpuModel;
+
+/// Configuration of a latency sweep.
+#[derive(Debug, Clone)]
+pub struct LatsConfig {
+    /// Smallest footprint in bytes (default 16 KiB).
+    pub min_bytes: u64,
+    /// Largest footprint in bytes (default 1 GiB).
+    pub max_bytes: u64,
+    /// Sweep points per octave (default 2: ×√2 spacing like the
+    /// original benchmark's plot).
+    pub points_per_octave: u32,
+    /// Chase steps measured per footprint after the warm-up pass.
+    pub steps: u64,
+}
+
+impl Default for LatsConfig {
+    fn default() -> Self {
+        LatsConfig {
+            min_bytes: 16 * 1024,
+            max_bytes: 1 << 30,
+            points_per_octave: 2,
+            steps: 1 << 16,
+        }
+    }
+}
+
+/// One point of the Figure 1 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPoint {
+    /// Array footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Mean access latency in core cycles.
+    pub cycles: f64,
+    /// Mean access latency in nanoseconds at the device's max clock.
+    pub nanos: f64,
+}
+
+/// Runs the pointer-chase sweep on one partition of `gpu`.
+///
+/// # Example
+/// ```
+/// use pvc_memsim::{latency_profile, LatsConfig};
+/// use pvc_arch::systems::pvc_aurora_gpu;
+///
+/// let cfg = LatsConfig { min_bytes: 64 << 10, max_bytes: 256 << 10,
+///                        points_per_octave: 1, steps: 1 << 12 };
+/// let curve = latency_profile(&pvc_aurora_gpu(), &cfg);
+/// // Inside the 512 KiB L1: every point sits at the L1 latency.
+/// assert!(curve.iter().all(|p| (p.cycles - 64.0).abs() < 5.0));
+/// ```
+///
+/// Returns one [`LatencyPoint`] per footprint. The ring is a fixed
+/// pseudo-random permutation of line-aligned slots (seeded by the
+/// footprint), matching the original `lats`' randomized ring that defeats
+/// hardware prefetch.
+pub fn latency_profile(gpu: &GpuModel, cfg: &LatsConfig) -> Vec<LatencyPoint> {
+    let mut out = Vec::new();
+    let clock_hz = gpu.clock.max_hz();
+    let mut footprint = cfg.min_bytes as f64;
+    let step = 2f64.powf(1.0 / cfg.points_per_octave as f64);
+    while footprint <= cfg.max_bytes as f64 {
+        let bytes = footprint as u64;
+        let cycles = chase(gpu, bytes, cfg.steps);
+        out.push(LatencyPoint {
+            footprint_bytes: bytes,
+            cycles,
+            nanos: cycles / clock_hz * 1e9,
+        });
+        footprint *= step;
+    }
+    out
+}
+
+/// Mean per-access latency (cycles) chasing a ring of `footprint_bytes`.
+pub fn chase(gpu: &GpuModel, footprint_bytes: u64, steps: u64) -> f64 {
+    let line = gpu.partition.caches.first().map_or(64, |c| c.line_bytes) as u64;
+    let slots = (footprint_bytes / line).max(1);
+    let ring = permutation_ring(slots);
+
+    let mut h = Hierarchy::for_partition(&gpu.partition);
+    // Warm-up: one full traversal fills whatever fits. For footprints far
+    // beyond the outermost cache a partial traversal is statistically
+    // identical (almost every measured access misses anyway), so the
+    // warm-up is capped to bound simulation cost.
+    let outer_lines = gpu
+        .partition
+        .caches
+        .iter()
+        .map(|c| c.size_bytes / c.line_bytes as u64)
+        .max()
+        .unwrap_or(0);
+    let warmup = slots.min(outer_lines.saturating_mul(3).max(1 << 20));
+    let mut idx = 0u64;
+    for _ in 0..warmup {
+        let _ = h.access(ring[idx as usize] * line);
+        idx = ring[idx as usize];
+    }
+    // Measured phase.
+    let mut total = 0.0;
+    let mut idx = 0u64;
+    let measured = steps.min(slots.saturating_mul(4)).max(slots.min(steps));
+    for _ in 0..measured {
+        total += h.access(ring[idx as usize] * line);
+        idx = ring[idx as usize];
+    }
+    total / measured as f64
+}
+
+/// A deterministic pseudo-random single-cycle permutation of
+/// `0..slots` built by Sattolo's algorithm with an xorshift generator.
+/// Single-cycle guarantees the chase visits every slot.
+fn permutation_ring(slots: u64) -> Vec<u64> {
+    let n = slots as usize;
+    let mut items: Vec<u64> = (0..slots).collect();
+    let mut state = 0x9E3779B97F4A7C15u64 ^ slots;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    // Sattolo: single-cycle permutation.
+    let mut i = n;
+    while i > 1 {
+        i -= 1;
+        let j = (rng() % i as u64) as usize;
+        items.swap(i, j);
+    }
+    // items is now a cyclic ordering; build successor table.
+    let mut next = vec![0u64; n];
+    for k in 0..n {
+        next[items[k] as usize] = items[(k + 1) % n];
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_arch::systems::{h100_gpu, mi250_gpu, pvc_aurora_gpu, pvc_dawn_gpu};
+
+    fn level_at(gpu: &GpuModel, footprint: u64) -> f64 {
+        chase(gpu, footprint, 1 << 14)
+    }
+
+    #[test]
+    fn permutation_is_single_cycle() {
+        for slots in [2u64, 7, 64, 1000] {
+            let ring = permutation_ring(slots);
+            let mut seen = vec![false; slots as usize];
+            let mut idx = 0u64;
+            for _ in 0..slots {
+                assert!(!seen[idx as usize], "cycle shorter than {slots}");
+                seen[idx as usize] = true;
+                idx = ring[idx as usize];
+            }
+            assert_eq!(idx, 0, "must return to start");
+        }
+    }
+
+    #[test]
+    fn pvc_staircase_matches_cache_levels() {
+        let gpu = pvc_aurora_gpu();
+        // 128 KiB: inside the 512 KiB L1.
+        assert!((level_at(&gpu, 128 * 1024) - 64.0).abs() < 5.0);
+        // 8 MiB: beyond L1, inside the 192 MiB L2.
+        assert!((level_at(&gpu, 8 << 20) - 390.0).abs() < 20.0);
+        // 1 GiB: beyond L2 -> HBM latency.
+        assert!((level_at(&gpu, 1 << 30) - 860.0).abs() < 40.0);
+    }
+
+    #[test]
+    fn h100_l1_transition_is_earlier_than_pvc() {
+        // Figure 1: PVC's 512 KiB L1 "is larger than the other GPUs in
+        // this study". At 384 KiB PVC still hits L1 while H100 (256 KiB)
+        // has fallen to L2.
+        let pvc = pvc_aurora_gpu();
+        let h100 = h100_gpu();
+        let fp = 384 * 1024;
+        let pvc_lat = level_at(&pvc, fp);
+        let h_lat = level_at(&h100, fp);
+        assert!(pvc_lat < 100.0, "PVC should still be in L1: {pvc_lat}");
+        assert!(h_lat > 200.0, "H100 should be in L2: {h_lat}");
+    }
+
+    #[test]
+    fn mi250_hbm_latency_lowest_in_cycles() {
+        // §IV-B6: PVC HBM latency is 44% higher than MI250's.
+        let pvc = level_at(&pvc_aurora_gpu(), 1 << 30);
+        let mi = level_at(&mi250_gpu(), 1 << 30);
+        assert!((pvc / mi - 1.44).abs() < 0.1, "ratio {}", pvc / mi);
+    }
+
+    #[test]
+    fn dawn_and_aurora_within_two_percent() {
+        // §IV-B6: "both Dawn and Aurora consistently perform within 1-2%
+        // of each other" — identical silicon, identical hierarchy.
+        for fp in [64 * 1024u64, 16 << 20, 1 << 30] {
+            let a = level_at(&pvc_aurora_gpu(), fp);
+            let d = level_at(&pvc_dawn_gpu(), fp);
+            assert!((a - d).abs() / d < 0.02, "fp={fp}: {a} vs {d}");
+        }
+    }
+
+    #[test]
+    fn profile_is_monotonically_nondecreasing_in_plateaus() {
+        let gpu = pvc_aurora_gpu();
+        let cfg = LatsConfig {
+            min_bytes: 64 * 1024,
+            max_bytes: 1 << 28,
+            points_per_octave: 1,
+            steps: 1 << 13,
+        };
+        let pts = latency_profile(&gpu, &cfg);
+        assert!(pts.len() > 8);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].cycles >= w[0].cycles - 1.0,
+                "latency dropped with footprint: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn nanos_consistent_with_clock() {
+        let gpu = pvc_aurora_gpu();
+        let pts = latency_profile(
+            &gpu,
+            &LatsConfig {
+                min_bytes: 64 * 1024,
+                max_bytes: 64 * 1024,
+                points_per_octave: 1,
+                steps: 1 << 12,
+            },
+        );
+        let p = pts[0];
+        assert!((p.nanos - p.cycles / 1.6).abs() < 1e-9);
+    }
+}

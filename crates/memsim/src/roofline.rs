@@ -1,0 +1,62 @@
+//! Roofline and streaming-time helpers shared by the performance engine.
+
+use pvc_arch::{GpuModel, Precision};
+
+/// Time in seconds to stream `bytes` through one partition's HBM at
+/// triad-achievable bandwidth, with `active` partitions busy node-wide.
+pub fn stream_time(gpu: &GpuModel, bytes: f64, active: u32) -> f64 {
+    let bw = gpu.stream_bandwidth_per_partition() * gpu.clock.memory_derate(active);
+    bytes / bw
+}
+
+/// Classic roofline: attainable flop rate for a kernel of arithmetic
+/// intensity `ai` (flop/byte) at precision `p` on one partition.
+pub fn attainable_flops(gpu: &GpuModel, p: Precision, ai: f64, active: u32) -> f64 {
+    let peak = gpu.peak_per_partition(p, active);
+    let bw = gpu.stream_bandwidth_per_partition() * gpu.clock.memory_derate(active);
+    peak.min(ai * bw)
+}
+
+/// The arithmetic intensity at which a kernel transitions from
+/// memory-bound to compute-bound (the roofline ridge point).
+pub fn ridge_point(gpu: &GpuModel, p: Precision, active: u32) -> f64 {
+    let peak = gpu.peak_per_partition(p, active);
+    let bw = gpu.stream_bandwidth_per_partition() * gpu.clock.memory_derate(active);
+    peak / bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_arch::systems::pvc_aurora_gpu;
+
+    #[test]
+    fn stream_time_at_one_tb_per_s() {
+        let gpu = pvc_aurora_gpu();
+        let t = stream_time(&gpu, 1e12, 1);
+        assert!((t - 1.0).abs() < 0.02, "1 TB at ~1 TB/s should be ~1 s");
+    }
+
+    #[test]
+    fn roofline_limits() {
+        let gpu = pvc_aurora_gpu();
+        // Triad-like AI (~0.04 flop/byte): memory bound, far below peak.
+        let low = attainable_flops(&gpu, Precision::Fp64, 0.04, 1);
+        assert!(low < 0.1e12);
+        // GEMM-like AI (1000): compute bound at peak.
+        let high = attainable_flops(&gpu, Precision::Fp64, 1000.0, 1);
+        let peak = gpu.peak_per_partition(Precision::Fp64, 1);
+        assert_eq!(high, peak);
+    }
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let gpu = pvc_aurora_gpu();
+        let r = ridge_point(&gpu, Precision::Fp64, 1);
+        // 17 TF / 1 TB/s ≈ 17 flop/byte.
+        assert!((r - 17.0).abs() < 1.0, "ridge {r}");
+        let below = attainable_flops(&gpu, Precision::Fp64, r * 0.5, 1);
+        let above = attainable_flops(&gpu, Precision::Fp64, r * 2.0, 1);
+        assert!(below < above);
+    }
+}

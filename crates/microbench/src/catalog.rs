@@ -1,0 +1,69 @@
+//! Table I: the microbenchmark catalogue.
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Benchmark name as printed.
+    pub name: &'static str,
+    /// Programming model(s) of the original implementation.
+    pub programming_model: &'static str,
+    /// Description as printed.
+    pub description: &'static str,
+}
+
+/// The seven rows of Table I, in print order.
+pub const TABLE_I: [CatalogEntry; 7] = [
+    CatalogEntry {
+        name: "Peak Compute",
+        programming_model: "OpenMP",
+        description: "Chain of FMA to measure FLOPS",
+    },
+    CatalogEntry {
+        name: "Device Memory Bandwidth",
+        programming_model: "OpenMP",
+        description: "Triad used for HBM bandwidth",
+    },
+    CatalogEntry {
+        name: "Host to Device Transfer Bandwidth",
+        programming_model: "SYCL",
+        description: "Compute the Bandwidth of the PCIe datatransfer",
+    },
+    CatalogEntry {
+        name: "Device to Device Transfer Bandwidth",
+        programming_model: "SYCL",
+        description: "Measure the Bandwidth between 2 Ranks (Stacks on the GPU & between GPUs)",
+    },
+    CatalogEntry {
+        name: "General Matrix Multiplication (GEMM)",
+        programming_model: "SYCL",
+        description: "DGEMM, SGEMM, ...",
+    },
+    CatalogEntry {
+        name: "Fast Fourier Transform (FFT)",
+        programming_model: "SYCL",
+        description: "Backward and forward",
+    },
+    CatalogEntry {
+        name: "Lats",
+        programming_model: "SYCL, CUDA, HIP",
+        description: "Measure the access latency of different levels of the memory hierarchy",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_benchmarks_as_in_table_i() {
+        assert_eq!(TABLE_I.len(), 7);
+        assert_eq!(TABLE_I[0].name, "Peak Compute");
+        assert_eq!(TABLE_I[6].name, "Lats");
+    }
+
+    #[test]
+    fn lats_ported_to_three_models() {
+        assert!(TABLE_I[6].programming_model.contains("CUDA"));
+        assert!(TABLE_I[6].programming_model.contains("HIP"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Host-CPU execution of the microbenchmark suite.
+//!
+//! Runs the *real* kernels of `pvc-kernels` on the machine executing
+//! this code, with the paper's best-of-N methodology (§IV-A), producing
+//! a fifth "system" column readers can compare against the modelled
+//! GPUs. This grounds the reproduction: the same kernel code whose
+//! operation counts drive the simulator demonstrably computes and can be
+//! timed.
+
+use crate::stats::{best_of, RunStats};
+use pvc_kernels::chase::ChaseRing;
+use pvc_kernels::fft::{fft, Complex, Direction};
+use pvc_kernels::fma;
+use pvc_kernels::gemm::{gemm, gemm_flops, test_matrix};
+use pvc_kernels::triad;
+
+/// One host measurement.
+#[derive(Debug, Clone)]
+pub struct HostResult {
+    /// Benchmark name (matches Table I naming).
+    pub name: &'static str,
+    /// Achieved rate (unit in `unit`).
+    pub rate: f64,
+    /// Rate unit string.
+    pub unit: &'static str,
+    /// Raw run statistics.
+    pub stats: RunStats,
+}
+
+/// Size knobs for a host run (defaults keep the suite under a second
+/// per benchmark; scale up for real measurements).
+#[derive(Debug, Clone, Copy)]
+pub struct HostConfig {
+    /// FMA lanes.
+    pub fma_lanes: usize,
+    /// Triad elements.
+    pub triad_elems: usize,
+    /// GEMM dimension.
+    pub gemm_n: usize,
+    /// FFT length (1D C2C).
+    pub fft_n: usize,
+    /// Pointer-chase slots.
+    pub chase_slots: usize,
+    /// Repetitions per benchmark.
+    pub reps: usize,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            fma_lanes: 1 << 14,
+            triad_elems: 1 << 22,
+            gemm_n: 384,
+            fft_n: 1 << 16,
+            chase_slots: 1 << 20,
+            reps: 5,
+        }
+    }
+}
+
+/// Runs the five kernel benchmarks on the host; returns one result per
+/// Table I computational row.
+pub fn run_host_suite(cfg: &HostConfig) -> Vec<HostResult> {
+    let mut out = Vec::new();
+
+    // Peak compute: chain of FMAs.
+    {
+        let lanes = cfg.fma_lanes;
+        let stats = best_of(cfg.reps, || {
+            std::hint::black_box(fma::paper_kernel::<f32>(lanes));
+        });
+        let flops = (2 * lanes as u64 * fma::FMA_PER_WORK_ITEM) as f64;
+        out.push(HostResult {
+            name: "Peak Compute (FP32 FMA)",
+            rate: stats.best_rate(flops) / 1e9,
+            unit: "GFlop/s",
+            stats,
+        });
+    }
+
+    // Device memory bandwidth: triad.
+    {
+        let n = cfg.triad_elems;
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let c: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let mut a = vec![0.0f64; n];
+        let stats = best_of(cfg.reps, || {
+            triad::triad(&mut a, &b, &c, 3.0);
+            std::hint::black_box(a[0]);
+        });
+        let bytes = triad::triad_bytes(n, 8) as f64;
+        out.push(HostResult {
+            name: "Memory Bandwidth (triad)",
+            rate: stats.best_rate(bytes) / 1e9,
+            unit: "GB/s",
+            stats,
+        });
+    }
+
+    // GEMM.
+    {
+        let n = cfg.gemm_n;
+        let a = test_matrix::<f64>(n, 1);
+        let bm = test_matrix::<f64>(n, 2);
+        let mut c = vec![0.0f64; n * n];
+        let stats = best_of(cfg.reps, || {
+            gemm(n, &a, &bm, &mut c);
+            std::hint::black_box(c[0]);
+        });
+        out.push(HostResult {
+            name: "DGEMM",
+            rate: stats.best_rate(gemm_flops(n) as f64) / 1e9,
+            unit: "GFlop/s",
+            stats,
+        });
+    }
+
+    // FFT.
+    {
+        let n = cfg.fft_n;
+        let signal: Vec<Complex<f64>> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
+        let stats = best_of(cfg.reps, || {
+            let mut x = signal.clone();
+            fft(&mut x, Direction::Forward);
+            std::hint::black_box(x[0]);
+        });
+        let flops = 5.0 * n as f64 * (n as f64).log2();
+        out.push(HostResult {
+            name: "FFT C2C 1D",
+            rate: stats.best_rate(flops) / 1e9,
+            unit: "GFlop/s",
+            stats,
+        });
+    }
+
+    // Lats: dependent-chain latency.
+    {
+        let ring = ChaseRing::new(cfg.chase_slots, 7);
+        let steps = cfg.chase_slots;
+        let stats = best_of(cfg.reps, || {
+            std::hint::black_box(ring.chase(steps));
+        });
+        out.push(HostResult {
+            name: "Lats (pointer chase)",
+            rate: stats.best / steps as f64 * 1e9,
+            unit: "ns/access",
+            stats,
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HostConfig {
+        HostConfig {
+            fma_lanes: 256,
+            triad_elems: 1 << 14,
+            gemm_n: 64,
+            fft_n: 1 << 10,
+            chase_slots: 1 << 12,
+            reps: 2,
+        }
+    }
+
+    #[test]
+    fn suite_produces_five_positive_rates() {
+        let results = run_host_suite(&tiny());
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(r.rate > 0.0, "{}: {}", r.name, r.rate);
+            assert!(r.stats.best <= r.stats.worst);
+        }
+    }
+
+    #[test]
+    fn names_cover_the_computational_table_i_rows() {
+        let names: Vec<_> = run_host_suite(&tiny()).iter().map(|r| r.name).collect();
+        assert!(names.iter().any(|n| n.contains("Peak Compute")));
+        assert!(names.iter().any(|n| n.contains("triad")));
+        assert!(names.iter().any(|n| n.contains("DGEMM")));
+        assert!(names.iter().any(|n| n.contains("FFT")));
+        assert!(names.iter().any(|n| n.contains("Lats")));
+    }
+}

@@ -1,0 +1,158 @@
+//! Device-to-device point-to-point microbenchmark (§IV-A4, Table III).
+//!
+//! Two scenarios, as in the paper: *local* pairs (the two stacks of one
+//! card, crossing MDFI) and *remote* pairs (stacks on different cards,
+//! crossing Xe-Link — including the cross-plane cases that need a
+//! two-hop route). 500 MB messages, nonblocking both ways for the
+//! bidirectional rows.
+
+use pvc_arch::System;
+use pvc_fabric::comm::Comm;
+use pvc_fabric::StackId;
+
+/// Paper message size: 500 MB.
+pub const MESSAGE_BYTES: f64 = 500e6;
+
+/// Pair locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairKind {
+    /// Both stacks on one card (MDFI).
+    LocalStack,
+    /// Stacks on different cards (Xe-Link).
+    RemoteStack,
+}
+
+/// Result of a point-to-point run.
+#[derive(Debug, Clone, Copy)]
+pub struct P2pBandwidth {
+    pub system: System,
+    pub kind: PairKind,
+    /// One pair, unidirectional aggregate (bytes/s).
+    pub one_pair_uni: f64,
+    /// One pair, bidirectional aggregate.
+    pub one_pair_bidi: f64,
+    /// All disjoint pairs, unidirectional aggregate.
+    pub all_pairs_uni: f64,
+    /// All disjoint pairs, bidirectional aggregate.
+    pub all_pairs_bidi: f64,
+    /// Number of simultaneous pairs in the "all pairs" rows.
+    pub pair_count: usize,
+}
+
+/// Disjoint pairs covering the node for the requested kind.
+pub fn pairs(system: System, kind: PairKind) -> Vec<(StackId, StackId)> {
+    let node = system.node();
+    match kind {
+        PairKind::LocalStack => (0..node.gpus)
+            .map(|g| (StackId::new(g, 0), StackId::new(g, 1)))
+            .collect(),
+        PairKind::RemoteStack => {
+            // Adjacent cards paired within a plane (one Xe-Link hop, as
+            // the Table III "Remote Stack" rows measure): each stack of
+            // card g pairs with the same-plane stack of card g+1.
+            let mut v = Vec::new();
+            let mut g = 0;
+            while g + 1 < node.gpus {
+                for s in 0..node.gpu.partitions {
+                    let a = StackId::new(g, s);
+                    let b = (0..node.gpu.partitions)
+                        .map(|t| StackId::new(g + 1, t))
+                        .find(|&b| pvc_fabric::plane::same_plane(system, a, b))
+                        .expect("adjacent card has a same-plane stack");
+                    v.push((a, b));
+                }
+                g += 2;
+            }
+            v
+        }
+    }
+}
+
+/// Runs the benchmark.
+pub fn run(system: System, kind: PairKind) -> P2pBandwidth {
+    let all = pairs(system, kind);
+    let single = &all[..1];
+
+    let single_comm = Comm::new(system, 2);
+    let all_comm = Comm::new(system, (all.len() * 2) as u32);
+
+    P2pBandwidth {
+        system,
+        kind,
+        one_pair_uni: single_comm
+            .p2p_unidirectional(single, MESSAGE_BYTES)
+            .aggregate_bandwidth(),
+        one_pair_bidi: single_comm
+            .p2p_bidirectional(single, MESSAGE_BYTES)
+            .aggregate_bandwidth(),
+        all_pairs_uni: all_comm
+            .p2p_unidirectional(&all, MESSAGE_BYTES)
+            .aggregate_bandwidth(),
+        all_pairs_bidi: all_comm
+            .p2p_bidirectional(&all, MESSAGE_BYTES)
+            .aggregate_bandwidth(),
+        pair_count: all.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_arch::units::rel_err;
+
+    /// Table III, Aurora columns (GB/s).
+    #[test]
+    fn aurora_local_rows_match_table_iii() {
+        let r = run(System::Aurora, PairKind::LocalStack);
+        assert_eq!(r.pair_count, 6);
+        assert!(rel_err(r.one_pair_uni / 1e9, 197.0) < 0.03, "{}", r.one_pair_uni);
+        assert!(rel_err(r.one_pair_bidi / 1e9, 284.0) < 0.03);
+        assert!(rel_err(r.all_pairs_uni / 1e9, 1129.0) < 0.03);
+        assert!(rel_err(r.all_pairs_bidi / 1e9, 1661.0) < 0.05);
+    }
+
+    #[test]
+    fn aurora_remote_rows_match_table_iii() {
+        let r = run(System::Aurora, PairKind::RemoteStack);
+        assert_eq!(r.pair_count, 6);
+        assert!(rel_err(r.one_pair_uni / 1e9, 15.0) < 0.05);
+        assert!(rel_err(r.one_pair_bidi / 1e9, 23.0) < 0.05);
+        assert!(rel_err(r.all_pairs_uni / 1e9, 95.0) < 0.08);
+        assert!(rel_err(r.all_pairs_bidi / 1e9, 142.0) < 0.08);
+    }
+
+    #[test]
+    fn dawn_local_rows_match_table_iii() {
+        let r = run(System::Dawn, PairKind::LocalStack);
+        assert_eq!(r.pair_count, 4);
+        assert!(rel_err(r.one_pair_uni / 1e9, 196.0) < 0.03);
+        assert!(rel_err(r.one_pair_bidi / 1e9, 287.0) < 0.03);
+        assert!(rel_err(r.all_pairs_uni / 1e9, 786.0) < 0.03);
+        assert!(rel_err(r.all_pairs_bidi / 1e9, 1145.0) < 0.03);
+    }
+
+    #[test]
+    fn xelink_slower_than_pcie() {
+        // §IV-B7: "They are in fact slower than PCIe".
+        let remote = run(System::Aurora, PairKind::RemoteStack).one_pair_uni;
+        let pcie = System::Aurora.node().pcie.per_card_h2d;
+        assert!(remote < pcie);
+    }
+
+    #[test]
+    fn local_pairs_scale_with_95_percent_efficiency() {
+        // §IV-B7: "The parallel efficiency is scaling linearly as
+        // expected with the number of pairs (95% parallel efficiency)".
+        let r = run(System::Aurora, PairKind::LocalStack);
+        let eff = r.all_pairs_uni / (6.0 * r.one_pair_uni);
+        assert!((0.93..0.98).contains(&eff), "efficiency {eff:.3}");
+    }
+
+    #[test]
+    fn local_bidi_reaches_72_percent_of_2x() {
+        // Table III: 284 / (2 × 197) ≈ 0.72 — the MDFI duplex pool.
+        let r = run(System::Dawn, PairKind::LocalStack);
+        let frac = r.one_pair_bidi / (2.0 * r.one_pair_uni);
+        assert!((0.70..0.75).contains(&frac), "duplex fraction {frac:.2}");
+    }
+}

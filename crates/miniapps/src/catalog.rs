@@ -1,0 +1,125 @@
+//! Table V: mini-app and application descriptions.
+
+use pvc_engine::BoundKind;
+use pvc_arch::Precision;
+
+/// Scaling mode of the Table V "Scaling" column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scaling {
+    /// Not an MPI application (miniBUDE).
+    None,
+    /// Weak scaling: problem grows with ranks.
+    Weak,
+    /// Strong scaling: fixed problem divided over ranks.
+    Strong,
+}
+
+/// One row of Table V.
+#[derive(Debug, Clone)]
+pub struct AppDescription {
+    pub name: &'static str,
+    pub science_domain: &'static str,
+    pub language: &'static str,
+    pub programming_models: &'static str,
+    /// Dominant bound(s); first entry is the one used for expected-ratio
+    /// (black bar) computations.
+    pub bounds: Vec<BoundKind>,
+    pub scaling: Scaling,
+    pub fom_definition: &'static str,
+}
+
+/// The six rows of Table V in print order.
+pub fn table_v() -> Vec<AppDescription> {
+    vec![
+        AppDescription {
+            name: "miniBUDE",
+            science_domain: "BioChemistry",
+            language: "C++",
+            programming_models: "SYCL, HIP, CUDA",
+            bounds: vec![BoundKind::Compute(Precision::Fp32)],
+            scaling: Scaling::None,
+            fom_definition: "Billion Interactions / time(s)",
+        },
+        AppDescription {
+            name: "CloverLeaf",
+            science_domain: "Computational Fluid Dynamics",
+            language: "C++",
+            programming_models: "SYCL, HIP, CUDA",
+            bounds: vec![BoundKind::MemoryBandwidth],
+            scaling: Scaling::Weak,
+            fom_definition: "N_cells / time(s)",
+        },
+        AppDescription {
+            name: "miniQMC",
+            science_domain: "Material Science",
+            language: "C++",
+            programming_models: "OpenMP",
+            bounds: vec![
+                BoundKind::Compute(Precision::Fp32),
+                BoundKind::MemoryBandwidth,
+                BoundKind::HostCongestion,
+            ],
+            scaling: Scaling::Weak,
+            fom_definition: "N_w N_e^3 1e-11 / diffusion time(s)",
+        },
+        AppDescription {
+            name: "GAMESS RI-MP2 mini-app",
+            science_domain: "Quantum Chemistry",
+            language: "Fortran",
+            programming_models: "OpenMP",
+            bounds: vec![BoundKind::Dgemm],
+            scaling: Scaling::Strong,
+            fom_definition: "1 / time(h)",
+        },
+        AppDescription {
+            name: "OpenMC",
+            science_domain: "Particle Transport",
+            language: "C++",
+            programming_models: "OpenMP",
+            bounds: vec![BoundKind::MemoryLatency],
+            scaling: Scaling::Weak,
+            fom_definition: "Thousand particles / time(s)",
+        },
+        AppDescription {
+            name: "HACC",
+            science_domain: "Cosmology",
+            language: "C++",
+            programming_models: "SYCL, HIP, CUDA",
+            bounds: vec![BoundKind::Compute(Precision::Fp32), BoundKind::HostCongestion],
+            scaling: Scaling::Weak,
+            fom_definition: "N_p N_steps / time(s)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rows_as_in_table_v() {
+        let t = table_v();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t[0].name, "miniBUDE");
+        assert_eq!(t[3].language, "Fortran");
+    }
+
+    #[test]
+    fn bounds_match_table_v_characteristics() {
+        let t = table_v();
+        assert_eq!(t[0].bounds[0], BoundKind::Compute(Precision::Fp32));
+        assert_eq!(t[1].bounds[0], BoundKind::MemoryBandwidth);
+        assert!(t[2].bounds.contains(&BoundKind::HostCongestion));
+        assert_eq!(t[3].bounds[0], BoundKind::Dgemm);
+        assert_eq!(t[4].bounds[0], BoundKind::MemoryLatency);
+    }
+
+    #[test]
+    fn only_minigamess_scales_strong() {
+        let t = table_v();
+        let strong: Vec<_> = t.iter().filter(|a| a.scaling == Scaling::Strong).collect();
+        assert_eq!(strong.len(), 1);
+        assert_eq!(strong[0].name, "GAMESS RI-MP2 mini-app");
+        assert_eq!(t[0].scaling, Scaling::None);
+    }
+}

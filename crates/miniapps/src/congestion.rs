@@ -1,0 +1,90 @@
+//! Host-congestion model for CPU-assisted GPU mini-apps (§V-B1).
+//!
+//! "Resources on each CPU socket are shared by more GPUs attached to it
+//! on Aurora. Due to some remaining computation on the CPU and CPU-GPU
+//! data transfers, shared DDR and PCIe transfer buses further penalize
+//! the intra-node weak scaling … none of the microbenchmarks represented
+//! the CPU congestion bottleneck."
+//!
+//! Per-rank step time is modelled as
+//! `t(g) = t_gpu + c_host · g^alpha`, where `g` is the number of ranks
+//! sharing one socket. The GPU term is fixed; the host term grows
+//! super-linearly in socket sharing (serialisation + DDR/PCIe
+//! contention). The exponent and coefficient are per-system calibration
+//! (§V-B1 is explicit that this effect is *not* derivable from the
+//! microbenchmarks), fitted to the three miniQMC columns of Table VI.
+
+/// Host-congestion parameters of one system for one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostCongestion {
+    /// Per-step GPU time, normalised units.
+    pub t_gpu: f64,
+    /// Host-side coefficient.
+    pub c_host: f64,
+    /// Socket-sharing exponent (≥ 1; 1 = pure serialisation).
+    pub alpha: f64,
+}
+
+impl HostCongestion {
+    /// Per-rank step time with `g` ranks sharing each socket.
+    pub fn step_time(&self, g: u32) -> f64 {
+        assert!(g >= 1, "at least one rank per socket");
+        self.t_gpu + self.c_host * (g as f64).powf(self.alpha)
+    }
+
+    /// Aggregate throughput (ranks per unit time × k) of `n` ranks spread
+    /// over sockets with `g` ranks on each busy socket.
+    pub fn throughput(&self, n: u32, g: u32) -> f64 {
+        n as f64 / self.step_time(g)
+    }
+
+    /// Weak-scaling efficiency at (`n`, `g`) vs a single rank.
+    pub fn scaling_efficiency(&self, n: u32, g: u32) -> f64 {
+        self.throughput(n, g) / (n as f64 * self.throughput(1, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: HostCongestion = HostCongestion {
+        t_gpu: 0.29,
+        c_host: 0.027,
+        alpha: 1.6,
+    };
+
+    #[test]
+    fn step_time_grows_superlinearly() {
+        let t1 = M.step_time(1);
+        let t2 = M.step_time(2);
+        let t6 = M.step_time(6);
+        assert!(t2 > t1);
+        // super-linear: marginal cost grows
+        assert!((t6 - t2) / 4.0 > (t2 - t1));
+    }
+
+    #[test]
+    fn efficiency_decreases_with_sharing() {
+        let e2 = M.scaling_efficiency(2, 2);
+        let e12 = M.scaling_efficiency(12, 6);
+        assert!(e2 < 1.0);
+        assert!(e12 < e2);
+    }
+
+    #[test]
+    fn no_congestion_when_c_zero() {
+        let ideal = HostCongestion {
+            t_gpu: 1.0,
+            c_host: 0.0,
+            alpha: 2.0,
+        };
+        assert_eq!(ideal.scaling_efficiency(12, 6), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = M.step_time(0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # pvc-miniapps — the four mini-apps of §V (Tables V and VI)
+//!
+//! Each module pairs a *real, reduced-scale implementation* of the
+//! mini-app's algorithm (rayon-parallel, correctness-tested) with the
+//! figure-of-merit model that reproduces its Table VI row across the four
+//! systems:
+//!
+//! * [`minibude`] — molecular-docking energy evaluation; FP32
+//!   flop-rate bound (FOM: billion interactions/s);
+//! * [`cloverleaf`] — Lagrangian-Eulerian compressible hydrodynamics;
+//!   memory-bandwidth bound, weak-scaled (FOM: cells/s);
+//! * [`miniqmc`] — real-space quantum Monte Carlo diffusion;
+//!   compute/bandwidth bound *and* host-congestion bound (§V-B1);
+//! * [`minigamess`] — GAMESS RI-MP2 correlation-energy kernel;
+//!   DGEMM bound, strong-scaled (FOM: 1/walltime(h)).
+//!
+//! The shared vocabulary ([`ScaleLevel`], [`Fom`]) matches Table VI's
+//! column structure: One Stack / One GPU / full node per system.
+
+pub mod catalog;
+pub mod cloverleaf;
+pub mod congestion;
+pub mod decomposition;
+pub mod minibude;
+pub mod minigamess;
+pub mod miniqmc;
+pub mod scaling;
+
+use pvc_arch::System;
+
+/// Table VI column within one system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaleLevel {
+    /// One explicit-scaling partition (PVC stack / MI250 GCD / one H100).
+    OneStack,
+    /// One full GPU card.
+    OneGpu,
+    /// Every GPU in the node.
+    FullNode,
+}
+
+impl ScaleLevel {
+    /// All levels in Table VI column order.
+    pub const ALL: [ScaleLevel; 3] = [
+        ScaleLevel::OneStack,
+        ScaleLevel::OneGpu,
+        ScaleLevel::FullNode,
+    ];
+
+    /// Number of active ranks (one per partition) this level implies on
+    /// `system`.
+    pub fn ranks(self, system: System) -> u32 {
+        let node = system.node();
+        match self {
+            ScaleLevel::OneStack => 1,
+            ScaleLevel::OneGpu => node.gpu.partitions,
+            ScaleLevel::FullNode => node.partitions(),
+        }
+    }
+}
+
+/// A figure-of-merit value (unit defined per mini-app, Table V).
+pub type Fom = f64;

@@ -1,0 +1,409 @@
+//! miniBUDE: molecular-docking virtual screening (§V-A1).
+//!
+//! "miniBUDE performs virtual screening on the NDM-1 protein by
+//! repeatedly evaluating the energy of a single generation of poses …
+//! rendering it compute bound. … we use an input deck of 2672 ligands,
+//! 2672 proteins and 983040 poses. The number of interactions (in
+//! Billion Interactions/s) associated with this result is the FOM."
+//!
+//! The real kernel evaluates, for every pose, the pairwise
+//! ligand-atom × protein-atom interaction energy in FP32 using the BUDE
+//! force-field shape: a soft-core steric term plus distance-capped
+//! electrostatics. FOM modelling uses the measured fraction of FP32 peak
+//! each architecture sustains (§V-B2/3: ≈45%/49% on Aurora/Dawn, 30% on
+//! H100, 26% on MI250).
+
+use crate::{Fom, ScaleLevel};
+use pvc_arch::{Precision, System};
+use pvc_engine::Engine;
+use rayon::prelude::*;
+
+/// The paper's input deck shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deck {
+    pub ligand_atoms: usize,
+    pub protein_atoms: usize,
+    pub poses: usize,
+}
+
+/// §V-A1 deck: 2672 ligand entities, 2672 protein entities, 983040 poses.
+pub const PAPER_DECK: Deck = Deck {
+    ligand_atoms: 2672,
+    protein_atoms: 2672,
+    poses: 983_040,
+};
+
+impl Deck {
+    /// Pairwise interactions evaluated per screening generation.
+    pub fn interactions(&self) -> f64 {
+        self.ligand_atoms as f64 * self.protein_atoms as f64 * self.poses as f64
+    }
+}
+
+/// FP32 operations per pairwise interaction in the kernel below
+/// (distance: 8, steric: 12, electrostatics: 12 — comparable to
+/// miniBUDE's published instruction mix).
+pub const FLOPS_PER_INTERACTION: f64 = 32.0;
+
+/// An atom: position + charge + van-der-Waals radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Atom {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+    pub charge: f32,
+    pub radius: f32,
+}
+
+/// A rigid-body pose: translation + Z-rotation (reduced DOF variant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pose {
+    pub tx: f32,
+    pub ty: f32,
+    pub tz: f32,
+    pub rot_z: f32,
+}
+
+/// Deterministic synthetic molecule of `n` atoms (the NDM-1 deck is not
+/// redistributable; shape and sizes follow the paper).
+pub fn synthetic_molecule(n: usize, seed: u64) -> Vec<Atom> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 10_000) as f32 / 10_000.0
+    };
+    (0..n)
+        .map(|_| Atom {
+            x: next() * 20.0 - 10.0,
+            y: next() * 20.0 - 10.0,
+            z: next() * 20.0 - 10.0,
+            charge: next() * 2.0 - 1.0,
+            radius: 1.0 + next(),
+        })
+        .collect()
+}
+
+/// Deterministic pose generation.
+pub fn synthetic_poses(n: usize, seed: u64) -> Vec<Pose> {
+    let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 10_000) as f32 / 10_000.0
+    };
+    (0..n)
+        .map(|_| Pose {
+            tx: next() * 4.0 - 2.0,
+            ty: next() * 4.0 - 2.0,
+            tz: next() * 4.0 - 2.0,
+            rot_z: next() * std::f32::consts::TAU,
+        })
+        .collect()
+}
+
+/// Energy of one pose: Σ over ligand × protein atom pairs of a soft-core
+/// steric term and capped electrostatics (FP32 throughout, like the
+/// SYCL/CUDA/HIP kernels the paper runs).
+pub fn pose_energy(ligand: &[Atom], protein: &[Atom], pose: &Pose) -> f32 {
+    let (s, c) = pose.rot_z.sin_cos();
+    let mut energy = 0.0f32;
+    for l in ligand {
+        // Rigid transform of the ligand atom.
+        let lx = c * l.x - s * l.y + pose.tx;
+        let ly = s * l.x + c * l.y + pose.ty;
+        let lz = l.z + pose.tz;
+        for p in protein {
+            let dx = lx - p.x;
+            let dy = ly - p.y;
+            let dz = lz - p.z;
+            let r2 = dz.mul_add(dz, dy.mul_add(dy, dx * dx)).max(1e-6);
+            let r = r2.sqrt();
+            let sigma = l.radius + p.radius;
+            // Soft-core steric repulsion inside contact distance.
+            let steric = if r < sigma { (sigma - r) * (sigma - r) } else { 0.0 };
+            // Distance-capped electrostatics.
+            let elec = l.charge * p.charge / r.max(0.5);
+            energy += steric + elec;
+        }
+    }
+    energy
+}
+
+/// Screens every pose (rayon over poses — the GPU's pose-parallel
+/// decomposition), returning per-pose energies.
+pub fn screen(ligand: &[Atom], protein: &[Atom], poses: &[Pose]) -> Vec<f32> {
+    poses
+        .par_iter()
+        .map(|p| pose_energy(ligand, protein, p))
+        .collect()
+}
+
+/// Fraction of FP32 peak the miniBUDE kernel sustains on each system
+/// (§V-B2: "Aurora and Dawn place them around 45% and 49% of their peak
+/// single precision flops … H100 reaches 30% of its peak"; §V-B3:
+/// "miniBUDE reached about 26% of single-precision floating point peak"
+/// on MI250). These are the *best-tuning* values — see [`sweep_tunings`]
+/// for the (ppwi, work-group) search that finds them.
+pub fn kernel_efficiency(system: System) -> f64 {
+    match system {
+        System::Aurora => 0.4077,
+        System::Dawn => 0.4507,
+        System::JlseH100 => 0.3049,
+        System::JlseMi250 => 0.2736,
+    }
+}
+
+/// One launch configuration of the miniBUDE kernel. §V-A1: "This is run
+/// with a combination of poses per work-item (ppwi) and work-group
+/// sizes to find the fastest result."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tuning {
+    /// Poses evaluated per work-item.
+    pub ppwi: u32,
+    /// Work-group size.
+    pub work_group: u32,
+}
+
+/// The sweep grid miniBUDE's build scripts explore.
+pub const TUNING_GRID: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Relative throughput of a launch configuration (1.0 = the best
+/// configuration; the absolute scale is [`kernel_efficiency`]).
+///
+/// Two competing effects, as in the real kernel:
+/// * **register reuse** — each work-item loads a protein atom once and
+///   applies it to `ppwi` poses, amortising memory traffic:
+///   `reuse = ppwi / (ppwi + 1)`;
+/// * **occupancy** — pose state lives in registers (≈32 + 12·ppwi
+///   registers); past the 128-register budget the GPU halves resident
+///   threads (§II: 8 threads × 128 regs or 4 × 256);
+/// * small work-groups underfill the (sub-group × pipeline) width;
+///   oversized ones limit scheduling freedom.
+pub fn tuning_efficiency(t: Tuning) -> f64 {
+    let reuse = t.ppwi as f64 / (t.ppwi as f64 + 1.0);
+    let regs = 32.0 + 12.0 * t.ppwi as f64;
+    let occupancy = if regs <= 128.0 { 1.0 } else { 0.72 };
+    let wg = t.work_group as f64;
+    let wg_factor = if wg < 64.0 {
+        wg / 64.0
+    } else if wg > 256.0 {
+        256.0 / wg
+    } else {
+        1.0
+    };
+    reuse * occupancy * wg_factor
+}
+
+/// Sweeps the tuning grid, returning the best configuration and its
+/// relative efficiency — the "find the fastest result" loop of §V-A1.
+pub fn sweep_tunings() -> (Tuning, f64) {
+    let mut best = (
+        Tuning {
+            ppwi: 1,
+            work_group: 64,
+        },
+        0.0,
+    );
+    for &ppwi in &TUNING_GRID {
+        for &work_group in &[32u32, 64, 128, 256, 512] {
+            let t = Tuning { ppwi, work_group };
+            let e = tuning_efficiency(t);
+            if e > best.1 {
+                best = (t, e);
+            }
+        }
+    }
+    best
+}
+
+/// FOM (billion interactions/s) for one Table VI cell. miniBUDE is not
+/// an MPI application (§V-B1): only the One-Stack column is *measured*;
+/// the paper synthesises one-GPU values by doubling (§V-B2 note), which
+/// [`fom`] reproduces; the full-node column stays empty.
+pub fn fom(system: System, level: ScaleLevel) -> Option<Fom> {
+    let engine = Engine::new(system);
+    let peak = engine.vector_peak(Precision::Fp32, 1);
+    let rate = peak * kernel_efficiency(system) / FLOPS_PER_INTERACTION;
+    let giga = rate / 1e9;
+    match level {
+        ScaleLevel::OneStack => Some(giga),
+        // "for miniBUDE, since the application is not MPI, we doubled the
+        // single-Stack value to get a full PVC value" — only meaningful
+        // where a card has two partitions.
+        ScaleLevel::OneGpu => {
+            let parts = system.node().gpu.partitions;
+            if parts > 1 {
+                Some(giga * parts as f64)
+            } else {
+                Some(giga)
+            }
+        }
+        ScaleLevel::FullNode => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_arch::units::rel_err;
+
+    #[test]
+    fn foms_match_table_vi_row_1() {
+        // miniBUDE: 293.02 (Aurora stack), 366.17 (Dawn stack),
+        // 638.40 (H100), 193.66 (MI250 GCD).
+        let cases = [
+            (System::Aurora, 293.02),
+            (System::Dawn, 366.17),
+            (System::JlseH100, 638.40),
+            (System::JlseMi250, 193.66),
+        ];
+        for (sys, published) in cases {
+            let got = fom(sys, ScaleLevel::OneStack).unwrap();
+            assert!(
+                rel_err(got, published) < 0.02,
+                "{sys:?}: {got:.1} vs {published}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_node_is_dash() {
+        assert!(fom(System::Aurora, ScaleLevel::FullNode).is_none());
+    }
+
+    #[test]
+    fn one_pvc_doubles_one_stack() {
+        let s = fom(System::Aurora, ScaleLevel::OneStack).unwrap();
+        let g = fom(System::Aurora, ScaleLevel::OneGpu).unwrap();
+        assert!((g - 2.0 * s).abs() < 1e-9);
+        // H100 has a single partition: no doubling.
+        let h = fom(System::JlseH100, ScaleLevel::OneGpu).unwrap();
+        assert_eq!(h, fom(System::JlseH100, ScaleLevel::OneStack).unwrap());
+    }
+
+    #[test]
+    fn energy_kernel_identities() {
+        // A single pair at large distance: steric = 0, electrostatics
+        // ~ q1 q2 / r.
+        let ligand = vec![Atom {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+            charge: 1.0,
+            radius: 1.0,
+        }];
+        let protein = vec![Atom {
+            x: 5.0,
+            y: 0.0,
+            z: 0.0,
+            charge: -1.0,
+            radius: 1.0,
+        }];
+        let id = Pose {
+            tx: 0.0,
+            ty: 0.0,
+            tz: 0.0,
+            rot_z: 0.0,
+        };
+        let e = pose_energy(&ligand, &protein, &id);
+        assert!((e - (-0.2)).abs() < 1e-6, "pure Coulomb at r=5: {e}");
+        // Overlapping atoms: steric dominates positively.
+        let close = Pose {
+            tx: 4.9,
+            ty: 0.0,
+            tz: 0.0,
+            rot_z: 0.0,
+        };
+        assert!(pose_energy(&ligand, &protein, &close) > 0.0);
+    }
+
+    #[test]
+    fn rotation_preserves_self_distance_energy() {
+        // Rotating the whole ligand about Z with no protein offset along
+        // Z keeps the pairwise distances to a protein atom at the origin.
+        let ligand = vec![Atom {
+            x: 3.0,
+            y: 0.0,
+            z: 0.0,
+            charge: 0.5,
+            radius: 0.5,
+        }];
+        let protein = vec![Atom {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+            charge: 0.5,
+            radius: 0.5,
+        }];
+        let e0 = pose_energy(
+            &ligand,
+            &protein,
+            &Pose {
+                tx: 0.0,
+                ty: 0.0,
+                tz: 0.0,
+                rot_z: 0.0,
+            },
+        );
+        let e1 = pose_energy(
+            &ligand,
+            &protein,
+            &Pose {
+                tx: 0.0,
+                ty: 0.0,
+                tz: 0.0,
+                rot_z: 1.3,
+            },
+        );
+        assert!((e0 - e1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn screen_is_deterministic_and_pose_parallel() {
+        let ligand = synthetic_molecule(16, 1);
+        let protein = synthetic_molecule(32, 2);
+        let poses = synthetic_poses(64, 3);
+        let a = screen(&ligand, &protein, &poses);
+        let b = screen(&ligand, &protein, &poses);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn tuning_sweep_finds_interior_optimum() {
+        let (best, eff) = sweep_tunings();
+        // The register budget caps useful ppwi at 8 (32 + 12x8 = 128);
+        // larger ppwi trades occupancy for reuse and loses.
+        assert_eq!(best.ppwi, 8, "best {best:?}");
+        assert!((64..=256).contains(&best.work_group));
+        assert!(eff > 0.85 && eff <= 1.0, "eff {eff}");
+        // Degenerate configs are strictly worse.
+        assert!(
+            tuning_efficiency(Tuning { ppwi: 1, work_group: 32 }) < eff,
+            "tiny config must lose"
+        );
+        assert!(
+            tuning_efficiency(Tuning { ppwi: 32, work_group: 512 }) < eff,
+            "register-starved config must lose"
+        );
+    }
+
+    #[test]
+    fn tuning_reuse_grows_with_ppwi_until_register_cliff() {
+        let e = |p| tuning_efficiency(Tuning { ppwi: p, work_group: 128 });
+        assert!(e(2) > e(1));
+        assert!(e(4) > e(2));
+        assert!(e(8) > e(4));
+        assert!(e(16) < e(8), "past 128 registers the occupancy cliff bites");
+    }
+
+    #[test]
+    fn paper_deck_interaction_count() {
+        // 2672 × 2672 × 983040 ≈ 7.0e12 interactions per generation.
+        let i = PAPER_DECK.interactions();
+        assert!(rel_err(i, 7.018e12) < 0.01);
+    }
+}

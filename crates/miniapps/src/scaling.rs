@@ -1,0 +1,201 @@
+//! Scaling curves: Table VI generalised to every intermediate rank
+//! count.
+//!
+//! The paper reports three points per system (stack / GPU / node); the
+//! models behind them are continuous in rank count, so full weak- and
+//! strong-scaling curves fall out for free — the plot a downstream user
+//! actually wants when choosing a job size.
+
+use crate::{cloverleaf, minibude, minigamess, miniqmc};
+use pvc_arch::System;
+
+/// One point of a scaling series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Ranks (explicit-scaling partitions) used.
+    pub ranks: u32,
+    /// Aggregate FOM at this rank count.
+    pub fom: f64,
+    /// Efficiency vs perfect scaling of the 1-rank FOM (weak-scaled
+    /// apps) or vs linear speedup (strong-scaled).
+    pub efficiency: f64,
+}
+
+/// Ranks per busy socket when `ranks` ranks are distributed the way the
+/// paper's binding does (fill socket 0's GPUs first? No — cards are
+/// split between sockets, ranks bind nearest, so they spread evenly;
+/// remainder lands on socket 0).
+fn ranks_per_socket(system: System, ranks: u32) -> u32 {
+    let sockets = system.node().sockets;
+    ranks.div_ceil(sockets)
+}
+
+/// miniQMC weak-scaling series from the host-congestion model.
+pub fn miniqmc_series(system: System) -> Vec<ScalingPoint> {
+    let node = system.node();
+    let model = miniqmc::congestion_model(system);
+    let f1 = model.throughput(1, 1);
+    (1..=node.partitions())
+        .map(|n| {
+            let g = ranks_per_socket(system, n);
+            let fom = model.throughput(n, g);
+            ScalingPoint {
+                ranks: n,
+                fom,
+                efficiency: fom / (n as f64 * f1),
+            }
+        })
+        .collect()
+}
+
+/// mini-GAMESS strong-scaling series from the Amdahl + allreduce model.
+pub fn minigamess_series(system: System) -> Vec<ScalingPoint> {
+    let node = system.node();
+    let t1 = minigamess::walltime(system, 1);
+    (1..=node.partitions())
+        .map(|n| {
+            let t = minigamess::walltime(system, n);
+            ScalingPoint {
+                ranks: n,
+                fom: 3600.0 / t,
+                efficiency: t1 / (n as f64 * t),
+            }
+        })
+        .collect()
+}
+
+/// CloverLeaf weak-scaling series (per-rank FOM × ranks × the fitted
+/// weak-scaling curve, interpolated between the published points).
+pub fn cloverleaf_series(system: System) -> Vec<ScalingPoint> {
+    let node = system.node();
+    let f1 = cloverleaf::fom(system, crate::ScaleLevel::OneStack).expect("stack FOM");
+    (1..=node.partitions())
+        .map(|n| {
+            // Reconstruct via the public per-level model at the anchor
+            // points and linear rank scaling between them.
+            let node_fom = cloverleaf::fom(system, crate::ScaleLevel::FullNode).unwrap();
+            let full = node.partitions();
+            let eff_full = node_fom / (full as f64 * f1);
+            // Linear interpolation of efficiency in rank count.
+            let eff = 1.0 + (eff_full - 1.0) * (n - 1) as f64 / (full - 1).max(1) as f64;
+            ScalingPoint {
+                ranks: n,
+                fom: n as f64 * f1 * eff,
+                efficiency: eff,
+            }
+        })
+        .collect()
+}
+
+/// miniBUDE "series": not MPI — the FOM is flat per partition (§V-B1);
+/// returned for API uniformity.
+pub fn minibude_series(system: System) -> Vec<ScalingPoint> {
+    let f1 = minibude::fom(system, crate::ScaleLevel::OneStack).expect("stack FOM");
+    (1..=system.node().partitions())
+        .map(|n| ScalingPoint {
+            ranks: n,
+            fom: f1 * n as f64,
+            efficiency: 1.0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_cover_every_rank_count() {
+        for sys in System::PVC {
+            let n = sys.node().partitions() as usize;
+            assert_eq!(miniqmc_series(sys).len(), n);
+            assert_eq!(minigamess_series(sys).len(), n);
+            assert_eq!(cloverleaf_series(sys).len(), n);
+        }
+    }
+
+    #[test]
+    fn endpoints_match_table_vi_levels() {
+        let s = miniqmc_series(System::Aurora);
+        assert!((s[0].fom - 3.16).abs() < 0.1);
+        assert!((s[11].fom - 15.64).abs() < 0.3);
+        let g = minigamess_series(System::Dawn);
+        assert!((g[0].fom - 24.57).abs() < 1.5);
+        assert!((g[7].fom - 164.71).abs() < 8.0);
+    }
+
+    #[test]
+    fn weak_scaling_fom_is_monotone_at_balanced_rank_counts() {
+        // CloverLeaf grows monotonically everywhere. miniQMC exhibits a
+        // *sawtooth*: odd rank counts overload one socket (ceil
+        // division) and the superlinear congestion term can outweigh
+        // the extra rank — a real prediction of the §V-B1 model, so
+        // monotonicity is only asserted across balanced (even) counts.
+        for sys in System::PVC {
+            let clover = cloverleaf_series(sys);
+            for w in clover.windows(2) {
+                assert!(w[1].fom > w[0].fom, "{sys:?}: CloverLeaf fell {w:?}");
+            }
+            let qmc = miniqmc_series(sys);
+            let half = sys.node().partitions() / 2;
+            let balanced: Vec<_> = qmc
+                .iter()
+                .filter(|p| p.ranks % 2 == 0 && p.ranks <= half)
+                .collect();
+            for w in balanced.windows(2) {
+                assert!(
+                    w[1].fom > w[0].fom * 0.99,
+                    "{sys:?}: miniQMC fell at balanced counts {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dawn_miniqmc_model_peaks_before_full_node() {
+        // The fitted Dawn congestion exponent (α = 3.1) is so steep that
+        // the model's best throughput comes at 6 ranks, not 8 — i.e. the
+        // published full-node configuration slightly *overfills* the
+        // sockets. (Aurora's shallower α=1.61 keeps growing to 12.)
+        let s = miniqmc_series(System::Dawn);
+        let best = s.iter().max_by(|a, b| a.fom.partial_cmp(&b.fom).unwrap()).unwrap();
+        assert_eq!(best.ranks, 6, "peak at {best:?}");
+        let a = miniqmc_series(System::Aurora);
+        let a_best = a.iter().max_by(|x, y| x.fom.partial_cmp(&y.fom).unwrap()).unwrap();
+        assert_eq!(a_best.ranks, 12);
+    }
+
+    #[test]
+    fn miniqmc_sawtooth_at_odd_rank_counts_on_aurora() {
+        // The model predicts 9 ranks (5 on one socket) underperforms 8
+        // ranks (4+4) — the socket-sharing cliff of §V-B1 made visible.
+        let s = miniqmc_series(System::Aurora);
+        let fom8 = s.iter().find(|p| p.ranks == 8).unwrap().fom;
+        let fom9 = s.iter().find(|p| p.ranks == 9).unwrap().fom;
+        assert!(fom9 < fom8, "expected the sawtooth: {fom8:.2} -> {fom9:.2}");
+    }
+
+    #[test]
+    fn efficiencies_start_at_one_and_never_exceed_it_much() {
+        for sys in System::PVC {
+            for series in [
+                miniqmc_series(sys),
+                minigamess_series(sys),
+                cloverleaf_series(sys),
+                minibude_series(sys),
+            ] {
+                assert!((series[0].efficiency - 1.0).abs() < 1e-9);
+                for p in &series {
+                    assert!(p.efficiency <= 1.05, "{sys:?} {p:?}");
+                    assert!(p.efficiency > 0.3, "{sys:?} {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strong_scaling_efficiency_declines() {
+        let s = minigamess_series(System::Aurora);
+        assert!(s.last().unwrap().efficiency < s[1].efficiency);
+    }
+}

@@ -1,0 +1,210 @@
+//! Figures 2–4: measured FOM ratios + expected (black-bar) ratios.
+
+use crate::fomsource::{fom, AppKind};
+use crate::metrics::bound_metric;
+use pvc_arch::{Precision, System};
+use pvc_engine::BoundKind;
+use pvc_miniapps::ScaleLevel;
+
+/// One bar of a relative-performance figure.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureBar {
+    /// Mini-app.
+    pub app: AppKind,
+    /// Numerator system (the denominator is fixed per figure).
+    pub system: System,
+    /// Scaling level of both sides.
+    pub level: ScaleLevel,
+    /// Measured (simulated Table VI) FOM ratio; `None` where Table VI has
+    /// a dash on either side.
+    pub measured: Option<f64>,
+    /// Expected ratio from the microbenchmarks (the black bar); `None`
+    /// where the paper draws no bar (miniQMC).
+    pub expected: Option<f64>,
+}
+
+/// The bound used for each mini-app's black bar. miniQMC gets `None`:
+/// §V-B1 — its full-node bottleneck (CPU congestion) "is not captured by
+/// the microbenchmarks", so Figure 2 omits its bars.
+fn bar_bound(app: AppKind) -> Option<BoundKind> {
+    match app {
+        AppKind::MiniBude => Some(BoundKind::Compute(Precision::Fp32)),
+        AppKind::CloverLeaf => Some(BoundKind::MemoryBandwidth),
+        AppKind::MiniQmc => None,
+        AppKind::MiniGamess => Some(BoundKind::Dgemm),
+        AppKind::OpenMc | AppKind::Hacc => None,
+    }
+}
+
+fn ratio(
+    app: AppKind,
+    num: System,
+    num_level: ScaleLevel,
+    den: System,
+    den_level: ScaleLevel,
+) -> FigureBar {
+    let measured = match (fom(app, num, num_level), fom(app, den, den_level)) {
+        (Some(a), Some(b)) => Some(a / b),
+        _ => None,
+    };
+    let expected = bar_bound(app).and_then(|bound| {
+        match (
+            bound_metric(num, bound, num_level),
+            bound_metric(den, bound, den_level),
+        ) {
+            (Some(a), Some(b)) => Some(a / b),
+            _ => None,
+        }
+    });
+    FigureBar {
+        app,
+        system: num,
+        level: num_level,
+        measured,
+        expected,
+    }
+}
+
+/// Figure 2: Aurora relative to Dawn at all three levels.
+pub fn figure2() -> Vec<FigureBar> {
+    let mut bars = Vec::new();
+    for app in AppKind::MINIAPPS {
+        for level in ScaleLevel::ALL {
+            bars.push(ratio(app, System::Aurora, level, System::Dawn, level));
+        }
+    }
+    bars
+}
+
+/// Figure 3: Aurora and Dawn relative to JLSE-H100, per GPU and per
+/// node.
+pub fn figure3() -> Vec<FigureBar> {
+    let mut bars = Vec::new();
+    for app in AppKind::MINIAPPS {
+        for sys in System::PVC {
+            for level in [ScaleLevel::OneGpu, ScaleLevel::FullNode] {
+                bars.push(ratio(app, sys, level, System::JlseH100, level));
+            }
+        }
+    }
+    bars
+}
+
+/// Figure 4: Aurora and Dawn relative to JLSE-MI250, per Stack-vs-GCD
+/// and per node.
+pub fn figure4() -> Vec<FigureBar> {
+    let mut bars = Vec::new();
+    for app in AppKind::MINIAPPS {
+        for sys in System::PVC {
+            for level in [ScaleLevel::OneStack, ScaleLevel::FullNode] {
+                bars.push(ratio(app, sys, level, System::JlseMi250, level));
+            }
+        }
+    }
+    bars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_arch::units::rel_err;
+
+    fn bar(bars: &[FigureBar], app: AppKind, sys: System, level: ScaleLevel) -> FigureBar {
+        *bars
+            .iter()
+            .find(|b| b.app == app && b.system == sys && b.level == level)
+            .expect("bar present")
+    }
+
+    #[test]
+    fn figure2_minibude_expected_is_0_88() {
+        let bars = figure2();
+        let b = bar(&bars, AppKind::MiniBude, System::Aurora, ScaleLevel::OneStack);
+        assert!(rel_err(b.expected.unwrap(), 0.88) < 0.02);
+        // Measured (293.02/366.17 = 0.80) sits close to the bar.
+        assert!(rel_err(b.measured.unwrap(), 0.80) < 0.03);
+    }
+
+    #[test]
+    fn figure2_cloverleaf_expected_is_1() {
+        // Same per-stack memory bandwidth on both systems.
+        let bars = figure2();
+        let b = bar(&bars, AppKind::CloverLeaf, System::Aurora, ScaleLevel::OneStack);
+        assert!(rel_err(b.expected.unwrap(), 1.0) < 0.01);
+    }
+
+    #[test]
+    fn figure2_miniqmc_has_no_black_bar() {
+        let bars = figure2();
+        for level in ScaleLevel::ALL {
+            let b = bar(&bars, AppKind::MiniQmc, System::Aurora, level);
+            assert!(b.expected.is_none());
+            assert!(b.measured.is_some());
+        }
+    }
+
+    #[test]
+    fn figure3_cloverleaf_expected_is_0_59_per_gpu() {
+        let bars = figure3();
+        let b = bar(&bars, AppKind::CloverLeaf, System::Aurora, ScaleLevel::OneGpu);
+        assert!(rel_err(b.expected.unwrap(), 0.597) < 0.02, "{:?}", b.expected);
+        // Measured 40.41/65.87 = 0.61 — "close to the black bars".
+        assert!(rel_err(b.measured.unwrap(), 0.613) < 0.03);
+    }
+
+    #[test]
+    fn figure3_single_gpu_range_matches_abstract() {
+        // Abstract: single-PVC FOMs range 0.6x–1.8x of H100.
+        let bars = figure3();
+        let measured: Vec<f64> = bars
+            .iter()
+            .filter(|b| b.level == ScaleLevel::OneGpu)
+            .filter_map(|b| b.measured)
+            .collect();
+        let min = measured.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = measured.iter().cloned().fold(0.0f64, f64::max);
+        assert!((0.55..0.72).contains(&min), "min {min:.2}");
+        assert!((1.5..2.0).contains(&max), "max {max:.2}");
+    }
+
+    #[test]
+    fn figure4_minibude_expected_near_1() {
+        // Appendix: 1.0X for Aurora, 1.1X for Dawn per Stack-vs-GCD.
+        let bars = figure4();
+        let a = bar(&bars, AppKind::MiniBude, System::Aurora, ScaleLevel::OneStack);
+        let d = bar(&bars, AppKind::MiniBude, System::Dawn, ScaleLevel::OneStack);
+        assert!(rel_err(a.expected.unwrap(), 1.0) < 0.03);
+        assert!(rel_err(d.expected.unwrap(), 1.15) < 0.03);
+    }
+
+    #[test]
+    fn figure4_stack_range_matches_abstract() {
+        // Abstract: per-Stack FOMs range 0.8x–7.5x of an MI250 GCD.
+        let bars = figure4();
+        let measured: Vec<f64> = bars
+            .iter()
+            .filter(|b| b.level == ScaleLevel::OneStack)
+            .filter_map(|b| b.measured)
+            .collect();
+        let min = measured.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = measured.iter().cloned().fold(0.0f64, f64::max);
+        assert!((0.7..0.95).contains(&min), "min {min:.2}");
+        assert!((6.0..8.0).contains(&max), "max {max:.2}");
+    }
+
+    #[test]
+    fn figure4_minigamess_absent() {
+        let bars = figure4();
+        let b = bar(&bars, AppKind::MiniGamess, System::Aurora, ScaleLevel::OneStack);
+        assert!(b.measured.is_none(), "MI250 build failure -> no ratio");
+        assert!(b.expected.is_none());
+    }
+
+    #[test]
+    fn figure2_miniqmc_node_ratio_below_one() {
+        // §V-B1: Aurora's 6-GPU miniQMC FOM < Dawn's 4-GPU FOM.
+        let bars = figure2();
+        let b = bar(&bars, AppKind::MiniQmc, System::Aurora, ScaleLevel::FullNode);
+        assert!(b.measured.unwrap() < 1.0);
+    }
+}

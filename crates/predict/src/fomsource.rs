@@ -1,0 +1,99 @@
+//! Unified access to every Table VI FOM (simulated).
+
+use pvc_arch::System;
+use pvc_miniapps::{cloverleaf, minibude, minigamess, miniqmc, ScaleLevel};
+
+/// The six Table V/VI applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    MiniBude,
+    CloverLeaf,
+    MiniQmc,
+    MiniGamess,
+    OpenMc,
+    Hacc,
+}
+
+impl AppKind {
+    /// All apps in Table VI row order.
+    pub const ALL: [AppKind; 6] = [
+        AppKind::MiniBude,
+        AppKind::CloverLeaf,
+        AppKind::MiniQmc,
+        AppKind::MiniGamess,
+        AppKind::OpenMc,
+        AppKind::Hacc,
+    ];
+
+    /// The four mini-apps (Figures 2–4 cover only these).
+    pub const MINIAPPS: [AppKind; 4] = [
+        AppKind::MiniBude,
+        AppKind::CloverLeaf,
+        AppKind::MiniQmc,
+        AppKind::MiniGamess,
+    ];
+
+    /// Row label as printed in Table VI.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppKind::MiniBude => "miniBUDE",
+            AppKind::CloverLeaf => "CloverLeaf",
+            AppKind::MiniQmc => "miniQMC",
+            AppKind::MiniGamess => "mini-GAMESS",
+            AppKind::OpenMc => "OpenMC",
+            AppKind::Hacc => "HACC",
+        }
+    }
+}
+
+/// Simulated FOM for one Table VI cell; `None` where the model (like the
+/// paper) has no value.
+pub fn fom(app: AppKind, system: System, level: ScaleLevel) -> Option<f64> {
+    match app {
+        AppKind::MiniBude => minibude::fom(system, level),
+        AppKind::CloverLeaf => cloverleaf::fom(system, level),
+        AppKind::MiniQmc => miniqmc::fom(system, level),
+        AppKind::MiniGamess => minigamess::fom(system, level),
+        AppKind::OpenMc => match level {
+            ScaleLevel::FullNode => Some(pvc_apps::openmc::fom_node(system)),
+            _ => None,
+        },
+        AppKind::Hacc => match level {
+            ScaleLevel::FullNode => Some(pvc_apps::hacc::fom_node(system)),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_miniapps_have_stack_foms_on_pvc() {
+        for app in AppKind::MINIAPPS {
+            for sys in System::PVC {
+                assert!(
+                    fom(app, sys, ScaleLevel::OneStack).is_some(),
+                    "{app:?} on {sys:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn applications_are_node_level_only() {
+        for app in [AppKind::OpenMc, AppKind::Hacc] {
+            assert!(fom(app, System::Aurora, ScaleLevel::OneStack).is_none());
+            assert!(fom(app, System::Aurora, ScaleLevel::FullNode).is_some());
+        }
+    }
+
+    #[test]
+    fn table_vi_dashes_reproduced() {
+        // mini-GAMESS on MI250 failed to build (§V-B3).
+        assert!(fom(AppKind::MiniGamess, System::JlseMi250, ScaleLevel::OneStack).is_none());
+        // miniBUDE has no full-node value (not MPI).
+        assert!(fom(AppKind::MiniBude, System::Aurora, ScaleLevel::FullNode).is_none());
+    }
+}

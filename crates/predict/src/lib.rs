@@ -1,0 +1,19 @@
+//! # pvc-predict — expected relative performance (the black bars)
+//!
+//! Figures 2–4 of the paper overlay each measured FOM ratio with an
+//! *expected* ratio computed from the microbenchmarks (Table II) and the
+//! vendor reference peaks (Table IV), according to each mini-app's bound
+//! classification (Table V). This crate implements that arithmetic
+//! exactly as the artifact appendix describes — e.g. "miniBUDE is …
+//! bound by the single precision (FP32) flop-rate. Thus the expected
+//! relative performance is the ratio of the peak single precision
+//! performance on Aurora to that on Dawn, 0.88X (23 Tflops/s / 26
+//! Tflop/s)."
+
+pub mod figures;
+pub mod fomsource;
+pub mod metrics;
+
+pub use figures::{figure2, figure3, figure4, FigureBar};
+pub use fomsource::{fom, AppKind};
+pub use metrics::bound_metric;

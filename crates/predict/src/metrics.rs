@@ -1,0 +1,165 @@
+//! Bound metrics: the quantity each mini-app's performance is expected
+//! to track, per system and scaling level.
+//!
+//! For the PVC systems the *measured* microbenchmark values (Table II)
+//! are used; for H100 and MI250 the *theoretical* peaks of Table IV —
+//! exactly the paper's convention, which is why it notes "the black bars
+//! are a lower bound since the measured values are likely lower than the
+//! theoretical ones" (§V-B2).
+
+use pvc_arch::reference;
+use pvc_arch::{Precision, System};
+use pvc_engine::gemm::gemm_rate;
+use pvc_engine::Engine;
+use pvc_miniapps::ScaleLevel;
+use pvc_engine::BoundKind;
+
+/// Value of the bound metric (flop/s or bytes/s) at a Table VI scaling
+/// level. `None` when the paper's tables provide no basis (e.g. a
+/// latency "metric" for Fig 2–4 apps, or miniQMC's congestion bound,
+/// which §V-B1 says no microbenchmark captures).
+pub fn bound_metric(system: System, bound: BoundKind, level: ScaleLevel) -> Option<f64> {
+    let n = level.ranks(system);
+    match bound {
+        BoundKind::Compute(p) => Some(compute_metric(system, p, n)),
+        BoundKind::MemoryBandwidth => Some(bandwidth_metric(system, n)),
+        BoundKind::Dgemm => dgemm_metric(system, n),
+        BoundKind::MemoryLatency | BoundKind::HostCongestion => None,
+    }
+}
+
+/// FP peak: Table II measured values on PVC; Table IV theoretical on the
+/// comparison systems.
+fn compute_metric(system: System, p: Precision, n: u32) -> f64 {
+    match system {
+        System::Aurora | System::Dawn => {
+            let engine = Engine::new(system);
+            engine.vector_peak(p, n) * n as f64
+        }
+        System::JlseH100 => {
+            let per_gpu = match p {
+                Precision::Fp64 => reference::H100.fp64_peak.unwrap(),
+                _ => reference::H100.fp32_peak.unwrap(),
+            };
+            per_gpu * n as f64
+        }
+        System::JlseMi250 => {
+            // Table IV peaks are per card (2 GCDs); ranks count GCDs.
+            let per_card = match p {
+                Precision::Fp64 => reference::MI250.fp64_peak.unwrap(),
+                _ => reference::MI250.fp32_peak.unwrap(),
+            };
+            per_card / 2.0 * n as f64
+        }
+    }
+}
+
+/// Memory bandwidth: Table II triad on PVC; Table IV specs elsewhere
+/// (3.35 TB/s per H100, 3.2 TB/s per MI250 card).
+fn bandwidth_metric(system: System, n: u32) -> f64 {
+    match system {
+        System::Aurora | System::Dawn => {
+            let engine = Engine::new(system);
+            engine.stream_bandwidth(n) * n as f64
+        }
+        System::JlseH100 => reference::H100.mem_bw.unwrap() * n as f64,
+        System::JlseMi250 => reference::MI250.mem_bw.unwrap() / 2.0 * n as f64,
+    }
+}
+
+/// DGEMM: Table II measured on PVC; the FP64 theoretical peak on H100
+/// (Table IV lists no H100 DGEMM); MI250 is absent from the mini-GAMESS
+/// comparison (build failure).
+fn dgemm_metric(system: System, n: u32) -> Option<f64> {
+    match system {
+        System::Aurora | System::Dawn => {
+            Some(gemm_rate(system, Precision::Fp64, n) * n as f64)
+        }
+        System::JlseH100 => Some(reference::H100.fp64_peak.unwrap() * n as f64),
+        System::JlseMi250 => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_arch::units::rel_err;
+
+    #[test]
+    fn minibude_black_bar_fig2_is_0_88() {
+        // Appendix: "the expected relative performance is the ratio of
+        // the peak single precision performance on Aurora to that on
+        // Dawn, 0.88X (23 Tflops/s / 26 Tflop/s)".
+        let a = bound_metric(
+            System::Aurora,
+            BoundKind::Compute(Precision::Fp32),
+            ScaleLevel::OneStack,
+        )
+        .unwrap();
+        let d = bound_metric(
+            System::Dawn,
+            BoundKind::Compute(Precision::Fp32),
+            ScaleLevel::OneStack,
+        )
+        .unwrap();
+        assert!(rel_err(a / d, 0.88) < 0.02, "ratio {:.3}", a / d);
+    }
+
+    #[test]
+    fn cloverleaf_black_bar_fig3_is_0_59() {
+        // Appendix: "the ratio of the peak memory bandwidth on Aurora or
+        // Dawn to that on JLSE-H100, 0.59X (2 TB/s / 3.35 TB/s)" per GPU.
+        let pvc = bound_metric(System::Aurora, BoundKind::MemoryBandwidth, ScaleLevel::OneGpu)
+            .unwrap();
+        let h100 = bound_metric(
+            System::JlseH100,
+            BoundKind::MemoryBandwidth,
+            ScaleLevel::OneGpu,
+        )
+        .unwrap();
+        assert!(rel_err(pvc / h100, 0.597) < 0.02, "ratio {:.3}", pvc / h100);
+    }
+
+    #[test]
+    fn minibude_black_bar_fig4_per_stack() {
+        // Appendix: "For Aurora it's 1.0X (23 / (45.3/2)) and for Dawn
+        // 1.1X (26 / (45.3/2))".
+        let gcd = bound_metric(
+            System::JlseMi250,
+            BoundKind::Compute(Precision::Fp32),
+            ScaleLevel::OneStack,
+        )
+        .unwrap();
+        let a = bound_metric(
+            System::Aurora,
+            BoundKind::Compute(Precision::Fp32),
+            ScaleLevel::OneStack,
+        )
+        .unwrap();
+        let d = bound_metric(
+            System::Dawn,
+            BoundKind::Compute(Precision::Fp32),
+            ScaleLevel::OneStack,
+        )
+        .unwrap();
+        assert!(rel_err(a / gcd, 1.0) < 0.03, "Aurora {:.3}", a / gcd);
+        assert!(rel_err(d / gcd, 1.15) < 0.03, "Dawn {:.3}", d / gcd);
+    }
+
+    #[test]
+    fn congestion_bound_has_no_metric() {
+        // §V-B1: "none of the microbenchmarks represented the CPU
+        // congestion bottleneck" — miniQMC gets no black bar in Fig 2.
+        assert!(bound_metric(
+            System::Aurora,
+            BoundKind::HostCongestion,
+            ScaleLevel::FullNode
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn mi250_dgemm_metric_absent() {
+        assert!(dgemm_metric(System::JlseMi250, 1).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! `reproduce` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! reproduce [table1|table2|table3|table4|table5|table6|fig1|fig2|fig3|fig4|experiments|json|all]
+//! ```
+//! With no argument, prints everything.
+
+use pvc_memsim::LatsConfig;
+use pvc_report::{experiments, figdata, tables};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let mut out = String::new();
+
+    let fig1_cfg = LatsConfig::default();
+    match what {
+        "table1" => out.push_str(&tables::render_table1()),
+        "table2" => out.push_str(&tables::render_table2()),
+        "table3" => out.push_str(&tables::render_table3()),
+        "table4" => out.push_str(&tables::render_table4()),
+        "table5" => out.push_str(&tables::render_table5()),
+        "table6" => out.push_str(&tables::render_table6()),
+        "fig1" => out.push_str(&figdata::figure1_csv(&fig1_cfg)),
+        "fig2" => out.push_str(&figdata::render_figure2()),
+        "fig3" => out.push_str(&figdata::render_figure3()),
+        "fig4" => out.push_str(&figdata::render_figure4()),
+        "charts" => out.push_str(&figdata::render_figures_ascii()),
+        "experiments" => out.push_str(&experiments::markdown()),
+        "json" => out.push_str(&experiments::json()),
+        "rooflines" => out.push_str(&tables::render_rooflines()),
+        "ablations" => {
+            for t in [
+                pvc_report::ablations::governor_ablation(),
+                pvc_report::ablations::pcie_ablation(),
+                pvc_report::ablations::congestion_ablation(),
+                pvc_report::ablations::plane_ablation(),
+            ] {
+                out.push_str(&t.render());
+                out.push('\n');
+            }
+        }
+        "scaling" => out.push_str(&pvc_report::ablations::scaling_report().render()),
+        "energy" => out.push_str(&pvc_report::energy::render_energy_table()),
+        "devices" => out.push_str(&pvc_arch::query::systems_json()),
+        "csv" => {
+            let dir = args
+                .get(1)
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| std::path::PathBuf::from("artifacts"));
+            match pvc_report::csv::write_artifacts(&dir) {
+                Ok(paths) => {
+                    for p in paths {
+                        out.push_str(&format!("wrote {}\n", p.display()));
+                    }
+                }
+                Err(e) => {
+                    eprintln!("failed to write artifacts: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "fabric" => {
+            for sys in pvc_arch::System::PVC {
+                out.push_str(&pvc_report::fabric_matrix::render_matrix(sys));
+                out.push('\n');
+            }
+        }
+        "validate" => {
+            let records = experiments::collect();
+            let mut failures = 0usize;
+            let mut compared = 0usize;
+            for r in &records {
+                if let Some(e) = r.rel_err {
+                    compared += 1;
+                    if e > 0.08 {
+                        failures += 1;
+                        eprintln!(
+                            "FAIL {} / {} / {}: {:.1}% error",
+                            r.element, r.row, r.column, e * 100.0
+                        );
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "validated {compared} published cells against the model; {failures} outside 8%\n"
+            ));
+            if failures > 0 {
+                print!("{out}");
+                std::process::exit(1);
+            }
+        }
+        "all" => {
+            for s in [
+                tables::render_table1(),
+                tables::render_table2(),
+                tables::render_table3(),
+                tables::render_table4(),
+                tables::render_table5(),
+                tables::render_table6(),
+                figdata::render_figure2(),
+                figdata::render_figure3(),
+                figdata::render_figure4(),
+            ] {
+                out.push_str(&s);
+                out.push('\n');
+            }
+            out.push_str("Figure 1 (CSV):\n");
+            out.push_str(&figdata::figure1_csv(&LatsConfig {
+                min_bytes: 64 * 1024,
+                max_bytes: 1 << 30,
+                points_per_octave: 1,
+                steps: 1 << 13,
+            }));
+            out.push('\n');
+            out.push_str(&experiments::markdown());
+        }
+        other => {
+            eprintln!(
+                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, rooflines, ablations, scaling or all"
+            );
+            std::process::exit(2);
+        }
+    }
+    print!("{out}");
+}

@@ -1,0 +1,123 @@
+//! All-pairs bandwidth matrix: the topology view behind Table III.
+//!
+//! For each ordered stack pair of a PVC node, the isolated transfer
+//! bandwidth — MDFI on the diagonal blocks, Xe-Link off them, with the
+//! cross-plane two-hop cases indistinguishable in bandwidth (the MDFI
+//! hop is never the bottleneck) but distinguishable by hop count.
+
+use crate::render::TextTable;
+use pvc_arch::System;
+use pvc_fabric::plane::same_plane;
+use pvc_fabric::{NodeFabric, RouteVia, StackId};
+
+/// The ordered all-pairs matrix: `matrix[i][j]` = isolated bandwidth
+/// from stack i to stack j (bytes/s), `None` on the diagonal. Also
+/// returns the stack labels in order.
+pub fn bandwidth_matrix(system: System) -> (Vec<String>, Vec<Vec<Option<f64>>>) {
+    let node = system.node();
+    let fabric = NodeFabric::new(&node);
+    let stacks: Vec<StackId> = (0..node.gpus)
+        .flat_map(|g| (0..node.gpu.partitions).map(move |s| StackId::new(g, s)))
+        .collect();
+    let labels = stacks.iter().map(|s| s.to_string()).collect();
+    let matrix = stacks
+        .iter()
+        .map(|&a| {
+            stacks
+                .iter()
+                .map(|&b| {
+                    if a == b {
+                        None
+                    } else {
+                        Some(fabric.isolated_bandwidth(fabric.d2d_path(a, b, RouteVia::Auto)))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (labels, matrix)
+}
+
+/// Renders the matrix in GB/s with hop annotations (`*` marks a
+/// cross-plane two-hop route).
+pub fn render_matrix(system: System) -> String {
+    let node = system.node();
+    let (labels, matrix) = bandwidth_matrix(system);
+    let stacks: Vec<StackId> = (0..node.gpus)
+        .flat_map(|g| (0..node.gpu.partitions).map(move |s| StackId::new(g, s)))
+        .collect();
+    let mut t = TextTable::new(format!(
+        "{}: stack-to-stack isolated bandwidth, GB/s (* = cross-plane two-hop)",
+        system.label()
+    ))
+    .header(
+        std::iter::once("from \\ to".to_string())
+            .chain(labels.iter().cloned())
+            .collect(),
+    );
+    for (i, row) in matrix.iter().enumerate() {
+        let mut cells = vec![labels[i].clone()];
+        for (j, bw) in row.iter().enumerate() {
+            cells.push(match bw {
+                None => "-".to_string(),
+                Some(b) => {
+                    let two_hop = stacks[i].gpu != stacks[j].gpu
+                        && !same_plane(system, stacks[i], stacks[j]);
+                    format!("{:.0}{}", b / 1e9, if two_hop { "*" } else { "" })
+                }
+            });
+        }
+        t.push_row(cells);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aurora_matrix_shape_and_classes() {
+        let (labels, m) = bandwidth_matrix(System::Aurora);
+        assert_eq!(labels.len(), 12);
+        assert_eq!(m.len(), 12);
+        let mut mdfi = 0;
+        let mut xelink = 0;
+        for (i, row) in m.iter().enumerate() {
+            for (j, bw) in row.iter().enumerate() {
+                match bw {
+                    None => assert_eq!(i, j),
+                    Some(b) if (b / 1e9 - 197.0).abs() < 2.0 => mdfi += 1,
+                    Some(b) if (b / 1e9 - 15.0).abs() < 1.0 => xelink += 1,
+                    Some(b) => panic!("unexpected class {b:e} at ({i},{j})"),
+                }
+            }
+        }
+        // 6 cards x 2 directions of MDFI; everything else Xe-Link.
+        assert_eq!(mdfi, 12);
+        assert_eq!(xelink, 12 * 11 - 12);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn matrix_is_symmetric_in_bandwidth() {
+        let (_, m) = bandwidth_matrix(System::Dawn);
+        for i in 0..m.len() {
+            for j in 0..m.len() {
+                match (m[i][j], m[j][i]) {
+                    (Some(a), Some(b)) => assert!((a - b).abs() / b < 1e-9),
+                    (None, None) => {}
+                    _ => panic!("asymmetric presence at ({i},{j})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_marks_two_hop_routes() {
+        let s = render_matrix(System::Aurora);
+        assert!(s.contains('*'), "cross-plane routes must be marked:\n{s}");
+        assert!(s.contains("197"));
+        assert!(s.contains("15"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # pvc-report — regenerating every table and figure of the paper
+//!
+//! * [`render`] — plain-text table formatting;
+//! * [`published`] — the paper's printed values (Tables II, III, VI),
+//!   kept verbatim as the comparison baseline;
+//! * [`tables`] — builders assembling each table from the simulation
+//!   crates, paired cell-by-cell with the published values;
+//! * [`figdata`] — Figure 1 latency series and Figures 2–4 bar data;
+//! * [`experiments`] — the paper-vs-measured record used to generate
+//!   EXPERIMENTS.md.
+//!
+//! The `reproduce` binary (in `src/bin`) prints any or all of them.
+
+pub mod ablations;
+pub mod csv;
+pub mod energy;
+pub mod experiments;
+pub mod fabric_matrix;
+pub mod figdata;
+pub mod published;
+pub mod render;
+pub mod tables;

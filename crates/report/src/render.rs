@@ -1,0 +1,119 @@
+//! Minimal fixed-width text-table rendering.
+
+/// A plain-text table with a title, a header row and data rows.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        TextTable {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the header cells.
+    pub fn header(mut self, cells: Vec<String>) -> Self {
+        self.header = cells;
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, (c, w)) in cells.iter().zip(widths.iter()).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                // Left-align the first column, right-align the rest.
+                if i == 0 {
+                    s.push_str(&format!("{c:<w$}"));
+                } else {
+                    s.push_str(&format!("{c:>w$}"));
+                }
+            }
+            s
+        };
+        out.push_str(&line(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an optional value, printing the paper's dash for `None`.
+pub fn opt(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("T").header(vec!["name".into(), "v".into()]);
+        t.push_row(vec!["a".into(), "1.0".into()]);
+        t.push_row(vec!["long-name".into(), "22.5".into()]);
+        let s = t.render();
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
+                                    // Right alignment of numeric column.
+        assert!(lines[3].ends_with(" 1.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new("T").header(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["only".into()]);
+    }
+
+    #[test]
+    fn optional_formatting() {
+        assert_eq!(opt(Some(1.234), 2), "1.23");
+        assert_eq!(opt(None, 2), "-");
+    }
+}

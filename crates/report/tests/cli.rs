@@ -1,0 +1,78 @@
+//! End-to-end tests of the `reproduce` binary: the deliverable a user
+//! actually runs.
+
+use std::process::Command;
+
+fn reproduce(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn table2_prints_published_pairs() {
+    let (stdout, _, ok) = reproduce(&["table2"]);
+    assert!(ok);
+    assert!(stdout.contains("DGEMM"));
+    assert!(stdout.contains("13.0 | 13.0"), "{stdout}");
+}
+
+#[test]
+fn table6_prints_dashes_where_the_paper_does() {
+    let (stdout, _, ok) = reproduce(&["table6"]);
+    assert!(ok);
+    assert!(stdout.contains("mini-GAMESS"));
+    // MI250 mini-GAMESS columns are dashes.
+    assert!(stdout.contains("- | -"));
+}
+
+#[test]
+fn validate_exits_zero_when_model_is_in_tolerance() {
+    let (stdout, _, ok) = reproduce(&["validate"]);
+    assert!(ok, "validate must pass on the shipped calibration");
+    assert!(stdout.contains("135 published cells"));
+    assert!(stdout.contains("0 outside"));
+}
+
+#[test]
+fn unknown_target_fails_with_guidance() {
+    let (_, stderr, ok) = reproduce(&["tableX"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown target"));
+    assert!(stderr.contains("table1..table6"));
+}
+
+#[test]
+fn fig1_emits_csv() {
+    let (stdout, _, ok) = reproduce(&["fig1"]);
+    assert!(ok);
+    let header = stdout.lines().next().expect("has header");
+    assert!(header.starts_with("footprint_bytes"));
+    assert_eq!(header.split(',').count(), 5);
+}
+
+#[test]
+fn scaling_summary_prints_percentages() {
+    let (stdout, _, ok) = reproduce(&["scaling"]);
+    assert!(ok);
+    assert!(stdout.contains("Triad bandwidth"));
+    assert!(stdout.contains("100%"));
+}
+
+#[test]
+fn csv_writes_artifacts_to_requested_dir() {
+    let dir = std::env::temp_dir().join("pvc_cli_csv_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (stdout, _, ok) = reproduce(&["csv", dir.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    for f in ["table2.csv", "table3.csv", "table6.csv", "figure1.csv"] {
+        assert!(dir.join(f).exists(), "{f} missing");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

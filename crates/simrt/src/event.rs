@@ -1,0 +1,224 @@
+//! Classic event-queue discrete-event simulator.
+//!
+//! [`EventSim`] owns a virtual clock and a priority queue of events. Each
+//! event is a boxed `FnOnce(&mut EventSim)` handler; handlers may schedule
+//! further events. Ties in time are broken by insertion order, so a given
+//! schedule is fully deterministic.
+//!
+//! This simulator is intentionally minimal: the heavy lifting for
+//! bandwidth contention is done by the fluid [`crate::flow::FlowNetwork`];
+//! `EventSim` is used where explicit sequencing matters (host/device
+//! overlap, pipelined mini-app phases, failure injection in tests).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+type Handler = Box<dyn FnOnce(&mut EventSim)>;
+
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    handler: Handler,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator.
+///
+/// # Example
+/// ```
+/// use pvc_simrt::{EventSim, Time};
+///
+/// let mut sim = EventSim::new();
+/// sim.schedule(Time::from_secs(1.0), |sim| {
+///     // chain a follow-up event 0.5 s later
+///     let next = sim.now() + 0.5;
+///     sim.schedule(next, |_| {});
+/// });
+/// sim.run();
+/// assert_eq!(sim.now().as_secs(), 1.5);
+/// ```
+#[derive(Default)]
+pub struct EventSim {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    processed: u64,
+}
+
+impl EventSim {
+    /// Creates an empty simulator at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules `handler` to run at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past — causality violations are
+    /// model bugs and must fail loudly.
+    pub fn schedule<F>(&mut self, at: Time, handler: F)
+    where
+        F: FnOnce(&mut EventSim) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: {} < {}",
+            at,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            handler: Box::new(handler),
+        });
+    }
+
+    /// Schedules `handler` to run `delay` seconds from now.
+    pub fn schedule_in<F>(&mut self, delay: f64, handler: F)
+    where
+        F: FnOnce(&mut EventSim) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule(at, handler);
+    }
+
+    /// Runs until the event queue is empty, returning the final time.
+    pub fn run(&mut self) -> Time {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs events with `at <= deadline`, leaving later events queued.
+    /// The clock ends at `max(deadline, now)`.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+        self.now
+    }
+
+    /// Pops and executes a single event. Returns false when idle.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.processed += 1;
+                (ev.handler)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True when no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = EventSim::new();
+        for &(t, tag) in &[(3.0, 'c'), (1.0, 'a'), (2.0, 'b')] {
+            let order = Rc::clone(&order);
+            sim.schedule(Time::from_secs(t), move |_| order.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!['a', 'b', 'c']);
+        assert_eq!(sim.now().as_secs(), 3.0);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = EventSim::new();
+        for tag in 0..10u32 {
+            let order = Rc::clone(&order);
+            sim.schedule(Time::from_secs(1.0), move |_| order.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut sim = EventSim::new();
+        sim.schedule(Time::from_secs(1.0), |sim| {
+            sim.schedule_in(0.5, |sim| {
+                sim.schedule_in(0.25, |_| {});
+            });
+        });
+        let end = sim.run();
+        assert!((end.as_secs() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let fired = Rc::new(RefCell::new(0u32));
+        let mut sim = EventSim::new();
+        for t in [1.0, 2.0, 3.0] {
+            let fired = Rc::clone(&fired);
+            sim.schedule(Time::from_secs(t), move |_| *fired.borrow_mut() += 1);
+        }
+        sim.run_until(Time::from_secs(2.0));
+        assert_eq!(*fired.borrow(), 2);
+        assert!(!sim.is_idle());
+        sim.run();
+        assert_eq!(*fired.borrow(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn past_scheduling_panics() {
+        let mut sim = EventSim::new();
+        sim.schedule(Time::from_secs(5.0), |sim| {
+            sim.schedule(Time::from_secs(1.0), |_| {});
+        });
+        sim.run();
+    }
+}

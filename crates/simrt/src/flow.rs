@@ -1,0 +1,560 @@
+//! Fluid-flow network with max–min fair bandwidth sharing.
+//!
+//! Bulk data transfers on a node (PCIe host↔device copies, MDFI
+//! stack-to-stack traffic, Xe-Link peer traffic) are modelled as *flows*
+//! that each traverse a set of capacity-limited *resources*. A resource
+//! is anything that can saturate: one direction of a PCIe x16 link, the
+//! per-socket root-complex aggregate, a duplex pool that caps the sum of
+//! both directions of a link below 2× (the paper observes a 1.4×
+//! bidirectional factor, §IV-B4), or an Xe-Link plane.
+//!
+//! Concurrent flows share each resource with **max–min fairness**
+//! (progressive filling): all flows ramp together until some resource
+//! saturates; flows through a saturated resource are frozen at their fair
+//! share; remaining flows continue ramping. This reproduces, from first
+//! principles, effects such as the paper's 40% full-node H2D scaling
+//! (12 ranks sharing two root complexes) without per-row calibration.
+//!
+//! The simulation itself is event-driven on the *fluid* timescale: rates
+//! are piecewise constant between flow arrivals/completions, so we
+//! repeatedly (1) solve the max–min allocation, (2) jump to the next
+//! arrival or completion, (3) debit transferred bytes.
+
+use crate::time::Time;
+
+/// Identifies a capacity-limited resource in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(pub usize);
+
+/// Identifies a flow returned by [`FlowNetwork::add_flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub usize);
+
+/// A transfer request: `bytes` moving across every resource in `path`
+/// starting at `start`.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Absolute start time of the transfer.
+    pub start: Time,
+    /// Payload size in bytes. Must be positive.
+    pub bytes: f64,
+    /// Resources the flow consumes simultaneously (link directions,
+    /// shared pools, …). Must be non-empty.
+    pub path: Vec<ResourceId>,
+    /// Fixed startup latency (seconds) before the fluid transfer begins —
+    /// models software/launch latency of a copy or message.
+    pub latency: f64,
+}
+
+/// Completion record for one flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferOutcome {
+    /// The flow this outcome describes.
+    pub flow: FlowId,
+    /// Time the flow became active (start + latency).
+    pub began: Time,
+    /// Time the last byte arrived.
+    pub finished: Time,
+    /// Payload bytes (as requested).
+    pub bytes: f64,
+}
+
+impl TransferOutcome {
+    /// Achieved bandwidth over the active period, bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        let dt = self.finished - self.began;
+        if dt <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.bytes / dt
+        }
+    }
+
+    /// End-to-end duration including startup latency, measured from the
+    /// original request start.
+    pub fn duration_from(&self, start: Time) -> f64 {
+        self.finished - start
+    }
+}
+
+/// One piecewise-constant segment of a flow's achieved rate, produced by
+/// [`FlowNetwork::run_traced`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSegment {
+    /// The flow this segment belongs to.
+    pub flow: FlowId,
+    /// Segment start.
+    pub from: Time,
+    /// Segment end.
+    pub to: Time,
+    /// Allocated rate during the segment, bytes/s.
+    pub rate: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Resource {
+    capacity: f64, // bytes/s
+    enabled: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    spec: FlowSpec,
+    remaining: f64,
+    began: Option<Time>,
+    finished: Option<Time>,
+}
+
+/// A fluid-flow network. Build resources with [`add_resource`], submit
+/// flows with [`add_flow`], then [`run`] to completion.
+///
+/// [`add_resource`]: FlowNetwork::add_resource
+/// [`add_flow`]: FlowNetwork::add_flow
+/// [`run`]: FlowNetwork::run
+///
+/// # Example: two flows share a link fairly
+/// ```
+/// use pvc_simrt::{FlowNetwork, FlowSpec, Time};
+///
+/// let mut net = FlowNetwork::new();
+/// let link = net.add_resource(100.0); // 100 B/s
+/// let a = net.add_flow(FlowSpec { start: Time::ZERO, bytes: 100.0, path: vec![link], latency: 0.0 });
+/// let b = net.add_flow(FlowSpec { start: Time::ZERO, bytes: 100.0, path: vec![link], latency: 0.0 });
+/// let done = net.run();
+/// // both make 50 B/s while sharing, so both finish at t = 2 s
+/// assert!((done[&a].finished.as_secs() - 2.0).abs() < 1e-9);
+/// assert!((done[&b].finished.as_secs() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Default)]
+pub struct FlowNetwork {
+    resources: Vec<Resource>,
+    flows: Vec<Flow>,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a resource with `capacity` bytes/second; returns its id.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not positive and finite.
+    pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "resource capacity must be positive and finite, got {capacity}"
+        );
+        self.resources.push(Resource {
+            capacity,
+            enabled: true,
+        });
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Disables a resource (failure injection): flows whose path contains
+    /// a disabled resource never progress. [`run`](Self::run) reports them
+    /// as unfinished.
+    pub fn disable_resource(&mut self, id: ResourceId) {
+        self.resources[id.0].enabled = false;
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// A fresh network sharing this one's resource definitions but with
+    /// no flows — useful for probing a path's isolated capacity without
+    /// disturbing queued work.
+    pub fn clone_resources(&self) -> FlowNetwork {
+        FlowNetwork {
+            resources: self.resources.clone(),
+            flows: Vec::new(),
+        }
+    }
+
+    /// Submits a flow; returns its id.
+    ///
+    /// # Panics
+    /// Panics on empty paths, non-positive byte counts, out-of-range
+    /// resource ids, or negative latency.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        assert!(!spec.path.is_empty(), "flow path must not be empty");
+        assert!(
+            spec.bytes.is_finite() && spec.bytes > 0.0,
+            "flow bytes must be positive, got {}",
+            spec.bytes
+        );
+        assert!(
+            spec.latency.is_finite() && spec.latency >= 0.0,
+            "flow latency must be non-negative"
+        );
+        for r in &spec.path {
+            assert!(r.0 < self.resources.len(), "unknown resource {:?}", r);
+        }
+        let remaining = spec.bytes;
+        self.flows.push(Flow {
+            spec,
+            remaining,
+            began: None,
+            finished: None,
+        });
+        FlowId(self.flows.len() - 1)
+    }
+
+    /// Max–min fair rate allocation over currently-active flows.
+    ///
+    /// `active` holds indices into `self.flows`. Returns rates aligned
+    /// with `active`. Flows through disabled resources get rate 0.
+    fn allocate(&self, active: &[usize]) -> Vec<f64> {
+        let nr = self.resources.len();
+        let mut rates = vec![0.0f64; active.len()];
+        let mut frozen = vec![false; active.len()];
+        // Residual capacity and unfrozen-flow count per resource.
+        let mut residual: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
+        let mut count = vec![0usize; nr];
+        for (ai, &fi) in active.iter().enumerate() {
+            let blocked = self.flows[fi]
+                .spec
+                .path
+                .iter()
+                .any(|r| !self.resources[r.0].enabled);
+            if blocked {
+                frozen[ai] = true; // rate stays 0
+            } else {
+                for r in &self.flows[fi].spec.path {
+                    count[r.0] += 1;
+                }
+            }
+        }
+
+        // Progressive filling: repeatedly saturate the tightest resource.
+        loop {
+            let mut bottleneck: Option<(usize, f64)> = None;
+            for (ri, res) in self.resources.iter().enumerate() {
+                if count[ri] == 0 || !res.enabled {
+                    continue;
+                }
+                let share = residual[ri] / count[ri] as f64;
+                if bottleneck.is_none_or(|(_, s)| share < s) {
+                    bottleneck = Some((ri, share));
+                }
+            }
+            let Some((ri, share)) = bottleneck else { break };
+
+            // Freeze every unfrozen flow crossing the bottleneck at its
+            // current fair share, then debit that bandwidth everywhere.
+            for (ai, &fi) in active.iter().enumerate() {
+                if frozen[ai] {
+                    continue;
+                }
+                let flow = &self.flows[fi];
+                if !flow.spec.path.iter().any(|r| r.0 == ri) {
+                    continue;
+                }
+                frozen[ai] = true;
+                rates[ai] = share;
+                for r in &flow.spec.path {
+                    residual[r.0] = (residual[r.0] - share).max(0.0);
+                    count[r.0] -= 1;
+                }
+            }
+        }
+        rates
+    }
+
+    /// Runs the network to quiescence; returns outcomes for every flow
+    /// that finished. Flows blocked by disabled resources are omitted.
+    pub fn run(&mut self) -> std::collections::HashMap<FlowId, TransferOutcome> {
+        self.run_inner(None)
+    }
+
+    /// Like [`run`](Self::run), but also records the piecewise-constant
+    /// rate schedule of every flow — the raw material for contention
+    /// timelines.
+    pub fn run_traced(
+        &mut self,
+    ) -> (
+        std::collections::HashMap<FlowId, TransferOutcome>,
+        Vec<RateSegment>,
+    ) {
+        let mut trace = Vec::new();
+        let outcomes = self.run_inner(Some(&mut trace));
+        (outcomes, trace)
+    }
+
+    fn run_inner(
+        &mut self,
+        mut trace: Option<&mut Vec<RateSegment>>,
+    ) -> std::collections::HashMap<FlowId, TransferOutcome> {
+        const EPS_BYTES: f64 = 1e-6;
+
+        let mut now = Time::ZERO;
+        loop {
+            // Partition flows: active = begun and unfinished; pending =
+            // not yet begun.
+            let mut active: Vec<usize> = Vec::new();
+            let mut next_arrival: Option<Time> = None;
+            for (fi, f) in self.flows.iter().enumerate() {
+                if f.finished.is_some() {
+                    continue;
+                }
+                let begins = f.spec.start + f.spec.latency;
+                if begins <= now {
+                    active.push(fi);
+                } else {
+                    next_arrival = Some(next_arrival.map_or(begins, |t: Time| t.min(begins)));
+                }
+            }
+
+            if active.is_empty() {
+                match next_arrival {
+                    Some(t) => {
+                        now = t;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            for &fi in &active {
+                if self.flows[fi].began.is_none() {
+                    self.flows[fi].began = Some(now);
+                }
+            }
+
+            let rates = self.allocate(&active);
+
+            // Earliest completion among progressing flows.
+            let mut horizon: Option<f64> = None;
+            for (ai, &fi) in active.iter().enumerate() {
+                if rates[ai] > 0.0 {
+                    let dt = self.flows[fi].remaining / rates[ai];
+                    horizon = Some(horizon.map_or(dt, |h: f64| h.min(dt)));
+                }
+            }
+            // Blocked forever (all rates zero) and nothing will arrive to
+            // change that: stop. Otherwise jump to the next arrival.
+            let Some(mut dt) = horizon else {
+                match next_arrival {
+                    Some(t) => {
+                        now = t;
+                        continue;
+                    }
+                    None => break,
+                }
+            };
+            if let Some(arr) = next_arrival {
+                dt = dt.min(arr - now);
+            }
+
+            if let Some(t) = trace.as_deref_mut() {
+                for (ai, &fi) in active.iter().enumerate() {
+                    t.push(RateSegment {
+                        flow: FlowId(fi),
+                        from: now,
+                        to: now + dt,
+                        rate: rates[ai],
+                    });
+                }
+            }
+
+            now += dt;
+            for (ai, &fi) in active.iter().enumerate() {
+                let f = &mut self.flows[fi];
+                f.remaining -= rates[ai] * dt;
+                if f.remaining <= EPS_BYTES {
+                    f.remaining = 0.0;
+                    f.finished = Some(now);
+                }
+            }
+        }
+
+        self.flows
+            .iter()
+            .enumerate()
+            .filter_map(|(fi, f)| {
+                let finished = f.finished?;
+                Some((
+                    FlowId(fi),
+                    TransferOutcome {
+                        flow: FlowId(fi),
+                        began: f.began.expect("finished flow must have begun"),
+                        finished,
+                        bytes: f.spec.bytes,
+                    },
+                ))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(start: f64, bytes: f64, path: Vec<ResourceId>) -> FlowSpec {
+        FlowSpec {
+            start: Time::from_secs(start),
+            bytes,
+            path,
+            latency: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_flow_runs_at_capacity() {
+        let mut net = FlowNetwork::new();
+        let link = net.add_resource(50.0);
+        let f = net.add_flow(spec(0.0, 100.0, vec![link]));
+        let done = net.run();
+        assert!((done[&f].finished.as_secs() - 2.0).abs() < 1e-9);
+        assert!((done[&f].bandwidth() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn startup_latency_delays_begin() {
+        let mut net = FlowNetwork::new();
+        let link = net.add_resource(100.0);
+        let f = net.add_flow(FlowSpec {
+            start: Time::ZERO,
+            bytes: 100.0,
+            path: vec![link],
+            latency: 0.5,
+        });
+        let done = net.run();
+        assert!((done[&f].began.as_secs() - 0.5).abs() < 1e-9);
+        assert!((done[&f].finished.as_secs() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unequal_flows_release_bandwidth() {
+        // Flow a: 50 B, flow b: 150 B on a 100 B/s link. Share until a
+        // finishes at t=1 (50 B each), then b runs alone: 100 B left at
+        // 100 B/s -> finishes t=2.
+        let mut net = FlowNetwork::new();
+        let link = net.add_resource(100.0);
+        let a = net.add_flow(spec(0.0, 50.0, vec![link]));
+        let b = net.add_flow(spec(0.0, 150.0, vec![link]));
+        let done = net.run();
+        assert!((done[&a].finished.as_secs() - 1.0).abs() < 1e-9);
+        assert!((done[&b].finished.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staggered_arrival() {
+        // b arrives at t=1 while a (200 B @ 100 B/s) is mid-flight.
+        let mut net = FlowNetwork::new();
+        let link = net.add_resource(100.0);
+        let a = net.add_flow(spec(0.0, 200.0, vec![link]));
+        let b = net.add_flow(spec(1.0, 100.0, vec![link]));
+        let done = net.run();
+        // a: 100 B alone (t=0..1), then 100 B at 50 B/s -> t=3.
+        assert!((done[&a].finished.as_secs() - 3.0).abs() < 1e-9);
+        // b: 100 B at 50 B/s from t=1 .. but a finishes at 3 with b having
+        // moved 100 B at t=3 too.
+        assert!((done[&b].finished.as_secs() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_pool_caps_aggregate() {
+        // Two directions of 60 each, plus a duplex pool of 84 (1.4x):
+        // bidirectional transfers get 42 each, not 60.
+        let mut net = FlowNetwork::new();
+        let h2d = net.add_resource(60.0);
+        let d2h = net.add_resource(60.0);
+        let duplex = net.add_resource(84.0);
+        let up = net.add_flow(spec(0.0, 84.0, vec![h2d, duplex]));
+        let dn = net.add_flow(spec(0.0, 84.0, vec![d2h, duplex]));
+        let done = net.run();
+        assert!((done[&up].bandwidth() - 42.0).abs() < 1e-6);
+        assert!((done[&dn].bandwidth() - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_min_not_proportional() {
+        // Three flows: two short-path on separate links, one crossing
+        // both. Max–min gives the crossing flow the min fair share.
+        let mut net = FlowNetwork::new();
+        let l1 = net.add_resource(100.0);
+        let l2 = net.add_resource(50.0);
+        let a = net.add_flow(spec(0.0, 1000.0, vec![l1]));
+        let b = net.add_flow(spec(0.0, 1000.0, vec![l2]));
+        let c = net.add_flow(spec(0.0, 1000.0, vec![l1, l2]));
+        // Allocation at t=0: l2 is tightest (50/2=25): b=c=25. Then l1
+        // residual 75 for a alone -> a=75.
+        let rates = net.allocate(&[0, 1, 2]);
+        let _ = (a, b, c);
+        assert!((rates[2] - 25.0).abs() < 1e-9);
+        assert!((rates[1] - 25.0).abs() < 1e-9);
+        assert!((rates[0] - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_resource_blocks_flow() {
+        let mut net = FlowNetwork::new();
+        let l1 = net.add_resource(100.0);
+        let l2 = net.add_resource(100.0);
+        net.disable_resource(l2);
+        let ok = net.add_flow(spec(0.0, 100.0, vec![l1]));
+        let blocked = net.add_flow(spec(0.0, 100.0, vec![l2]));
+        let done = net.run();
+        assert!(done.contains_key(&ok));
+        assert!(!done.contains_key(&blocked));
+    }
+
+    #[test]
+    fn twelve_ranks_contend_on_two_sockets() {
+        // Miniature of the paper's full-node H2D run: 12 flows, each on
+        // its own device link (cap 55), 6 per socket pool (cap 165).
+        // Per-flow rate = 165/6 = 27.5, aggregate = 330 < 12*55 = 660.
+        let mut net = FlowNetwork::new();
+        let mut flows = Vec::new();
+        for s in 0..2 {
+            let pool = net.add_resource(165.0);
+            let _ = s;
+            for _ in 0..6 {
+                let dev = net.add_resource(55.0);
+                flows.push(net.add_flow(spec(0.0, 275.0, vec![dev, pool])));
+            }
+        }
+        let done = net.run();
+        let agg: f64 = flows.iter().map(|f| done[f].bandwidth()).sum();
+        assert!((agg - 330.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn traced_run_records_rate_changes() {
+        // a (50 B) and b (150 B) share a 100 B/s link: a's one segment at
+        // 50 B/s; b has two segments (50 then 100 B/s after a finishes).
+        let mut net = FlowNetwork::new();
+        let link = net.add_resource(100.0);
+        let a = net.add_flow(spec(0.0, 50.0, vec![link]));
+        let b = net.add_flow(spec(0.0, 150.0, vec![link]));
+        let (done, trace) = net.run_traced();
+        assert!(done.contains_key(&a) && done.contains_key(&b));
+        let b_segs: Vec<_> = trace.iter().filter(|s| s.flow == b).collect();
+        assert_eq!(b_segs.len(), 2);
+        assert!((b_segs[0].rate - 50.0).abs() < 1e-9);
+        assert!((b_segs[1].rate - 100.0).abs() < 1e-9);
+        // Byte conservation: integral of rate over segments == bytes.
+        let moved: f64 = b_segs.iter().map(|s| s.rate * (s.to - s.from)).sum();
+        assert!((moved - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow path must not be empty")]
+    fn empty_path_rejected() {
+        let mut net = FlowNetwork::new();
+        net.add_flow(spec(0.0, 1.0, vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "resource capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let mut net = FlowNetwork::new();
+        net.add_resource(0.0);
+    }
+}

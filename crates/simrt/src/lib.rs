@@ -1,0 +1,25 @@
+//! # pvc-simrt — discrete-event simulation runtime
+//!
+//! A small deterministic discrete-event simulation (DES) substrate used by
+//! the Ponte Vecchio node-benchmarking reproduction. Two facilities are
+//! provided:
+//!
+//! * [`EventSim`] — a classic event-queue simulator with a virtual clock
+//!   and `FnOnce` event handlers, used for host/device overlap modelling.
+//! * [`FlowNetwork`] — a fluid-flow network in which *flows* (bulk data
+//!   transfers) traverse sets of capacity-limited *resources* (PCIe
+//!   directions, root-complex pools, Xe-Link planes, …) and share
+//!   bandwidth with **max–min fairness**. Contention effects such as the
+//!   paper's 40% full-node PCIe scaling emerge from this model rather
+//!   than from lookup tables.
+//!
+//! Time is modelled as `f64` seconds wrapped in [`Time`]; all event
+//! ordering is deterministic (ties broken by insertion sequence).
+
+pub mod event;
+pub mod flow;
+pub mod time;
+
+pub use event::EventSim;
+pub use flow::{FlowId, FlowNetwork, FlowSpec, RateSegment, ResourceId, TransferOutcome};
+pub use time::Time;

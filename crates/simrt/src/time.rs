@@ -1,0 +1,148 @@
+//! Virtual simulation time.
+//!
+//! Simulated time is a non-negative `f64` number of seconds. `f64` gives
+//! more than enough resolution for the nanosecond-to-minute spans that
+//! node-level benchmarking covers, and keeps the analytic performance
+//! models (which naturally produce fractional seconds) free of rounding
+//! ceremony. [`Time`] is a thin ordered wrapper that rejects NaN at
+//! construction so the event queue ordering is total.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since simulation start.
+///
+/// The default value is [`Time::ZERO`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Time(f64);
+
+impl Time {
+    /// Simulation epoch (t = 0).
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates a time stamp from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or negative — either indicates a broken
+    /// performance model upstream and must not silently corrupt event
+    /// ordering.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid simulation time: {secs}"
+        );
+        Time(secs)
+    }
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Nanoseconds since simulation start (saturating on overflow of f64
+    /// precision; fine for reporting).
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// `self + secs`, panicking on NaN/negative results.
+    pub fn advanced_by(self, secs: f64) -> Self {
+        Time::from_secs(self.0 + secs)
+    }
+}
+
+impl Eq for Time {}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Constructor guarantees non-NaN, so partial_cmp is total here.
+        self.0.partial_cmp(&other.0).expect("Time is never NaN")
+    }
+}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for Time {
+    type Output = Time;
+    fn add(self, rhs: f64) -> Time {
+        self.advanced_by(rhs)
+    }
+}
+
+impl AddAssign<f64> for Time {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = self.advanced_by(rhs);
+    }
+}
+
+impl Sub for Time {
+    type Output = f64;
+    fn sub(self, rhs: Time) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1e-6 {
+            write!(f, "{:.3} ns", self.0 * 1e9)
+        } else if self.0 < 1e-3 {
+            write!(f, "{:.3} µs", self.0 * 1e6)
+        } else if self.0 < 1.0 {
+            write!(f, "{:.3} ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.6} s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_sane() {
+        let a = Time::from_secs(1.0);
+        let b = Time::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Time::ZERO.min(a), Time::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_secs(1.5) + 0.5;
+        assert_eq!(t.as_secs(), 2.0);
+        assert_eq!(t - Time::from_secs(0.5), 1.5);
+        let mut u = Time::ZERO;
+        u += 3.0;
+        assert_eq!(u.as_secs(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation time")]
+    fn nan_rejected() {
+        let _ = Time::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation time")]
+    fn negative_rejected() {
+        let _ = Time::from_secs(-1.0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Time::from_secs(2e-9)), "2.000 ns");
+        assert_eq!(format!("{}", Time::from_secs(2e-6)), "2.000 µs");
+        assert_eq!(format!("{}", Time::from_secs(2e-3)), "2.000 ms");
+        assert_eq!(format!("{}", Time::from_secs(2.0)), "2.000000 s");
+    }
+}

@@ -1,0 +1,63 @@
+//! Contention timeline: watch the max–min fair-share allocator react as
+//! transfers arrive and finish on an Aurora socket — the §IV-B4
+//! root-complex story frame by frame.
+//!
+//! ```text
+//! cargo run --release --example contention_timeline
+//! ```
+
+use pvc_core::fabric::NodeFabric;
+use pvc_core::prelude::*;
+use pvc_core::simrt::FlowSpec;
+
+fn main() {
+    let node = System::Aurora.node();
+    let fabric = NodeFabric::with_active(&node, 6);
+    let mut net = fabric.net.clone_resources();
+
+    // Three cards of socket 0 start staggered 5 GB D2H transfers.
+    println!("Three staggered 5 GB D2H transfers on Aurora socket 0:");
+    let mut ids = Vec::new();
+    for (i, g) in [0u32, 1, 2].iter().enumerate() {
+        let s = StackId::new(*g, 0);
+        let id = net.add_flow(FlowSpec {
+            start: Time::from_secs(i as f64 * 0.02),
+            bytes: 5e9,
+            path: fabric.d2h_path(s),
+            latency: 0.0,
+        });
+        println!("  flow {i}: card {g}, starts at t = {:.0} ms", i as f64 * 20.0);
+        ids.push(id);
+    }
+
+    let (done, trace) = net.run_traced();
+
+    println!("\nPiecewise-constant rate schedule (the fluid allocator's output):");
+    println!("{:<8} {:>10} {:>10} {:>12}", "flow", "from (ms)", "to (ms)", "rate (GB/s)");
+    for seg in &trace {
+        let idx = ids.iter().position(|&id| id == seg.flow).unwrap();
+        println!(
+            "flow {:<3} {:>10.1} {:>10.1} {:>12.1}",
+            idx,
+            seg.from.as_secs() * 1e3,
+            seg.to.as_secs() * 1e3,
+            seg.rate / 1e9
+        );
+    }
+
+    println!("\nOutcomes:");
+    for (i, id) in ids.iter().enumerate() {
+        let o = &done[id];
+        println!(
+            "  flow {i}: finished at {:>6.1} ms, average {:.1} GB/s",
+            o.finished.as_secs() * 1e3,
+            o.bandwidth() / 1e9
+        );
+    }
+    println!(
+        "\nWith one card active each flow gets its 53 GB/s adapter rate; as the\n\
+         second and third join, the socket's 132 GB/s D2H root complex caps the\n\
+         aggregate — the same mechanism that turns 12 x 53 GB/s of demand into\n\
+         Table II's 264 GB/s full-node figure."
+    );
+}

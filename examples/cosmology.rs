@@ -1,0 +1,49 @@
+//! Cosmology scenario (the CRK-HACC workload of §VI-A2): a real N-body
+//! run — collapse of a jittered particle cube under self-gravity with
+//! energy diagnostics and an SPH density estimate — followed by the
+//! node-level Table VI FOM comparison.
+//!
+//! ```text
+//! cargo run --release --example cosmology
+//! ```
+
+use pvc_core::apps::hacc::{
+    fom_node, leapfrog_step, particle_cube, sph_density, total_energy,
+};
+use pvc_core::prelude::*;
+
+fn main() {
+    let n = 12; // 12^3 = 1728 particles
+    let mut particles = particle_cube(n, 42);
+    println!(
+        "N-body collapse: {} particles, leapfrog dt = 5e-4",
+        particles.len()
+    );
+    let e0 = total_energy(&particles);
+    println!("t=0      E = {e0:+.6}");
+    for step in 1..=100 {
+        leapfrog_step(&mut particles, 5e-4);
+        if step % 25 == 0 {
+            let e = total_energy(&particles);
+            println!(
+                "step {step:>3}  E = {e:+.6}  (drift {:+.2e})",
+                (e - e0) / e0.abs()
+            );
+        }
+    }
+
+    let rho = sph_density(&particles, 0.15);
+    let mean = rho.iter().sum::<f32>() / rho.len() as f32;
+    let max = rho.iter().cloned().fold(0.0f32, f32::max);
+    println!("SPH density after collapse: mean {mean:.2}, max {max:.2} (clustering!)");
+
+    println!("\nNode-level CRK-HACC FOMs (N_p x N_steps / time):");
+    for sys in System::ALL {
+        println!("  {:<14} {:6.2}", sys.label(), fom_node(sys));
+    }
+    println!(
+        "\nAll four systems within {:.0}% of each other — §VI-B2's scaled-performance\n\
+         observation that GPU compute, CPU threads and host bandwidth all matter.",
+        (fom_node(System::Aurora) / fom_node(System::JlseMi250) - 1.0) * 100.0
+    );
+}

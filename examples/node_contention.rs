@@ -1,0 +1,71 @@
+//! Node-contention scenario: the §IV-B4 and §IV-B7 stories, live.
+//!
+//! Shows (1) how full-node PCIe traffic saturates the per-socket root
+//! complexes on Aurora while Dawn's two-cards-per-socket layout stays
+//! clean, and (2) the two-plane Xe-Link topology, including the
+//! cross-plane two-hop routes of §IV-A4.
+//!
+//! ```text
+//! cargo run --release --example node_contention
+//! ```
+
+use pvc_core::fabric::comm::Transfer;
+use pvc_core::fabric::plane::plane_of;
+use pvc_core::fabric::{NodeFabric, RouteVia};
+use pvc_core::prelude::*;
+
+fn main() {
+    println!("== PCIe: per-rank D2H bandwidth as the node fills up ==");
+    for sys in System::PVC {
+        let node = sys.node();
+        println!("{}:", sys.label());
+        for active in [1u32, 2, node.partitions() / 2, node.partitions()] {
+            let comm = Comm::new(sys, active);
+            let stacks = comm.all_stacks();
+            let ts: Vec<Transfer> = stacks
+                .iter()
+                .take(active as usize)
+                .map(|&s| Transfer::D2h(s))
+                .collect();
+            let r = comm.run_transfers(&ts, 500e6);
+            println!(
+                "  {active:>2} ranks: aggregate {:6.1} GB/s  ({:5.1} GB/s per rank)",
+                r.aggregate_bandwidth() / 1e9,
+                r.aggregate_bandwidth() / 1e9 / active as f64
+            );
+        }
+    }
+    println!("(Aurora saturates its 2 x 132 GB/s D2H root-complex pools — the 40% of §IV-B4.)");
+
+    println!("\n== Xe-Link planes on Aurora (§IV-A4) ==");
+    let aurora = System::Aurora.node();
+    for plane in 0..2 {
+        let members: Vec<String> = (0..aurora.gpus)
+            .flat_map(|g| (0..2).map(move |s| StackId::new(g, s)))
+            .filter(|&id| plane_of(System::Aurora, id) == plane)
+            .map(|id| id.to_string())
+            .collect();
+        println!("plane {plane}: {}", members.join(", "));
+    }
+
+    println!("\n== Routing 0.0 -> 1.0 (cross-plane, two candidate paths) ==");
+    let fabric = NodeFabric::new(&aurora);
+    let a = StackId::new(0, 0);
+    let b = StackId::new(1, 0);
+    for (name, via) in [
+        ("via source sibling (0.0->0.1->1.0)", RouteVia::SourceSibling),
+        ("via dest sibling   (0.0->1.1->1.0)", RouteVia::DestSibling),
+    ] {
+        let bw = fabric.isolated_bandwidth(fabric.d2d_path(a, b, via));
+        println!("  {name}: {:.1} GB/s", bw / 1e9);
+    }
+    let one_hop = fabric.isolated_bandwidth(fabric.d2d_path(a, StackId::new(1, 1), RouteVia::Auto));
+    let mdfi = fabric.isolated_bandwidth(fabric.d2d_path(a, StackId::new(0, 1), RouteVia::Auto));
+    println!("  same-plane one hop (0.0->1.1): {:.1} GB/s", one_hop / 1e9);
+    println!("  on-card MDFI       (0.0->0.1): {:.1} GB/s", mdfi / 1e9);
+    println!(
+        "\nXe-Link ({:.0} GB/s) is slower than PCIe H2D ({:.0} GB/s) — §IV-B7.",
+        one_hop / 1e9,
+        aurora.pcie.per_card_h2d / 1e9
+    );
+}

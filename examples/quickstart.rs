@@ -1,0 +1,63 @@
+//! Quickstart: a five-minute tour of the reproduction library.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pvc_core::prelude::*;
+use pvc_microbench::{membw, peakflops};
+
+fn main() {
+    println!("== Systems of the study (paper §III) ==");
+    for sys in System::ALL {
+        let node = sys.node();
+        println!(
+            "{:<14} {} x {} ({} partitions/node, {:.0} W cap)",
+            sys.label(),
+            node.gpus,
+            node.gpu.name,
+            node.partitions(),
+            node.gpu_power_cap_w,
+        );
+    }
+
+    println!("\n== Peak flops, Table II style (simulated) ==");
+    for sys in System::PVC {
+        for p in [Precision::Fp64, Precision::Fp32] {
+            let r = peakflops::run(sys, p).rates;
+            println!(
+                "{:<14} {p}: one stack {:5.1}  one PVC {:5.1}  node {:6.1} TFlop/s",
+                sys.label(),
+                r.one_stack / 1e12,
+                r.one_pvc / 1e12,
+                r.full_node / 1e12,
+            );
+        }
+    }
+
+    println!("\n== Memory bandwidth (triad) ==");
+    for sys in System::PVC {
+        let r = membw::run(sys).bandwidth;
+        println!(
+            "{:<14} one stack {:.2} TB/s, node {:.1} TB/s",
+            sys.label(),
+            r.one_stack / 1e12,
+            r.full_node / 1e12
+        );
+    }
+
+    println!("\n== A Table VI figure of merit ==");
+    for sys in System::ALL {
+        if let Some(f) = fom(AppKind::CloverLeaf, sys, ScaleLevel::FullNode) {
+            println!("CloverLeaf node FOM on {:<14} {f:7.2} Mcells/s", sys.label());
+        }
+    }
+
+    println!("\n== And the paper's headline comparison ==");
+    let pvc = fom(AppKind::MiniQmc, System::Dawn, ScaleLevel::OneGpu).unwrap();
+    let h100 = fom(AppKind::MiniQmc, System::JlseH100, ScaleLevel::OneGpu).unwrap();
+    println!(
+        "miniQMC, one Dawn PVC vs one H100: {:.2}x (the abstract's upper 1.8x)",
+        pvc / h100
+    );
+}

@@ -1,0 +1,51 @@
+//! Scaling curves: Table VI generalised to every rank count, including
+//! two model predictions the paper's three-point tables cannot show —
+//! miniQMC's odd-rank sawtooth (unbalanced sockets) and Dawn's
+//! peak-before-full-node behaviour.
+//!
+//! ```text
+//! cargo run --release --example scaling_curves
+//! ```
+
+use pvc_core::miniapps::scaling::{
+    cloverleaf_series, minigamess_series, miniqmc_series, ScalingPoint,
+};
+use pvc_core::prelude::*;
+
+fn plot(name: &str, series: &[ScalingPoint]) {
+    let max = series.iter().map(|p| p.fom).fold(0.0f64, f64::max);
+    println!("{name}:");
+    for p in series {
+        let bar = "#".repeat((p.fom / max * 40.0) as usize);
+        println!(
+            "  {:>2} ranks {:>8.2} ({:>4.0}%) {bar}",
+            p.ranks,
+            p.fom,
+            p.efficiency * 100.0
+        );
+    }
+}
+
+fn main() {
+    for sys in System::PVC {
+        println!("===== {} =====", sys.label());
+        plot("miniQMC (weak, host-congestion model)", &miniqmc_series(sys));
+        plot("mini-GAMESS (strong, Amdahl + allreduce)", &minigamess_series(sys));
+        plot("CloverLeaf (weak, halo overhead)", &cloverleaf_series(sys));
+        println!();
+    }
+
+    let dawn = miniqmc_series(System::Dawn);
+    let best = dawn
+        .iter()
+        .max_by(|a, b| a.fom.partial_cmp(&b.fom).unwrap())
+        .unwrap();
+    println!(
+        "Model prediction beyond the paper: Dawn's miniQMC throughput peaks at\n\
+         {} ranks ({:.2}) — its published 8-rank configuration ({:.2}) slightly\n\
+         overfills the sockets. Aurora's shallower congestion keeps growing to 12.",
+        best.ranks,
+        best.fom,
+        dawn.last().unwrap().fom
+    );
+}

@@ -1,0 +1,8 @@
+//! Top-level reproduction harness crate.
+//!
+//! This crate exists to host the workspace-wide integration tests in
+//! `tests/` and the runnable examples in `examples/`. The actual library
+//! surface lives in [`pvc_core`] and the per-subsystem crates it
+//! re-exports.
+
+pub use pvc_core as core;

@@ -1,0 +1,149 @@
+//! Integration tests for the future-work extensions (§VII): Frontier
+//! projection, sparse/ML projections, power model, collectives, policy
+//! exploration, host suite — everything beyond the paper's published
+//! elements still has to be self-consistent with the core models.
+
+use pvc_arch::frontier::{frontier_node, mi250x_gpu};
+use pvc_arch::{power, Precision, System};
+use pvc_fabric::collectives::{ring_allreduce, tree_broadcast};
+use pvc_fabric::StackId;
+use pvc_kernels::spmv::synthetic_sparse;
+use pvc_memsim::policy::{miss_curve, Replacement};
+use pvc_microbench::host::{run_host_suite, HostConfig};
+use pvc_microbench::stats::jittered_runs;
+
+/// Frontier's GCD beats the JLSE MI250's GCD on every bound metric the
+/// paper uses (more CUs, measured-at-80% stream), so any bound-based
+/// projection must order them that way.
+#[test]
+fn frontier_dominates_jlse_mi250_per_gcd() {
+    let fx = mi250x_gpu();
+    let mi = System::JlseMi250.node().gpu;
+    assert!(
+        fx.vector_peak_per_partition(Precision::Fp64, 1)
+            > mi.vector_peak_per_partition(Precision::Fp64, 1)
+    );
+    // Stream per GCD is ~1.3 TB/s on both parts (Table IV vs the MI250
+    // spec at 80%); the MI250X advantage is compute, not bandwidth.
+    let ratio = fx.stream_bandwidth_per_partition() / mi.stream_bandwidth_per_partition();
+    assert!((ratio - 1.0).abs() < 0.05, "stream ratio {ratio:.3}");
+}
+
+/// Frontier vs the paper's systems: its stream per GCD (1.3 TB/s,
+/// Table IV) exceeds a PVC stack's 1 TB/s — so a CloverLeaf projection
+/// must favour Frontier per partition, exactly what §IV-B3 implies.
+#[test]
+fn frontier_cloverleaf_projection_consistent_with_table_iv() {
+    let f = frontier_node();
+    let a = System::Aurora.node();
+    let ratio =
+        f.gpu.stream_bandwidth_per_partition() / a.gpu.stream_bandwidth_per_partition();
+    assert!((ratio - 1.3).abs() < 0.02, "stream ratio {ratio:.2}");
+}
+
+/// The power model, the governor and the Table II peaks must agree:
+/// flops/W ordering at FP64 follows peak/cap.
+#[test]
+fn power_model_consistent_with_peaks() {
+    for sys in System::ALL {
+        let node = sys.node();
+        let fpw = power::flops_per_watt(&node, Precision::Fp64);
+        // Sanity band: real HPC GPUs sit between 5 and 160 GF/W FP64.
+        assert!(
+            (5e9..160e9).contains(&fpw),
+            "{sys:?}: {fpw:.2e} flop/W out of band"
+        );
+        // Energy for a fixed workload is inversely proportional to
+        // efficiency.
+        let e = power::kernel_energy(&node, Precision::Fp64, 1e15);
+        assert!((e - 1e15 / fpw).abs() / e < 1e-9);
+    }
+}
+
+/// Collectives built on the flow network agree with the analytic
+/// allreduce estimate used by mini-GAMESS within the latency budget.
+#[test]
+fn collective_simulation_matches_analytic_estimate() {
+    let sys = System::Aurora;
+    let node = sys.node();
+    let comm = pvc_fabric::Comm::new(sys, 12);
+    let ranks: Vec<StackId> = comm.all_stacks();
+    let bytes = 1e9;
+    let analytic = comm.allreduce_time(&ranks, bytes);
+    let simulated = ring_allreduce(&node, &ranks, bytes).time;
+    // The simulated rounds serialise on the slowest link like the
+    // analytic model; they differ by per-round latency and fair-share
+    // detail only.
+    let ratio = simulated / analytic;
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio:.2}");
+}
+
+/// Tree broadcast (log n rounds of the full payload) beats the ring
+/// allgather (n−1 rounds of the full payload); the chunked ring
+/// allreduce beats the naive full-payload tree despite doing 2(n−1)
+/// rounds — the classic bandwidth-optimality result, reproduced by the
+/// flow simulation.
+#[test]
+fn collective_algorithm_ordering() {
+    use pvc_fabric::collectives::ring_allgather;
+    let node = System::Dawn.node();
+    let ranks: Vec<StackId> = (0..4)
+        .flat_map(|g| (0..2).map(move |s| StackId::new(g, s)))
+        .collect();
+    let bcast = tree_broadcast(&node, &ranks, 1e9);
+    let gather = ring_allgather(&node, &ranks, 1e9);
+    let reduce = ring_allreduce(&node, &ranks, 1e9);
+    assert!(bcast.time < gather.time, "{} vs {}", bcast.time, gather.time);
+    assert!(reduce.time < bcast.time * 2.0, "chunked ring is competitive");
+    assert!(bcast.bytes_moved < reduce.bytes_moved);
+}
+
+/// The replacement-policy probe distinguishes LRU from random at 1.5x
+/// capacity — the signature a real lats campaign would look for.
+#[test]
+fn policy_probe_separates_lru_from_random() {
+    let size = 512 * 1024u64; // one Xe-Core L1
+    let fp = size * 3 / 2;
+    let lru = miss_curve(size, 64, 8, Replacement::Lru, &[fp], 3)[0].1;
+    let rnd = miss_curve(size, 64, 8, Replacement::Random(9), &[fp], 3)[0].1;
+    assert!(lru > 0.99, "LRU thrashes cyclic over-capacity: {lru}");
+    assert!(rnd < 0.9, "random keeps a resident fraction: {rnd}");
+}
+
+/// SpMV projection endpoints: perfect gather = streaming bound; zero
+/// gather = latency bound; both finite and ordered.
+#[test]
+fn spmv_projection_endpoints() {
+    let m = synthetic_sparse::<f64>(50_000, 12, 4);
+    for sys in System::ALL {
+        let hi = pvc_apps::sparse::spmv_nnz_rate(sys, &m, 1.0);
+        let lo = pvc_apps::sparse::spmv_nnz_rate(sys, &m, 0.0);
+        assert!(hi > lo, "{sys:?}");
+        assert!(lo > 0.0 && hi.is_finite());
+    }
+}
+
+/// The host suite runs end to end on this machine (tiny sizes) — the
+/// kernels the simulator counts are demonstrably executable.
+#[test]
+fn host_suite_smoke() {
+    let cfg = HostConfig {
+        fma_lanes: 512,
+        triad_elems: 1 << 15,
+        gemm_n: 96,
+        fft_n: 1 << 11,
+        chase_slots: 1 << 13,
+        reps: 2,
+    };
+    let results = run_host_suite(&cfg);
+    assert_eq!(results.len(), 5);
+    assert!(results.iter().all(|r| r.rate > 0.0));
+}
+
+/// The best-of-N estimator's convergence claim (§IV-A methodology).
+#[test]
+fn best_of_n_methodology_validates() {
+    let (best, mean) = jittered_runs(2.0, 0.3, 200, 42);
+    assert!(best < 2.0 * 1.02, "best-of-200 near truth: {best}");
+    assert!(mean > 2.0 * 1.2, "mean keeps the bias: {mean}");
+}

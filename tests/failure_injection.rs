@@ -1,0 +1,116 @@
+//! Failure-injection and degenerate-input integration tests: the
+//! simulation substrate must fail loudly or degrade gracefully, never
+//! silently corrupt results.
+
+use pvc_arch::System;
+use pvc_fabric::{NodeFabric, RouteVia, StackId};
+use pvc_kernels::fft::{fft, Complex, Direction};
+use pvc_kernels::gemm::{gemm, test_matrix};
+use pvc_memsim::cache::CacheSim;
+use pvc_simrt::{FlowNetwork, FlowSpec, Time};
+
+/// A dead Xe-Link leaves same-card traffic unharmed but strands the
+/// remote pair.
+#[test]
+fn dead_link_strands_only_its_flows() {
+    let node = System::Aurora.node();
+    let fabric = NodeFabric::new(&node);
+    let mut net = fabric.net.clone_resources();
+
+    let local = net.add_flow(FlowSpec {
+        start: Time::ZERO,
+        bytes: 1e9,
+        path: fabric.d2d_path(StackId::new(0, 0), StackId::new(0, 1), RouteVia::Auto),
+        latency: 0.0,
+    });
+    let remote_path = fabric.d2d_path(StackId::new(0, 0), StackId::new(1, 1), RouteVia::Auto);
+    // Kill the first resource of the remote path (the Xe-Link direction).
+    net.disable_resource(remote_path[0]);
+    let remote = net.add_flow(FlowSpec {
+        start: Time::ZERO,
+        bytes: 1e9,
+        path: remote_path,
+        latency: 0.0,
+    });
+
+    let done = net.run();
+    assert!(done.contains_key(&local), "local traffic unaffected");
+    assert!(!done.contains_key(&remote), "remote flow stranded");
+}
+
+/// Degenerate flow-network inputs are rejected loudly.
+#[test]
+fn flow_network_rejects_garbage() {
+    use std::panic::catch_unwind;
+    assert!(catch_unwind(|| {
+        let mut net = FlowNetwork::new();
+        net.add_resource(f64::NAN);
+    })
+    .is_err());
+    assert!(catch_unwind(|| {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource(1.0);
+        net.add_flow(FlowSpec {
+            start: Time::ZERO,
+            bytes: -5.0,
+            path: vec![r],
+            latency: 0.0,
+        });
+    })
+    .is_err());
+}
+
+/// Tiny caches and single-line working sets behave sensibly.
+#[test]
+fn degenerate_cache_geometries() {
+    // Minimal legal cache: one set, one way.
+    let mut c = CacheSim::new(64, 64, 1);
+    assert!(!c.access(0));
+    assert!(c.access(32)); // same line
+    assert!(!c.access(64)); // evicts
+    assert!(!c.access(0)); // and misses again
+
+    // Cache smaller than one set must panic.
+    assert!(std::panic::catch_unwind(|| CacheSim::new(32, 64, 2)).is_err());
+}
+
+/// Size-1 and size-0 edge cases of the numeric kernels.
+#[test]
+fn kernel_degenerate_sizes() {
+    // 1x1 GEMM.
+    let a = vec![3.0f64];
+    let b = vec![4.0f64];
+    let mut c = vec![0.0f64];
+    gemm(1, &a, &b, &mut c);
+    assert_eq!(c[0], 12.0);
+
+    // Length-1 and length-2 FFTs.
+    let mut x = vec![Complex::new(5.0f64, 0.0)];
+    fft(&mut x, Direction::Forward);
+    assert_eq!(x[0].re, 5.0);
+    let mut y = vec![Complex::new(1.0f64, 0.0), Complex::new(2.0, 0.0)];
+    fft(&mut y, Direction::Forward);
+    assert!((y[0].re - 3.0).abs() < 1e-12);
+    assert!((y[1].re + 1.0).abs() < 1e-12);
+}
+
+/// Mismatched GEMM buffers fail fast.
+#[test]
+fn gemm_shape_mismatch_panics() {
+    let a = test_matrix::<f64>(4, 1);
+    let b = test_matrix::<f64>(4, 2);
+    let mut c = vec![0.0f64; 9]; // wrong size
+    assert!(std::panic::catch_unwind(move || gemm(4, &a, &b, &mut c)).is_err());
+}
+
+/// Transfers between a stack and itself are rejected (a model bug, not a
+/// measurement).
+#[test]
+fn self_transfer_rejected() {
+    let node = System::Dawn.node();
+    let fabric = NodeFabric::new(&node);
+    let s = StackId::new(0, 0);
+    assert!(
+        std::panic::catch_unwind(move || fabric.d2d_path(s, s, RouteVia::Auto)).is_err()
+    );
+}

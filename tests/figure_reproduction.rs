@@ -1,0 +1,141 @@
+//! Integration: regenerate Figures 1–4 and check the claims the paper
+//! makes about them.
+
+use pvc_memsim::LatsConfig;
+use pvc_microbench::latsbench;
+use pvc_miniapps::ScaleLevel;
+use pvc_predict::{figure2, figure3, figure4, AppKind};
+
+fn cfg() -> LatsConfig {
+    LatsConfig {
+        min_bytes: 64 * 1024,
+        max_bytes: 1 << 29,
+        points_per_octave: 1,
+        steps: 1 << 13,
+    }
+}
+
+/// Figure 1: four series, staircase shape, PVC's L1 plateau widest, and
+/// the §IV-B6 cross-architecture latency ratios at the plateaus.
+#[test]
+fn figure1_staircase_and_ratios() {
+    let series = latsbench::figure1(&cfg());
+    assert_eq!(series.len(), 4);
+
+    let plateau = |label_frag: &str, footprint: u64| -> f64 {
+        let s = series
+            .iter()
+            .find(|s| s.label.contains(label_frag))
+            .unwrap();
+        s.points
+            .iter()
+            .min_by_key(|p| p.footprint_bytes.abs_diff(footprint))
+            .unwrap()
+            .cycles
+    };
+
+    // L1 plateau at 128 KiB, HBM plateau at 512 MiB.
+    let pvc_l1 = plateau("Aurora", 128 << 10);
+    let h100_l1 = plateau("H100", 128 << 10);
+    let mi250_hbm = plateau("MI250", 512 << 20);
+    let pvc_hbm = plateau("Aurora", 512 << 20);
+    let h100_hbm = plateau("H100", 512 << 20);
+
+    // §IV-B6: "The L1 cache has 90% higher latency than the H100".
+    assert!(
+        (pvc_l1 / h100_l1 - 1.9).abs() < 0.2,
+        "L1 ratio {:.2}",
+        pvc_l1 / h100_l1
+    );
+    // "HBM2e on PVC shows 23% and 44% higher access latency."
+    assert!((pvc_hbm / h100_hbm - 1.23).abs() < 0.08);
+    assert!((pvc_hbm / mi250_hbm - 1.44).abs() < 0.10);
+
+    // Dawn and Aurora within 2% everywhere (§IV-B6).
+    let aurora = series.iter().find(|s| s.label.contains("Aurora")).unwrap();
+    let dawn = series.iter().find(|s| s.label.contains("Dawn")).unwrap();
+    for (a, d) in aurora.points.iter().zip(dawn.points.iter()) {
+        assert!((a.cycles - d.cycles).abs() / d.cycles < 0.02);
+    }
+}
+
+/// Figure 2: "in general the black expected performance bars are close
+/// to the columns" — for the three predicted mini-apps, measured within
+/// 12% of expected at the single-partition level.
+#[test]
+fn figure2_bars_close_to_columns() {
+    for bar in figure2() {
+        if bar.level != ScaleLevel::OneStack {
+            continue;
+        }
+        if let (Some(m), Some(e)) = (bar.measured, bar.expected) {
+            assert!(
+                (m - e).abs() / e < 0.12,
+                "{:?}: measured {m:.2} vs expected {e:.2}",
+                bar.app
+            );
+        }
+    }
+}
+
+/// Figure 3: the abstract's single-GPU range (0.6–1.8×) and the
+/// identification of CloverLeaf as lowest, miniQMC as highest.
+#[test]
+fn figure3_range_and_extremes() {
+    let bars = figure3();
+    let gpu_bars: Vec<_> = bars
+        .iter()
+        .filter(|b| b.level == ScaleLevel::OneGpu && b.measured.is_some())
+        .collect();
+    let lowest = gpu_bars
+        .iter()
+        .min_by(|a, b| a.measured.partial_cmp(&b.measured).unwrap())
+        .unwrap();
+    let highest = gpu_bars
+        .iter()
+        .max_by(|a, b| a.measured.partial_cmp(&b.measured).unwrap())
+        .unwrap();
+    assert_eq!(lowest.app, AppKind::CloverLeaf, "lowest: {lowest:?}");
+    assert_eq!(highest.app, AppKind::MiniQmc, "highest: {highest:?}");
+    assert!((0.55..0.70).contains(&lowest.measured.unwrap()));
+    assert!((1.5..1.9).contains(&highest.measured.unwrap()));
+}
+
+/// Figure 3 node level: "the lowest relative performance is 0.6x
+/// (Cloverleaf) and the highest is 1.3x (miniQMC)".
+#[test]
+fn figure3_node_range() {
+    let bars = figure3();
+    let node: Vec<f64> = bars
+        .iter()
+        .filter(|b| b.level == ScaleLevel::FullNode)
+        .filter_map(|b| b.measured)
+        .collect();
+    let min = node.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = node.iter().cloned().fold(0.0f64, f64::max);
+    assert!((0.55..0.70).contains(&min), "min {min:.2}");
+    assert!((1.15..1.45).contains(&max), "max {max:.2}");
+}
+
+/// Figure 4: the abstract's per-stack range (0.8–7.5×) and the
+/// node-level upper end (~18x, miniQMC vs MI250).
+#[test]
+fn figure4_ranges() {
+    let bars = figure4();
+    let stack: Vec<f64> = bars
+        .iter()
+        .filter(|b| b.level == ScaleLevel::OneStack)
+        .filter_map(|b| b.measured)
+        .collect();
+    let min = stack.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = stack.iter().cloned().fold(0.0f64, f64::max);
+    assert!((0.7..0.95).contains(&min), "stack min {min:.2}");
+    assert!((6.5..8.0).contains(&max), "stack max {max:.2}");
+
+    let node_max = bars
+        .iter()
+        .filter(|b| b.level == ScaleLevel::FullNode)
+        .filter_map(|b| b.measured)
+        .fold(0.0f64, f64::max);
+    assert!((15.0..20.0).contains(&node_max), "node max {node_max:.1}");
+}

@@ -1,0 +1,107 @@
+//! Cross-crate pipeline invariants: the simulation layers must agree
+//! with each other, not just with the paper.
+
+use pvc_arch::{Precision, System};
+use pvc_engine::Engine;
+use pvc_fabric::comm::{Comm, Transfer};
+use pvc_fabric::StackId;
+use pvc_kernels::fma;
+use pvc_memsim::roofline;
+use pvc_microbench::{membw, peakflops};
+use pvc_miniapps::{cloverleaf, ScaleLevel};
+use pvc_predict::{fom, AppKind};
+
+/// The microbenchmark layer and the raw engine layer must report the
+/// same peaks (no drift between views of the same model).
+#[test]
+fn microbench_agrees_with_engine() {
+    for sys in System::PVC {
+        let engine = Engine::new(sys);
+        for p in [Precision::Fp64, Precision::Fp32] {
+            let bench = peakflops::run(sys, p).rates.one_stack;
+            let raw = engine.vector_peak(p, 1);
+            assert_eq!(bench, raw);
+        }
+        assert_eq!(
+            membw::run(sys).bandwidth.one_stack,
+            engine.stream_bandwidth(1)
+        );
+    }
+}
+
+/// A kernel profile built from the *real* FMA kernel's reported op count
+/// runs at the modelled peak.
+#[test]
+fn real_kernel_counts_drive_the_engine() {
+    let engine = Engine::new(System::Dawn);
+    let work_items = 1 << 20;
+    let result = fma::paper_kernel::<f32>(64); // verification run
+    assert!(result.checksum.is_finite());
+    let flops_at_scale =
+        (work_items as u64 * 2 * fma::FMA_PER_WORK_ITEM) as f64;
+    let profile = pvc_engine::KernelProfile::compute(flops_at_scale, Precision::Fp32);
+    let t = engine.kernel_time(&profile, 1);
+    let achieved = flops_at_scale / t;
+    let peak = engine.vector_peak(Precision::Fp32, 1);
+    assert!((achieved - peak).abs() / peak < 1e-9);
+}
+
+/// CloverLeaf's FOM is consistent with the roofline: the per-stack FOM
+/// equals achievable bandwidth divided by the modelled per-cell traffic.
+#[test]
+fn cloverleaf_fom_consistent_with_bandwidth() {
+    for sys in System::PVC {
+        let f = fom(AppKind::CloverLeaf, sys, ScaleLevel::OneStack).unwrap();
+        let node = sys.node();
+        let implied_bw =
+            f * 1e6 * cloverleaf::BYTES_PER_CELL_STEP * cloverleaf::BENCH_STEPS;
+        // Within the app's bandwidth fraction of spec (0.6-0.7 on PVC).
+        let frac = implied_bw / node.gpu.partition.memory.spec_bandwidth;
+        assert!((0.55..0.72).contains(&frac), "{sys:?}: fraction {frac:.2}");
+    }
+}
+
+/// Transfers submitted through Comm and paths probed through NodeFabric
+/// see the same bottlenecks.
+#[test]
+fn comm_and_fabric_views_agree() {
+    let comm = Comm::new(System::Aurora, 1);
+    let s = StackId::new(2, 0);
+    let via_comm = comm.run_transfers(&[Transfer::H2d(s)], 1e9).per_flow[0];
+    let fabric = pvc_fabric::NodeFabric::with_active(&System::Aurora.node(), 1);
+    let via_fabric = fabric.isolated_bandwidth(fabric.h2d_path(s));
+    assert!((via_comm - via_fabric).abs() / via_fabric < 0.01);
+}
+
+/// Roofline ridge points order the systems the way the architecture
+/// says they should: H100 (high peak, high BW) has a higher FP64 ridge
+/// than a PVC stack.
+#[test]
+fn ridge_points_are_architecturally_ordered() {
+    let pvc = roofline::ridge_point(&System::Aurora.node().gpu, Precision::Fp64, 1);
+    let h100 = roofline::ridge_point(&System::JlseH100.node().gpu, Precision::Fp64, 1);
+    assert!(pvc > 10.0 && pvc < 25.0, "PVC ridge {pvc:.1}");
+    assert!(h100 > pvc * 0.5, "H100 ridge {h100:.1}");
+}
+
+/// End-to-end determinism: two full Table VI regenerations bit-match.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let a: Vec<Option<f64>> = AppKind::ALL
+        .iter()
+        .flat_map(|&app| {
+            System::ALL
+                .iter()
+                .flat_map(move |&sys| ScaleLevel::ALL.map(move |l| fom(app, sys, l)))
+        })
+        .collect();
+    let b: Vec<Option<f64>> = AppKind::ALL
+        .iter()
+        .flat_map(|&app| {
+            System::ALL
+                .iter()
+                .flat_map(move |&sys| ScaleLevel::ALL.map(move |l| fom(app, sys, l)))
+        })
+        .collect();
+    assert_eq!(a, b);
+}
