@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI gate for the PVC reproduction. Hermetic by construction: every
+# cargo invocation runs --offline (the workspace has no registry
+# dependencies), so this passes on a machine with no network at all.
+#
+#   ./ci.sh          # full gate: build, tests, clippy, conformance
+#
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+# 1. Release build of every crate, example and bench target.
+run cargo build --offline --release --workspace --examples --benches
+
+# 2. The full test suite (unit + property + integration + doc tests).
+run cargo test --offline --workspace -q
+
+# 3. Lints are errors.
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# 4. Golden conformance: every published value reproduced in tolerance
+#    (exits nonzero on any failing expectation), then the experiment
+#    record gate (every compared cell < 8%).
+run cargo run --offline --release -p pvc-report --bin reproduce conformance > /dev/null
+run cargo run --offline --release -p pvc-report --bin reproduce validate
+
+# 5. The cheap examples really run.
+run cargo run --offline --release --example quickstart > /dev/null
+run cargo run --offline --release --example device_query > /dev/null
+
+echo "ci: all gates green"

@@ -10,8 +10,7 @@
 //! execution models agree: identical physics, different order.
 
 use crate::openmc::MultigroupXs;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pvc_core::SimRng;
 
 /// A particle in flight.
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +46,7 @@ fn xorshift(state: &mut u64) -> f64 {
 /// time, terminations retiring particles between sweeps.
 pub fn run_event_based(xs: &MultigroupXs, particles: usize, seed: u64) -> EventTallies {
     let g = xs.groups();
-    let mut seed_rng = StdRng::seed_from_u64(seed);
+    let mut seed_rng = SimRng::seed_from_u64(seed);
     let mut live: Vec<Particle> = (0..particles)
         .map(|_| {
             // Sample birth group from chi.

@@ -19,7 +19,7 @@
 //! W_cpu / host memory bandwidth`.
 
 use pvc_arch::{Precision, System};
-use rayon::prelude::*;
+use pvc_core::par;
 
 /// A simulation particle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,9 +42,9 @@ pub const SOFTENING: f32 = 1e-3;
 /// Direct O(N²) softened gravity: accelerations in FP32, parallel over
 /// targets (the GPU short-range kernel's structure).
 pub fn accelerations(particles: &[Particle]) -> Vec<[f32; 3]> {
-    particles
-        .par_iter()
-        .map(|pi| {
+    par::map_collect(particles.len(), |i| {
+        let pi = &particles[i];
+        {
             let mut acc = [0.0f32; 3];
             for pj in particles {
                 let dx = pj.pos[0] - pi.pos[0];
@@ -59,8 +59,8 @@ pub fn accelerations(particles: &[Particle]) -> Vec<[f32; 3]> {
                 acc[2] += f * dz;
             }
             acc
-        })
-        .collect()
+        }
+    })
 }
 
 /// One kick-drift-kick leapfrog step.
@@ -112,9 +112,9 @@ pub fn total_energy(particles: &[Particle]) -> f64 {
 /// neighbour structure).
 pub fn sph_density(particles: &[Particle], h: f32) -> Vec<f32> {
     let norm = 8.0 / (std::f32::consts::PI * h * h * h);
-    particles
-        .par_iter()
-        .map(|pi| {
+    par::map_collect(particles.len(), |i| {
+        let pi = &particles[i];
+        {
             let mut rho = 0.0f32;
             for pj in particles {
                 let dx = pj.pos[0] - pi.pos[0];
@@ -131,8 +131,8 @@ pub fn sph_density(particles: &[Particle], h: f32) -> Vec<f32> {
                 rho += pj.mass * norm * w;
             }
             rho
-        })
-        .collect()
+        }
+    })
 }
 
 /// Deterministic particle cube of `n³` particles in [0, 1)³ with small

@@ -21,9 +21,7 @@
 
 use pvc_arch::System;
 use pvc_engine::Engine;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
+use pvc_core::{par, SimRng};
 
 /// Irregular lookups per simulated particle history (cross-section and
 /// tally accesses over its collisions) in the depleted-fuel SMR problem.
@@ -142,11 +140,9 @@ pub fn run_transport(
     let mut k_batches = Vec::with_capacity(batches);
     let mut flux = vec![0.0f64; g];
     for batch in 0..batches {
-        let results: Vec<(f64, Vec<f64>)> = (0..particles_per_batch)
-            .into_par_iter()
-            .map(|p| {
+        let results: Vec<(f64, Vec<f64>)> = par::map_collect(particles_per_batch, |p| {
                 let mut rng =
-                    StdRng::seed_from_u64(seed ^ ((batch as u64) << 40) ^ (p as u64));
+                    SimRng::seed_from_u64(seed ^ ((batch as u64) << 40) ^ (p as u64));
                 let mut local_flux = vec![0.0f64; g];
                 let mut k_score = 0.0;
                 // Sample birth group from χ.
@@ -172,8 +168,7 @@ pub fn run_transport(
                     }
                 }
                 (k_score, local_flux)
-            })
-            .collect();
+        });
         let k_batch: f64 =
             results.iter().map(|(k, _)| k).sum::<f64>() / particles_per_batch as f64;
         k_batches.push(k_batch);
@@ -197,7 +192,7 @@ pub fn run_transport(
     }
 }
 
-fn sample_discrete(weights: &[f64], rng: &mut StdRng) -> usize {
+fn sample_discrete(weights: &[f64], rng: &mut SimRng) -> usize {
     let total: f64 = weights.iter().sum();
     let u: f64 = rng.random::<f64>() * total;
     let mut acc = 0.0;

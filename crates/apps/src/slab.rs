@@ -8,9 +8,7 @@
 //! escape probabilities against the analytic first-flight formula.
 
 use crate::openmc::MultigroupXs;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
+use pvc_core::{par, SimRng};
 
 /// Result of a slab transport run.
 #[derive(Debug, Clone)]
@@ -62,10 +60,8 @@ pub fn run_slab(
     seed: u64,
 ) -> SlabTallies {
     let g = xs.groups();
-    let results: Vec<(f64, bool, bool, Vec<f64>)> = (0..particles)
-        .into_par_iter()
-        .map(|p| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (p as u64).wrapping_mul(0x9E3779B9));
+    let results: Vec<(f64, bool, bool, Vec<f64>)> = par::map_collect(particles, |p| {
+            let mut rng = SimRng::seed_from_u64(seed ^ (p as u64).wrapping_mul(0x9E3779B9));
             let mut flux = vec![0.0f64; bins];
             let mut k_score = 0.0;
             let mut group = 0usize;
@@ -133,8 +129,7 @@ pub fn run_slab(
             }
             let _ = g;
             (k_score, leaked_first, leaked, flux)
-        })
-        .collect();
+    });
 
     let mut flux_bins = vec![0.0f64; bins];
     let mut k = 0.0;

@@ -2,12 +2,11 @@
 //! microbenchmarks (Table II rows: FP64, FP32, FP16, BF16, TF32, I8;
 //! §IV-A5 also names FP8).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A numeric precision / data type used in compute throughput
 /// measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// IEEE double precision.
     Fp64,

@@ -5,10 +5,10 @@ use crate::device::GpuModel;
 use crate::node::NodeModel;
 use crate::precision::Precision;
 use crate::systems::System;
-use serde::Serialize;
+use pvc_core::json::Json;
 
 /// Serialisable per-precision peak entry.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PeakEntry {
     pub precision: String,
     pub vector_flops: f64,
@@ -16,7 +16,7 @@ pub struct PeakEntry {
 }
 
 /// Serialisable cache-level summary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CacheSummary {
     pub name: String,
     pub size_bytes: u64,
@@ -25,7 +25,7 @@ pub struct CacheSummary {
 }
 
 /// Serialisable device summary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DeviceSummary {
     pub name: String,
     pub partitions: u32,
@@ -44,7 +44,7 @@ pub struct DeviceSummary {
 }
 
 /// Serialisable node summary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct NodeSummary {
     pub system: String,
     pub sockets: u32,
@@ -115,10 +115,77 @@ pub fn summarise_node(node: &NodeModel) -> NodeSummary {
     }
 }
 
+impl PeakEntry {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("precision", Json::str(&self.precision)),
+            ("vector_flops", Json::Num(self.vector_flops)),
+            ("matrix_flops", Json::Num(self.matrix_flops)),
+        ])
+    }
+}
+
+impl CacheSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("size_bytes", Json::Int(self.size_bytes as i64)),
+            ("per_compute_unit", Json::Bool(self.per_compute_unit)),
+            ("latency_cycles", Json::Num(self.latency_cycles)),
+        ])
+    }
+}
+
+impl DeviceSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("partitions", Json::Int(self.partitions as i64)),
+            ("partition_kind", Json::str(&self.partition_kind)),
+            ("compute_units", Json::Int(self.compute_units as i64)),
+            ("vector_engines", Json::Int(self.vector_engines as i64)),
+            ("matrix_engines", Json::Int(self.matrix_engines as i64)),
+            ("max_clock_ghz", Json::Num(self.max_clock_ghz)),
+            ("fp64_clock_ghz", Json::Num(self.fp64_clock_ghz)),
+            (
+                "peaks_per_partition",
+                Json::Arr(self.peaks_per_partition.iter().map(PeakEntry::to_json).collect()),
+            ),
+            (
+                "caches",
+                Json::Arr(self.caches.iter().map(CacheSummary::to_json).collect()),
+            ),
+            ("hbm_capacity_bytes", Json::Int(self.hbm_capacity_bytes as i64)),
+            ("hbm_spec_bandwidth", Json::Num(self.hbm_spec_bandwidth)),
+            ("hbm_stream_bandwidth", Json::Num(self.hbm_stream_bandwidth)),
+            ("hbm_latency_cycles", Json::Num(self.hbm_latency_cycles)),
+        ])
+    }
+}
+
+impl NodeSummary {
+    /// JSON tree of this summary.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("system", Json::str(&self.system)),
+            ("sockets", Json::Int(self.sockets as i64)),
+            ("cpu", Json::str(&self.cpu)),
+            ("cores_per_socket", Json::Int(self.cores_per_socket as i64)),
+            ("gpus", Json::Int(self.gpus as i64)),
+            ("gpu_power_cap_w", Json::Num(self.gpu_power_cap_w)),
+            ("partitions", Json::Int(self.partitions as i64)),
+            ("device", self.device.to_json()),
+        ])
+    }
+}
+
 /// JSON dump of all four systems.
 pub fn systems_json() -> String {
-    let all: Vec<NodeSummary> = System::ALL.iter().map(|s| summarise_node(&s.node())).collect();
-    serde_json::to_string_pretty(&all).expect("summaries serialise")
+    let all: Vec<Json> = System::ALL
+        .iter()
+        .map(|s| summarise_node(&s.node()).to_json())
+        .collect();
+    Json::Arr(all).pretty()
 }
 
 #[cfg(test)]

@@ -1,92 +1,107 @@
 //! Property tests of the architecture models: invariants every system
-//! preset must satisfy, present and future.
+//! preset must satisfy, present and future. Runs on the deterministic
+//! `pvc_core::check` harness (seeded cases, reproducible on every
+//! machine).
 
-use proptest::prelude::*;
 use pvc_arch::governor::ScaleCurve;
 use pvc_arch::{power, Precision, System};
+use pvc_core::check::check;
+use pvc_core::ensure;
 
-fn systems() -> impl Strategy<Value = System> {
-    prop::sample::select(System::ALL.to_vec())
-}
+const PRECISIONS: [Precision; 5] = [
+    Precision::Fp64,
+    Precision::Fp32,
+    Precision::Fp16,
+    Precision::Bf16,
+    Precision::Int8,
+];
 
-fn precisions() -> impl Strategy<Value = Precision> {
-    prop::sample::select(vec![
-        Precision::Fp64,
-        Precision::Fp32,
-        Precision::Fp16,
-        Precision::Bf16,
-        Precision::Int8,
-    ])
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Peaks are positive, finite, and monotone down in active count.
-    #[test]
-    fn peaks_positive_and_derate_monotone(sys in systems(), p in precisions(), a in 1u32..12) {
+/// Peaks are positive, finite, and monotone down in active count.
+#[test]
+fn peaks_positive_and_derate_monotone() {
+    check("arch::peaks_positive_and_derate_monotone", 64, |g| {
+        let sys = *g.choose(&System::ALL);
+        let p = *g.choose(&PRECISIONS);
+        let a = g.u32_in(1..12);
         let gpu = sys.node().gpu;
         let v1 = gpu.vector_peak_per_partition(p, a);
         let v2 = gpu.vector_peak_per_partition(p, a + 1);
-        prop_assert!(v1.is_finite() && v1 >= 0.0);
-        prop_assert!(v2 <= v1 * (1.0 + 1e-12));
+        ensure!(v1.is_finite() && v1 >= 0.0);
+        ensure!(v2 <= v1 * (1.0 + 1e-12));
         let m = gpu.matrix_peak_per_partition(p, a);
-        prop_assert!(m.is_finite() && m >= 0.0);
-    }
+        ensure!(m.is_finite() && m >= 0.0);
+        Ok(())
+    });
+}
 
-    /// Scale curves constructed from arbitrary valid points stay within
-    /// the envelope of their control points.
-    #[test]
-    fn scale_curve_within_envelope(
-        d1 in 0.5f64..1.0,
-        d2 in 0.5f64..1.0,
-        query in 0u32..40
-    ) {
+/// Scale curves constructed from arbitrary valid points stay within the
+/// envelope of their control points.
+#[test]
+fn scale_curve_within_envelope() {
+    check("arch::scale_curve_within_envelope", 64, |g| {
+        let d1 = g.f64_in(0.5..1.0);
+        let d2 = g.f64_in(0.5..1.0);
+        let query = g.u32_in(0..40);
         let lo = d1.min(d2);
         let hi = d1.max(d2);
         let c = ScaleCurve::new(vec![(1, 1.0), (4, hi), (16, lo)]);
         let v = c.at(query);
-        prop_assert!(v >= lo - 1e-12 && v <= 1.0 + 1e-12, "{v} outside [{lo}, 1]");
-    }
+        ensure!(v >= lo - 1e-12 && v <= 1.0 + 1e-12, "{v} outside [{lo}, 1]");
+        Ok(())
+    });
+}
 
-    /// The power model never exceeds the cap and scales with it.
-    #[test]
-    fn power_respects_cap(sys in systems(), p in precisions(), a in 1u32..12) {
+/// The power model never exceeds the cap and scales with it.
+#[test]
+fn power_respects_cap() {
+    check("arch::power_respects_cap", 64, |g| {
+        let sys = *g.choose(&System::ALL);
+        let p = *g.choose(&PRECISIONS);
+        let a = g.u32_in(1..12);
         let node = sys.node();
         let w = power::card_power(&node, p, a);
-        prop_assert!(w > 0.0);
-        prop_assert!(w <= node.gpu_power_cap_w * (1.0 + 1e-12));
-    }
+        ensure!(w > 0.0);
+        ensure!(w <= node.gpu_power_cap_w * (1.0 + 1e-12));
+        Ok(())
+    });
+}
 
-    /// Stream bandwidth never exceeds spec bandwidth; random-access
-    /// throughput is positive and below one line per cycle.
-    #[test]
-    fn memory_model_bounds(sys in systems()) {
+/// Stream bandwidth never exceeds spec bandwidth; random-access
+/// throughput is positive and below one line per cycle.
+#[test]
+fn memory_model_bounds() {
+    check("arch::memory_model_bounds", 16, |g| {
+        let sys = *g.choose(&System::ALL);
         let gpu = sys.node().gpu;
         let mem = &gpu.partition.memory;
-        prop_assert!(mem.stream_bandwidth() <= mem.spec_bandwidth);
+        ensure!(mem.stream_bandwidth() <= mem.spec_bandwidth);
         let rate = mem.random_access_rate(gpu.clock.max_hz());
-        prop_assert!(rate > 0.0);
-        prop_assert!(rate < gpu.clock.max_hz(), "more than one miss per cycle");
-    }
+        ensure!(rate > 0.0);
+        ensure!(rate < gpu.clock.max_hz(), "more than one miss per cycle");
+        Ok(())
+    });
+}
 
-    /// Cache hierarchies are size-increasing and latency-increasing from
-    /// inner to outer, ending below the HBM latency.
-    #[test]
-    fn cache_hierarchy_ordered(sys in systems()) {
+/// Cache hierarchies are size-increasing and latency-increasing from
+/// inner to outer, ending below the HBM latency.
+#[test]
+fn cache_hierarchy_ordered() {
+    check("arch::cache_hierarchy_ordered", 16, |g| {
+        let sys = *g.choose(&System::ALL);
         let part = sys.node().gpu.partition;
         let mut prev_size = 0u64;
         let mut prev_lat = 0.0f64;
         for (i, _) in part.caches.iter().enumerate() {
             let cap = part.cache_capacity(i);
             let lat = part.caches[i].latency_cycles;
-            prop_assert!(cap > prev_size, "level {i} capacity must grow");
-            prop_assert!(lat > prev_lat, "level {i} latency must grow");
+            ensure!(cap > prev_size, "level {i} capacity must grow");
+            ensure!(lat > prev_lat, "level {i} latency must grow");
             prev_size = cap;
             prev_lat = lat;
         }
-        prop_assert!(part.memory.latency_cycles > prev_lat);
-    }
+        ensure!(part.memory.latency_cycles > prev_lat);
+        Ok(())
+    });
 }
 
 /// Non-property: every preset's derived Table IV-style peaks stay

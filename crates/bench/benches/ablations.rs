@@ -3,12 +3,12 @@
 //! against a variant with it turned off, so the performance *and* the
 //! printed summary quantify what the mechanism contributes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use pvc_core::arch::{Precision, System};
-use pvc_core::fabric::{Comm, NodeFabric, RouteVia, StackId};
-use pvc_core::fabric::comm::Transfer;
-use pvc_core::miniapps::congestion::HostCongestion;
-use pvc_core::miniapps::miniqmc;
+use pvc_bench::{criterion_group, criterion_main, Criterion};
+use pvc_arch::{Precision, System};
+use pvc_fabric::{Comm, NodeFabric, RouteVia, StackId};
+use pvc_fabric::comm::Transfer;
+use pvc_miniapps::congestion::HostCongestion;
+use pvc_miniapps::miniqmc;
 use std::hint::black_box;
 
 /// E11 — FP64 TDP downclock (§IV-B2): governed peaks with and without
@@ -42,7 +42,7 @@ fn ablation_governor(c: &mut Criterion) {
 fn ablation_pcie(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_pcie_contention");
     g.sample_size(20);
-    let run = |node: &pvc_core::arch::NodeModel| {
+    let run = |node: &pvc_arch::NodeModel| {
         let comm = Comm::new(node.system, node.partitions());
         // Rebuild transfers against the given node: all-stack D2H.
         let ts: Vec<Transfer> = (0..node.gpus)
@@ -71,8 +71,8 @@ fn ablation_pcie(c: &mut Criterion) {
                     (0..node.gpu.partitions).map(move |s| StackId::new(gg, s))
                 })
                 .map(|s| {
-                    net.add_flow(pvc_core::simrt::FlowSpec {
-                        start: pvc_core::simrt::Time::ZERO,
+                    net.add_flow(pvc_simrt::FlowSpec {
+                        start: pvc_simrt::Time::ZERO,
                         bytes: 500e6,
                         path: fabric.d2h_path(s),
                         latency: 0.0,
@@ -130,7 +130,7 @@ fn ablation_planes(c: &mut Criterion) {
 /// Prefetcher ablation (why lats randomises its ring, §IV-A7):
 /// sequential vs random chase with the stream prefetcher on.
 fn ablation_prefetch(c: &mut Criterion) {
-    use pvc_core::memsim::prefetch::chase_with_prefetcher;
+    use pvc_memsim::prefetch::chase_with_prefetcher;
     let gpu = System::Aurora.node().gpu;
     let mut g = c.benchmark_group("ablation_prefetch");
     g.sample_size(10);

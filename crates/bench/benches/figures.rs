@@ -1,9 +1,9 @@
 //! Benchmarks regenerating the paper's figures.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use pvc_core::arch::System;
-use pvc_core::memsim::{latency_profile, LatsConfig};
-use pvc_core::predict::{figure2, figure3, figure4};
+use pvc_bench::{criterion_group, criterion_main, Criterion};
+use pvc_arch::System;
+use pvc_memsim::{latency_profile, LatsConfig};
+use pvc_predict::{figure2, figure3, figure4};
 use std::hint::black_box;
 
 /// Figure 1: one latency staircase sweep per architecture (reduced

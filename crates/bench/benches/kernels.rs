@@ -1,11 +1,11 @@
 //! Benchmarks of the real host-executed kernels (reduced paper shapes).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use pvc_core::kernels::chase::ChaseRing;
-use pvc_core::kernels::fft::{fft, Complex, Direction};
-use pvc_core::kernels::fma;
-use pvc_core::kernels::gemm::{gemm, gemm_flops, test_matrix};
-use pvc_core::kernels::triad;
+use pvc_bench::{criterion_group, criterion_main, Criterion, Throughput};
+use pvc_kernels::chase::ChaseRing;
+use pvc_kernels::fft::{fft, Complex, Direction};
+use pvc_kernels::fma;
+use pvc_kernels::gemm::{gemm, gemm_flops, test_matrix};
+use pvc_kernels::triad;
 use std::hint::black_box;
 
 /// Chain-of-FMA kernel at the paper's per-work-item shape.
@@ -90,7 +90,7 @@ fn bench_chase(c: &mut Criterion) {
 
 /// CSR SpMV (the §VII sparse extension).
 fn bench_spmv(c: &mut Criterion) {
-    use pvc_core::kernels::spmv::synthetic_sparse;
+    use pvc_kernels::spmv::synthetic_sparse;
     let n = 100_000;
     let a = synthetic_sparse::<f64>(n, 16, 3);
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
@@ -108,8 +108,8 @@ fn bench_spmv(c: &mut Criterion) {
 
 /// 3D FFT + particle-mesh gravity (the HACC long-range substrate).
 fn bench_pm(c: &mut Criterion) {
-    use pvc_core::apps::hacc::particle_cube;
-    use pvc_core::apps::pm::PmSolver;
+    use pvc_apps::hacc::particle_cube;
+    use pvc_apps::pm::PmSolver;
     let pm = PmSolver::new(32);
     let ps = particle_cube(12, 5);
     let mut g = c.benchmark_group("kernel_particle_mesh");

@@ -1,10 +1,10 @@
 //! Benchmarks regenerating the paper's result tables.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use pvc_core::arch::{Precision, System};
-use pvc_core::microbench::{fftbench, gemmbench, membw, p2p, pcie, peakflops};
-use pvc_core::miniapps::ScaleLevel;
-use pvc_core::predict::{fom, AppKind};
+use pvc_bench::{criterion_group, criterion_main, Criterion};
+use pvc_arch::{Precision, System};
+use pvc_microbench::{fftbench, gemmbench, membw, p2p, pcie, peakflops};
+use pvc_miniapps::ScaleLevel;
+use pvc_predict::{fom, AppKind};
 use std::hint::black_box;
 
 /// Table II rows 1–3: peak flops and triad bandwidth on both PVC
@@ -60,7 +60,7 @@ fn table2_gemm(c: &mut Criterion) {
 
 /// Table II rows 13–14: FFT verification + model.
 fn table2_fft(c: &mut Criterion) {
-    use pvc_core::engine::fft_model::FftDim;
+    use pvc_engine::fft_model::FftDim;
     c.bench_function("table2_fft_1d_2d", |b| {
         b.iter(|| {
             for sys in System::PVC {

@@ -1,6 +1,6 @@
-//! # pvc-bench — Criterion benchmark harness
+//! # pvc-bench — self-contained timing harness
 //!
-//! One Criterion group per paper element:
+//! One bench binary per paper element:
 //!
 //! * `benches/tables.rs` — Tables II, III and VI regeneration
 //!   (`table2_*`, `table3_p2p`, `table6_foms`);
@@ -13,3 +13,191 @@
 //!   FMA chain, pointer chase) at reduced scale.
 //!
 //! Run with `cargo bench -p pvc-bench`.
+//!
+//! The harness is the Criterion API subset those benches use —
+//! [`Criterion`], benchmark groups, [`Throughput`], `criterion_group!` /
+//! `criterion_main!` — re-implemented over `std::time::Instant` so the
+//! workspace needs no registry crates. Each benchmark takes
+//! `sample_size` timed samples after one warm-up call and reports the
+//! median time per iteration plus derived throughput.
+
+use std::time::{Duration, Instant};
+
+/// Units a benchmark processes per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (flops, lookups, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    /// Samples per benchmark unless the group overrides it.
+    pub default_sample_size: usize,
+}
+
+impl Criterion {
+    fn sample_size_or_default(&self) -> usize {
+        if self.default_sample_size == 0 {
+            20
+        } else {
+            self.default_sample_size
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size_or_default(),
+            throughput: None,
+            _c: self,
+        }
+    }
+
+    /// Runs a standalone benchmark (its own group of one).
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let n = self.sample_size_or_default();
+        run_one(&name.into(), n, None, f);
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for derived rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(2);
+    }
+
+    /// Times `f` and prints `group/name: median ± spread`.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.sample_size, self.throughput, f);
+    }
+
+    /// Ends the group (parity with Criterion; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`iter`](Bencher::iter) with
+/// the code under test.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (the sample loop lives in the
+    /// harness, matching Criterion's per-sample timing).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let t0 = Instant::now();
+        let r = f();
+        self.elapsed = t0.elapsed();
+        std::hint::black_box(r);
+    }
+}
+
+fn run_one(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    // Warm-up.
+    f(&mut b);
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        f(&mut b);
+        times.push(b.elapsed);
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let lo = times[0];
+    let hi = times[times.len() - 1];
+    let rate = throughput.map(|t| {
+        let per_sec = |units: u64| units as f64 / median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!("  {:>10.3e} elem/s", per_sec(n)),
+            Throughput::Bytes(n) => format!("  {:>10.3e} B/s", per_sec(n)),
+        }
+    });
+    println!(
+        "{name:<48} {:>12?}  [{:?} … {:?}]{}",
+        median,
+        lo,
+        hi,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Criterion-compatible group macro: defines a function running each
+/// bench with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Criterion-compatible entry-point macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($g:ident),+ $(,)?) => {
+        fn main() { $( $g(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+        };
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        g.bench_function("counts", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran += 1;
+        });
+        g.finish();
+        // warm-up + 3 samples
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn standalone_bench_function() {
+        let mut c = Criterion {
+            default_sample_size: 2,
+        };
+        let mut ran = 0u32;
+        c.bench_function("solo", |b| {
+            b.iter(|| std::hint::black_box(2 * 2));
+            ran += 1;
+        });
+        assert_eq!(ran, 3);
+    }
+}

@@ -1,0 +1,274 @@
+//! Seeded property-test harness (the `proptest` subset this workspace
+//! uses, hermetic and deterministic).
+//!
+//! A property is a closure taking a [`Gen`] and returning
+//! `Result<(), String>`; [`check`] runs it over `cases` deterministic
+//! random cases. Every case's generator seed is derived from the
+//! property name and the case index, so:
+//!
+//! * runs are identical on every machine and every invocation — there
+//!   are no flaky "found a new counterexample" CI surprises;
+//! * a reported failure names the exact `case`/`seed` pair, and
+//!   [`replay`] re-runs just that case;
+//! * regressions are pinned by calling `replay` from a named test (see
+//!   `crates/fabric/tests/collective_properties.rs` for the pattern).
+//!
+//! Inside a property, use the [`ensure!`](crate::ensure) and
+//! [`ensure_eq!`](crate::ensure_eq) macros where `proptest` used
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Environment knobs: `PVC_CHECK_CASES` multiplies the case count
+//! (soak testing), `PVC_CHECK_VERBOSE=1` prints each case seed.
+
+use crate::rng::{mix64, SimRng};
+use std::ops::Range;
+
+/// Random-input generator handed to properties.
+pub struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    /// Builds a generator from a raw seed (used by [`replay`]).
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen {
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform `usize` in `[r.start, r.end)`.
+    pub fn usize_in(&mut self, r: Range<usize>) -> usize {
+        assert!(r.start < r.end, "empty range");
+        r.start + self.rng.below((r.end - r.start) as u64) as usize
+    }
+
+    /// Uniform `u64` in `[r.start, r.end)`.
+    pub fn u64_in(&mut self, r: Range<u64>) -> u64 {
+        assert!(r.start < r.end, "empty range");
+        r.start + self.rng.below(r.end - r.start)
+    }
+
+    /// Uniform `u32` in `[r.start, r.end)`.
+    pub fn u32_in(&mut self, r: Range<u32>) -> u32 {
+        self.u64_in(r.start as u64..r.end as u64) as u32
+    }
+
+    /// Uniform `f64` in `[r.start, r.end)`.
+    pub fn f64_in(&mut self, r: Range<f64>) -> f64 {
+        self.rng.random_range(r)
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.random()
+    }
+
+    /// Uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.usize_in(0..items.len())]
+    }
+
+    /// Vector with length drawn from `len`, elements from `val`.
+    pub fn vec_u64(&mut self, len: Range<usize>, val: Range<u64>) -> Vec<u64> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| self.u64_in(val.clone())).collect()
+    }
+
+    /// Vector with length drawn from `len`, elements from `val`.
+    pub fn vec_f64(&mut self, len: Range<usize>, val: Range<f64>) -> Vec<f64> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| self.f64_in(val.clone())).collect()
+    }
+
+    /// Sorted distinct subset of `0..n` with size drawn from `size`
+    /// (clamped to `n`).
+    pub fn subset(&mut self, n: usize, size: Range<usize>) -> Vec<usize> {
+        let want = self.usize_in(size).min(n);
+        let mut picked: Vec<usize> = Vec::with_capacity(want);
+        // Floyd's algorithm: uniform without replacement.
+        for j in (n - want)..n {
+            let t = self.usize_in(0..j + 1);
+            if picked.contains(&t) {
+                picked.push(j);
+            } else {
+                picked.push(t);
+            }
+        }
+        picked.sort_unstable();
+        picked
+    }
+}
+
+/// FNV-1a over the property name: stable across compilers and runs.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Seed of case `case` of property `name` — exposed so failures can be
+/// replayed exactly.
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    mix64(name_hash(name) ^ ((case as u64) << 32))
+}
+
+/// Runs `prop` over `cases` deterministic cases; panics on the first
+/// failing case with its name, index, and replay seed.
+pub fn check(name: &str, cases: u32, mut prop: impl FnMut(&mut Gen) -> Result<(), String>) {
+    let factor: u32 = std::env::var("PVC_CHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let verbose = std::env::var("PVC_CHECK_VERBOSE").is_ok_and(|v| v == "1");
+    let total = cases.saturating_mul(factor.max(1));
+    for case in 0..total {
+        let seed = case_seed(name, case);
+        if verbose {
+            eprintln!("check {name}: case {case} seed {seed:#x}");
+        }
+        let mut g = Gen::from_seed(seed);
+        if let Err(msg) = prop(&mut g) {
+            panic!(
+                "property `{name}` failed at case {case} (replay seed {seed:#x}):\n  {msg}\n\
+                 replay with: pvc_core::check::replay({seed:#x}, prop)"
+            );
+        }
+    }
+}
+
+/// Re-runs a single case from its reported seed; panics on failure.
+pub fn replay(seed: u64, mut prop: impl FnMut(&mut Gen) -> Result<(), String>) {
+    let mut g = Gen::from_seed(seed);
+    if let Err(msg) = prop(&mut g) {
+        panic!("replayed case (seed {seed:#x}) failed:\n  {msg}");
+    }
+}
+
+/// `prop_assert!` replacement: early-returns `Err(String)` from the
+/// enclosing property closure when the condition is false.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "{} is false ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!` replacement.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return Err(format!(
+                "{} != {} ({:?} vs {:?}, {}:{})",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u32;
+        check("always-true", 17, |g| {
+            ran += 1;
+            let x = g.usize_in(0..10);
+            ensure!(x < 10);
+            Ok(())
+        });
+        assert_eq!(ran, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always-false` failed at case 0")]
+    fn failing_property_names_itself() {
+        check("always-false", 4, |_| Err("nope".into()));
+    }
+
+    #[test]
+    fn case_seeds_are_stable_and_distinct() {
+        let a = case_seed("p", 0);
+        assert_eq!(a, case_seed("p", 0));
+        assert_ne!(a, case_seed("p", 1));
+        assert_ne!(a, case_seed("q", 0));
+    }
+
+    #[test]
+    fn replay_reproduces_generator_stream() {
+        let seed = case_seed("stream", 3);
+        let mut first = Vec::new();
+        replay(seed, |g| {
+            first.push(g.u64_in(0..1000));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        replay(seed, |g| {
+            second.push(g.u64_in(0..1000));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn subset_is_sorted_distinct_in_range() {
+        let mut g = Gen::from_seed(9);
+        for _ in 0..200 {
+            let s = g.subset(10, 1..8);
+            for w in s.windows(2) {
+                assert!(w[0] < w[1], "sorted distinct: {s:?}");
+            }
+            assert!(s.iter().all(|&x| x < 10));
+            assert!(!s.is_empty() && s.len() <= 7);
+        }
+    }
+
+    #[test]
+    fn ensure_eq_reports_values() {
+        let r = (|| -> Result<(), String> {
+            ensure_eq!(1 + 1, 3);
+            Ok(())
+        })();
+        let msg = r.unwrap_err();
+        assert!(msg.contains("1 + 1"), "{msg}");
+        assert!(msg.contains("2 vs 3"), "{msg}");
+    }
+
+    #[test]
+    fn generators_cover_their_ranges() {
+        let mut g = Gen::from_seed(4);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[g.usize_in(0..5)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "{seen:?}");
+        for _ in 0..100 {
+            let x = g.f64_in(2.0..3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Deterministic data-parallel helpers over `std::thread::scope`.
+//!
+//! Replaces the subset of `rayon` the kernels and applications used.
+//! Each helper is semantically identical to its sequential equivalent;
+//! threads only change wall-clock time, never results:
+//!
+//! * work is split into chunks whose boundaries depend only on the
+//!   input size (never on the thread count), so floating-point
+//!   reductions combine partial results in a fixed order;
+//! * mutation helpers hand each closure a disjoint `&mut` region, so
+//!   there is no write ordering to observe.
+//!
+//! The worker count defaults to `std::thread::available_parallelism`
+//! and can be pinned with the `PVC_THREADS` environment variable
+//! (`PVC_THREADS=1` forces fully sequential execution).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by the helpers.
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var("PVC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Deterministic chunk size for `n` items: boundaries depend only on
+/// `n`, so reduction order is machine-independent.
+fn chunk_size(n: usize) -> usize {
+    // Aim for enough chunks to load-balance any realistic core count
+    // while keeping per-chunk overhead negligible.
+    const TARGET_CHUNKS: usize = 64;
+    n.div_ceil(TARGET_CHUNKS).max(1)
+}
+
+/// Runs `f` over every chunk index in `[0, chunks)` on the worker pool,
+/// collecting `(index, result)` pairs. The scheduling order is
+/// arbitrary; callers must reassemble by index.
+fn run_chunked<T: Send>(chunks: usize, f: impl Fn(usize) -> T + Sync) -> Vec<(usize, T)> {
+    let workers = threads().min(chunks).max(1);
+    if workers == 1 {
+        return (0..chunks).map(|i| (i, f(i))).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<(usize, T)> = Vec::with_capacity(chunks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= chunks {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("par worker panicked"));
+        }
+    });
+    out
+}
+
+/// Parallel `(0..n).map(f).collect()`: returns `[f(0), f(1), …]` in
+/// index order.
+pub fn map_collect<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let cs = chunk_size(n);
+    let chunks = n.div_ceil(cs);
+    let mut parts = run_chunked(chunks, |c| {
+        let lo = c * cs;
+        let hi = (lo + cs).min(n);
+        (lo..hi).map(&f).collect::<Vec<T>>()
+    });
+    parts.sort_by_key(|&(i, _)| i);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut v) in parts {
+        out.append(&mut v);
+    }
+    out
+}
+
+/// Parallel `(0..n).map(f).sum::<f64>()` with machine-independent
+/// summation order: per-chunk partials (sequential within a chunk) are
+/// folded in chunk order, so the result is bitwise identical across
+/// runs and thread counts.
+pub fn map_sum(n: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let cs = chunk_size(n);
+    let chunks = n.div_ceil(cs);
+    let mut parts = run_chunked(chunks, |c| {
+        let lo = c * cs;
+        let hi = (lo + cs).min(n);
+        let mut acc = 0.0;
+        for i in lo..hi {
+            acc += f(i);
+        }
+        acc
+    });
+    parts.sort_by_key(|&(i, _)| i);
+    parts.into_iter().map(|(_, s)| s).sum()
+}
+
+/// Parallel `data.iter_mut().enumerate().for_each(|(i, x)| f(i, x))`:
+/// every element is visited exactly once with its index.
+pub fn for_each_mut<T: Send>(data: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let cs = chunk_size(n);
+    let pieces: Vec<(usize, &mut [T])> = {
+        let mut v = Vec::new();
+        let mut base = 0;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = cs.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            v.push((base, head));
+            base += take;
+            rest = tail;
+        }
+        v
+    };
+    run_each(pieces, |(base, piece)| {
+        for (off, x) in piece.iter_mut().enumerate() {
+            f(base + off, x);
+        }
+    });
+}
+
+/// Parallel `data.chunks_mut(size).enumerate().for_each(|(ci, c)| f(ci, c))`
+/// — the chunk geometry matches `slice::chunks_mut` exactly (the last
+/// chunk may be short).
+///
+/// # Panics
+/// Panics if `size` is zero.
+pub fn for_each_chunk_mut<T: Send>(
+    data: &mut [T],
+    size: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(size > 0, "chunk size must be positive");
+    let pieces: Vec<(usize, &mut [T])> = data.chunks_mut(size).enumerate().collect();
+    run_each(pieces, |(ci, chunk)| f(ci, chunk));
+}
+
+/// Distributes owned work items over the pool (order of execution
+/// arbitrary, no results).
+fn run_each<I: Send>(items: Vec<I>, f: impl Fn(I) + Sync) {
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let workers = threads().min(n).max(1);
+    if workers == 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue = std::sync::Mutex::new(items.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("par queue poisoned").next();
+                match item {
+                    Some(i) => f(i),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v = map_collect(1000, |i| i * i);
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn map_collect_empty() {
+        let v: Vec<u8> = map_collect(0, |_| 0u8);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn map_sum_matches_sequential_bitwise() {
+        // The point of the fixed chunking: identical to itself across
+        // runs AND stable regardless of worker count.
+        let f = |i: usize| ((i as f64) * 0.7311).sin();
+        let par = map_sum(100_000, f);
+        let par2 = map_sum(100_000, f);
+        assert_eq!(par.to_bits(), par2.to_bits());
+    }
+
+    #[test]
+    fn map_sum_close_to_sequential() {
+        let f = |i: usize| 1.0 / (1.0 + i as f64);
+        let seq: f64 = (0..50_000).map(f).sum();
+        let par = map_sum(50_000, f);
+        assert!((seq - par).abs() < 1e-9);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_index_once() {
+        let mut v = vec![0u64; 10_000];
+        for_each_mut(&mut v, |i, x| *x = i as u64 + 1);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_matches_chunks_mut_geometry() {
+        let mut v = vec![0usize; 103]; // deliberately not a multiple
+        for_each_chunk_mut(&mut v, 10, |ci, chunk| {
+            for x in chunk.iter_mut() {
+                *x = ci;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i / 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        let mut v = [0u8; 4];
+        for_each_chunk_mut(&mut v, 0, |_, _| {});
+    }
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+    }
+}

@@ -1,42 +1,37 @@
 //! Property tests of the performance-engine models: the structural
 //! guarantees any sane timing model must give, over random workloads.
+//! Runs on the deterministic `pvc_core::check` harness.
 
-use proptest::prelude::*;
 use pvc_arch::{Precision, System};
+use pvc_core::check::check;
+use pvc_core::ensure;
 use pvc_engine::fft_model::{fft_rate, FftDim};
 use pvc_engine::gemm::{gemm_rate, theoretical_unit_peak};
 use pvc_engine::{Engine, KernelProfile};
 
-fn systems() -> impl Strategy<Value = System> {
-    prop::sample::select(vec![
-        System::Aurora,
-        System::Dawn,
-        System::JlseH100,
-        System::JlseMi250,
-    ])
-}
+const SYSTEMS: [System; 4] = [
+    System::Aurora,
+    System::Dawn,
+    System::JlseH100,
+    System::JlseMi250,
+];
 
-fn precisions() -> impl Strategy<Value = Precision> {
-    prop::sample::select(vec![
-        Precision::Fp64,
-        Precision::Fp32,
-        Precision::Fp16,
-        Precision::Bf16,
-    ])
-}
+const PRECISIONS: [Precision; 4] = [
+    Precision::Fp64,
+    Precision::Fp32,
+    Precision::Fp16,
+    Precision::Bf16,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Time is monotone in work: more flops or more bytes never run
-    /// faster.
-    #[test]
-    fn kernel_time_monotone_in_work(
-        sys in systems(),
-        flops in 1e9f64..1e15,
-        bytes in 1e6f64..1e12,
-        extra in 1.01f64..10.0
-    ) {
+/// Time is monotone in work: more flops or more bytes never run
+/// faster.
+#[test]
+fn kernel_time_monotone_in_work() {
+    check("engine::kernel_time_monotone_in_work", 64, |g| {
+        let sys = *g.choose(&SYSTEMS);
+        let flops = g.f64_in(1e9..1e15);
+        let bytes = g.f64_in(1e6..1e12);
+        let extra = g.f64_in(1.01..10.0);
         let e = Engine::new(sys);
         let base = KernelProfile {
             flops,
@@ -45,21 +40,29 @@ proptest! {
             bytes,
             random_accesses: 0.0,
         };
-        let more_flops = KernelProfile { flops: flops * extra, ..base };
-        let more_bytes = KernelProfile { bytes: bytes * extra, ..base };
+        let more_flops = KernelProfile {
+            flops: flops * extra,
+            ..base
+        };
+        let more_bytes = KernelProfile {
+            bytes: bytes * extra,
+            ..base
+        };
         let t = e.kernel_time(&base, 1);
-        prop_assert!(e.kernel_time(&more_flops, 1) >= t);
-        prop_assert!(e.kernel_time(&more_bytes, 1) >= t);
-    }
+        ensure!(e.kernel_time(&more_flops, 1) >= t);
+        ensure!(e.kernel_time(&more_bytes, 1) >= t);
+        Ok(())
+    });
+}
 
-    /// Achieved flops never exceed the device peak.
-    #[test]
-    fn achieved_never_exceeds_peak(
-        sys in systems(),
-        p in precisions(),
-        flops in 1e9f64..1e15,
-        bytes in 0.0f64..1e12
-    ) {
+/// Achieved flops never exceed the device peak.
+#[test]
+fn achieved_never_exceeds_peak() {
+    check("engine::achieved_never_exceeds_peak", 64, |g| {
+        let sys = *g.choose(&SYSTEMS);
+        let p = *g.choose(&PRECISIONS);
+        let flops = g.f64_in(1e9..1e15);
+        let bytes = g.f64_in(0.0..1e12);
         let e = Engine::new(sys);
         let k = KernelProfile {
             flops,
@@ -70,44 +73,65 @@ proptest! {
         };
         let achieved = e.achieved_flops(&k, 1);
         let peak = e.compute_peak(p, 1);
-        prop_assert!(achieved <= peak * (1.0 + 1e-9));
-    }
+        ensure!(achieved <= peak * (1.0 + 1e-9));
+        Ok(())
+    });
+}
 
-    /// Library models never beat theory: GEMM rate ≤ theoretical unit
-    /// peak; FFT rate ≤ FP32 vector peak.
-    #[test]
-    fn libraries_never_beat_theory(sys in systems(), p in precisions(), active in 1u32..12) {
+/// Library models never beat theory: GEMM rate ≤ theoretical unit
+/// peak; FFT rate ≤ FP32 vector peak.
+#[test]
+fn libraries_never_beat_theory() {
+    check("engine::libraries_never_beat_theory", 64, |g| {
+        let sys = *g.choose(&SYSTEMS);
+        let p = *g.choose(&PRECISIONS);
+        let active = g.u32_in(1..12);
         if matches!((sys, p), (System::JlseMi250, Precision::Tf32 | Precision::Fp8)) {
             return Ok(()); // no such library path
         }
-        let g = gemm_rate(sys, p, active);
-        prop_assert!(g <= theoretical_unit_peak(sys, p) * (1.0 + 1e-9), "{sys:?} {p}");
+        let rate = gemm_rate(sys, p, active);
+        ensure!(
+            rate <= theoretical_unit_peak(sys, p) * (1.0 + 1e-9),
+            "{sys:?} {p}"
+        );
         let e = Engine::new(sys);
         for dim in [FftDim::OneD, FftDim::TwoD] {
-            prop_assert!(fft_rate(sys, dim, active) <= e.vector_peak(Precision::Fp32, 1) * 1.0001);
+            ensure!(fft_rate(sys, dim, active) <= e.vector_peak(Precision::Fp32, 1) * 1.0001);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// More active partitions never increases per-partition rates (TDP
-    /// derates only go down).
-    #[test]
-    fn derates_are_monotone_down(sys in systems(), p in precisions(), a in 1u32..11) {
+/// More active partitions never increases per-partition rates (TDP
+/// derates only go down).
+#[test]
+fn derates_are_monotone_down() {
+    check("engine::derates_are_monotone_down", 64, |g| {
+        let sys = *g.choose(&SYSTEMS);
+        let p = *g.choose(&PRECISIONS);
+        let a = g.u32_in(1..11);
         let e = Engine::new(sys);
-        prop_assert!(e.compute_peak(p, a + 1) <= e.compute_peak(p, a) * (1.0 + 1e-12));
-        prop_assert!(e.stream_bandwidth(a + 1) <= e.stream_bandwidth(a) * (1.0 + 1e-12));
+        ensure!(e.compute_peak(p, a + 1) <= e.compute_peak(p, a) * (1.0 + 1e-12));
+        ensure!(e.stream_bandwidth(a + 1) <= e.stream_bandwidth(a) * (1.0 + 1e-12));
         if !matches!((sys, p), (System::JlseMi250, Precision::Tf32 | Precision::Fp8)) {
-            prop_assert!(gemm_rate(sys, p, a + 1) <= gemm_rate(sys, p, a) * (1.0 + 1e-12));
+            ensure!(gemm_rate(sys, p, a + 1) <= gemm_rate(sys, p, a) * (1.0 + 1e-12));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Compute efficiency scales time inversely and exactly for
-    /// compute-bound kernels.
-    #[test]
-    fn efficiency_inverse_scaling(sys in systems(), eff in 0.05f64..1.0) {
+/// Compute efficiency scales time inversely and exactly for
+/// compute-bound kernels.
+#[test]
+fn efficiency_inverse_scaling() {
+    check("engine::efficiency_inverse_scaling", 64, |g| {
+        let sys = *g.choose(&SYSTEMS);
+        let eff = g.f64_in(0.05..1.0);
         let e = Engine::new(sys);
         let base = KernelProfile::compute(1e13, Precision::Fp64);
         let scaled = base.with_efficiency(eff);
         let ratio = e.kernel_time(&scaled, 1) / e.kernel_time(&base, 1);
-        prop_assert!((ratio - 1.0 / eff).abs() < 1e-9);
-    }
+        ensure!((ratio - 1.0 / eff).abs() < 1e-9);
+        Ok(())
+    });
 }

@@ -1,7 +1,24 @@
 //! Property tests of the collective algorithms over the node fabric.
+//! Runs on the deterministic `pvc_core::check` harness.
+//!
+//! # Regression audit (formerly `collective_properties.proptest-regressions`)
+//!
+//! The proptest era left one recorded counterexample, "shrinks to
+//! n = 4": an early draft of the rank-monotonicity property compared
+//! `ring_allreduce` at n−1 vs n ranks and first failed at n = 4,
+//! because the 3-ring's closing leg folds back onto an Xe-Link duplex
+//! pool its second leg already uses, making the 3-ring *slower* than
+//! the 4-ring. That is a real topology effect, not a model bug: the
+//! property was restricted to balanced (even) rings, and the inversion
+//! itself is asserted by `odd_rings_fold_back_onto_duplex_pools`. The
+//! shrunken case is pinned forever by
+//! `regression_n4_ring_vs_n3_inversion` below, replacing the proptest
+//! seed file (the deterministic harness enumerates the same cases on
+//! every run, so stored seeds are no longer needed).
 
-use proptest::prelude::*;
 use pvc_arch::System;
+use pvc_core::check::check;
+use pvc_core::{ensure, ensure_eq};
 use pvc_fabric::collectives::{pairwise_alltoall, ring_allgather, ring_allreduce, tree_broadcast};
 use pvc_fabric::StackId;
 
@@ -30,12 +47,39 @@ fn odd_rings_fold_back_onto_duplex_pools() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Pin of the historical proptest counterexample (`# shrinks to n = 4`):
+/// at exactly n = 4, the even-ring property holds (4-ring ≥ 2-ring) even
+/// though the naive n−1 → n comparison it shrank from does not
+/// (3-ring > 4-ring). Keeping both inequalities pinned documents why the
+/// monotonicity property is stated over even rings only.
+#[test]
+fn regression_n4_ring_vs_n3_inversion() {
+    let node = System::Aurora.node();
+    let two = ring_allreduce(&node, &ranks(System::Aurora, 2), 1e8);
+    let three = ring_allreduce(&node, &ranks(System::Aurora, 3), 1e8);
+    let four = ring_allreduce(&node, &ranks(System::Aurora, 4), 1e8);
+    // The even-ring property at the shrunken case.
+    assert!(
+        four.time >= two.time * 0.95,
+        "even-ring monotonicity at n=4: {} -> {}",
+        two.time,
+        four.time
+    );
+    // The inversion that sank the naive property.
+    assert!(
+        three.time > four.time,
+        "the n=4 counterexample should still reproduce: {} vs {}",
+        three.time,
+        four.time
+    );
+}
 
-    /// Collective time is monotone in payload size.
-    #[test]
-    fn time_monotone_in_bytes(n in 2usize..8, scale in 1.5f64..4.0) {
+/// Collective time is monotone in payload size.
+#[test]
+fn time_monotone_in_bytes() {
+    check("fabric::time_monotone_in_bytes", 24, |g| {
+        let n = g.usize_in(2..8);
+        let scale = g.f64_in(1.5..4.0);
         let node = System::Dawn.node();
         let r = ranks(System::Dawn, n);
         for f in [
@@ -46,48 +90,62 @@ proptest! {
         ] {
             let small = f(&node, &r, 1e7);
             let big = f(&node, &r, 1e7 * scale);
-            prop_assert!(big.time >= small.time, "{} vs {}", small.time, big.time);
+            ensure!(big.time >= small.time, "{} vs {}", small.time, big.time);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Byte accounting is exact for the ring collectives.
-    #[test]
-    fn byte_accounting(n in 2usize..9, bytes in 1e6f64..1e8) {
+/// Byte accounting is exact for the ring collectives.
+#[test]
+fn byte_accounting() {
+    check("fabric::byte_accounting", 24, |g| {
+        let n = g.usize_in(2..9);
+        let bytes = g.f64_in(1e6..1e8);
         let node = System::Aurora.node();
         let r = ranks(System::Aurora, n);
         let nf = n as f64;
         let ar = ring_allreduce(&node, &r, bytes);
-        prop_assert!((ar.bytes_moved - bytes * 2.0 * (nf - 1.0)).abs() < 1.0);
+        ensure!((ar.bytes_moved - bytes * 2.0 * (nf - 1.0)).abs() < 1.0);
         let ag = ring_allgather(&node, &r, bytes);
-        prop_assert!((ag.bytes_moved - bytes * nf * (nf - 1.0)).abs() < 1.0);
+        ensure!((ag.bytes_moved - bytes * nf * (nf - 1.0)).abs() < 1.0);
         let bc = tree_broadcast(&node, &r, bytes);
-        prop_assert!((bc.bytes_moved - bytes * (nf - 1.0)).abs() < 1.0);
-    }
+        ensure!((bc.bytes_moved - bytes * (nf - 1.0)).abs() < 1.0);
+        Ok(())
+    });
+}
 
-    /// Step counts follow the algorithms exactly.
-    #[test]
-    fn step_counts(n in 2usize..9) {
+/// Step counts follow the algorithms exactly.
+#[test]
+fn step_counts() {
+    check("fabric::step_counts", 24, |g| {
+        let n = g.usize_in(2..9);
         let node = System::Aurora.node();
         let r = ranks(System::Aurora, n);
-        prop_assert_eq!(ring_allreduce(&node, &r, 1e6).steps, 2 * (n - 1));
-        prop_assert_eq!(ring_allgather(&node, &r, 1e6).steps, n - 1);
-        prop_assert_eq!(pairwise_alltoall(&node, &r, 1e6).steps, n - 1);
+        ensure_eq!(ring_allreduce(&node, &r, 1e6).steps, 2 * (n - 1));
+        ensure_eq!(ring_allgather(&node, &r, 1e6).steps, n - 1);
+        ensure_eq!(pairwise_alltoall(&node, &r, 1e6).steps, n - 1);
         let expected_bcast = (n as f64).log2().ceil() as usize;
-        prop_assert_eq!(tree_broadcast(&node, &r, 1e6).steps, expected_bcast);
-    }
+        ensure_eq!(tree_broadcast(&node, &r, 1e6).steps, expected_bcast);
+        Ok(())
+    });
+}
 
-    /// More participants never makes allreduce complete faster for a
-    /// fixed per-rank payload — for *balanced* (even) rings. Odd rings
-    /// on this topology fold a return hop onto an already-used Xe-Link
-    /// duplex pool (e.g. the 3-ring's 1.0→0.0 leg routes back through
-    /// the 0.1↔1.0 link), making them slower than the next even size —
-    /// a real topology effect, deliberately excluded here and exercised
-    /// by `odd_rings_fold_back_onto_duplex_pools` below.
-    #[test]
-    fn allreduce_time_grows_with_even_ranks(k in 2usize..6) {
+/// More participants never makes allreduce complete faster for a
+/// fixed per-rank payload — for *balanced* (even) rings. Odd rings
+/// on this topology fold a return hop onto an already-used Xe-Link
+/// duplex pool (e.g. the 3-ring's 1.0→0.0 leg routes back through
+/// the 0.1↔1.0 link), making them slower than the next even size —
+/// a real topology effect, deliberately excluded here and exercised
+/// by `odd_rings_fold_back_onto_duplex_pools` above.
+#[test]
+fn allreduce_time_grows_with_even_ranks() {
+    check("fabric::allreduce_time_grows_with_even_ranks", 24, |g| {
+        let k = g.usize_in(2..6);
         let node = System::Aurora.node();
         let small = ring_allreduce(&node, &ranks(System::Aurora, 2 * (k - 1)), 1e8);
         let big = ring_allreduce(&node, &ranks(System::Aurora, 2 * k), 1e8);
-        prop_assert!(big.time >= small.time * 0.95, "{} -> {}", small.time, big.time);
-    }
+        ensure!(big.time >= small.time * 0.95, "{} -> {}", small.time, big.time);
+        Ok(())
+    });
 }

@@ -1,7 +1,9 @@
 //! Property tests of the fabric topology and routing invariants.
+//! Runs on the deterministic `pvc_core::check` harness.
 
-use proptest::prelude::*;
 use pvc_arch::System;
+use pvc_core::check::check;
+use pvc_core::{ensure, ensure_eq};
 use pvc_fabric::plane::{plane_of, same_plane};
 use pvc_fabric::{NodeFabric, RouteVia, StackId};
 
@@ -12,26 +14,31 @@ fn stacks(system: System) -> Vec<StackId> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Plane membership is symmetric and the sibling of every stack is in
-    /// the other plane (PVC systems).
-    #[test]
-    fn planes_are_symmetric_and_siblings_cross(gi in 0u32..6, si in 0u32..2, gj in 0u32..6, sj in 0u32..2) {
+/// Plane membership is symmetric and the sibling of every stack is in
+/// the other plane (PVC systems).
+#[test]
+fn planes_are_symmetric_and_siblings_cross() {
+    check("fabric::planes_are_symmetric_and_siblings_cross", 64, |g| {
+        let a = StackId::new(g.u32_in(0..6), g.u32_in(0..2));
+        let b = StackId::new(g.u32_in(0..6), g.u32_in(0..2));
         let sys = System::Aurora;
-        let a = StackId::new(gi, si);
-        let b = StackId::new(gj, sj);
-        prop_assert_eq!(same_plane(sys, a, b), same_plane(sys, b, a));
-        prop_assert_ne!(plane_of(sys, a), plane_of(sys, a.sibling()));
-    }
+        ensure_eq!(same_plane(sys, a, b), same_plane(sys, b, a));
+        ensure!(plane_of(sys, a) != plane_of(sys, a.sibling()));
+        Ok(())
+    });
+}
 
-    /// Every distinct stack pair on a PVC node has a route, and its
-    /// isolated bandwidth equals the expected class value (MDFI for
-    /// local, Xe-Link for remote — including the two-hop case).
-    #[test]
-    fn every_pair_routes_at_class_bandwidth(i in 0usize..12, j in 0usize..12) {
-        prop_assume!(i != j);
+/// Every distinct stack pair on a PVC node has a route, and its
+/// isolated bandwidth equals the expected class value (MDFI for
+/// local, Xe-Link for remote — including the two-hop case).
+#[test]
+fn every_pair_routes_at_class_bandwidth() {
+    check("fabric::every_pair_routes_at_class_bandwidth", 64, |g| {
+        let i = g.usize_in(0..12);
+        let j = g.usize_in(0..12);
+        if i == j {
+            return Ok(());
+        }
         let sys = System::Aurora;
         let node = sys.node();
         let all = stacks(sys);
@@ -39,41 +46,56 @@ proptest! {
         let fabric = NodeFabric::new(&node);
         let bw = fabric.isolated_bandwidth(fabric.d2d_path(a, b, RouteVia::Auto));
         if a.gpu == b.gpu {
-            prop_assert!((bw - node.fabric.local_uni).abs() / node.fabric.local_uni < 1e-6);
+            ensure!((bw - node.fabric.local_uni).abs() / node.fabric.local_uni < 1e-6);
         } else {
-            prop_assert!((bw - node.fabric.remote_uni).abs() / node.fabric.remote_uni < 1e-6);
+            ensure!((bw - node.fabric.remote_uni).abs() / node.fabric.remote_uni < 1e-6);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Host paths exist for every stack and are bounded by the card link.
-    #[test]
-    fn host_paths_bounded_by_card_link(i in 0usize..12) {
+/// Host paths exist for every stack and are bounded by the card link.
+#[test]
+fn host_paths_bounded_by_card_link() {
+    check("fabric::host_paths_bounded_by_card_link", 64, |g| {
+        let i = g.usize_in(0..12);
         let sys = System::Aurora;
         let node = sys.node();
         let fabric = NodeFabric::new(&node);
         let s = stacks(sys)[i];
         let h2d = fabric.isolated_bandwidth(fabric.h2d_path(s));
         let d2h = fabric.isolated_bandwidth(fabric.d2h_path(s));
-        prop_assert!(h2d <= node.pcie.per_card_h2d * 1.0001);
-        prop_assert!(d2h <= node.pcie.per_card_d2h * 1.0001);
-        prop_assert!(h2d > 0.9 * node.pcie.per_card_h2d * 0.95);
-        prop_assert!(d2h > 0.0);
-    }
+        ensure!(h2d <= node.pcie.per_card_h2d * 1.0001);
+        ensure!(d2h <= node.pcie.per_card_d2h * 1.0001);
+        ensure!(h2d > 0.9 * node.pcie.per_card_h2d * 0.95);
+        ensure!(d2h > 0.0);
+        Ok(())
+    });
+}
 
-    /// Cross-plane routes through either sibling end at the same
-    /// bottleneck bandwidth when the fabric is otherwise idle.
-    #[test]
-    fn two_hop_route_choice_is_neutral_when_idle(gi in 0u32..6, gj in 0u32..6, s in 0u32..2) {
-        prop_assume!(gi != gj);
+/// Cross-plane routes through either sibling end at the same
+/// bottleneck bandwidth when the fabric is otherwise idle.
+#[test]
+fn two_hop_route_choice_is_neutral_when_idle() {
+    check("fabric::two_hop_route_choice_is_neutral_when_idle", 64, |g| {
+        let gi = g.u32_in(0..6);
+        let gj = g.u32_in(0..6);
+        let s = g.u32_in(0..2);
+        if gi == gj {
+            return Ok(());
+        }
         let sys = System::Aurora;
         let a = StackId::new(gi, s);
         let b = StackId::new(gj, s);
-        prop_assume!(!same_plane(sys, a, b));
+        if same_plane(sys, a, b) {
+            return Ok(());
+        }
         let fabric = NodeFabric::new(&sys.node());
         let src = fabric.isolated_bandwidth(fabric.d2d_path(a, b, RouteVia::SourceSibling));
         let dst = fabric.isolated_bandwidth(fabric.d2d_path(a, b, RouteVia::DestSibling));
-        prop_assert!((src - dst).abs() / dst < 1e-6);
-    }
+        ensure!((src - dst).abs() / dst < 1e-6);
+        Ok(())
+    });
 }
 
 /// Dawn's 8 stacks route pairwise too (non-property smoke over the full

@@ -82,7 +82,8 @@ impl ChaseRing {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pvc_core::check::check;
+    use pvc_core::ensure;
 
     #[test]
     fn full_lap_returns_to_start() {
@@ -109,11 +110,13 @@ mod tests {
         assert_ne!(a, c);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-        #[test]
-        fn prop_always_single_cycle(slots in 1usize..2000, seed in 0u64..1_000_000) {
-            prop_assert!(ChaseRing::new(slots, seed).is_single_cycle());
-        }
+    #[test]
+    fn prop_always_single_cycle() {
+        check("chase::prop_always_single_cycle", 32, |g| {
+            let slots = g.usize_in(1..2000);
+            let seed = g.u64_in(0..1_000_000);
+            ensure!(ChaseRing::new(slots, seed).is_single_cycle());
+            Ok(())
+        });
     }
 }

@@ -11,7 +11,7 @@
 //! transform. Generic over f32/f64.
 
 use crate::scalar::Scalar;
-use rayon::prelude::*;
+use pvc_core::par;
 use std::ops::{Add, Mul, Sub};
 
 /// A complex number over a [`Scalar`].
@@ -203,25 +203,25 @@ pub fn fft<T: Scalar>(data: &mut [Complex<T>], dir: Direction) {
 }
 
 /// Row-column 2D FFT over a row-major `rows × cols` grid, parallelised
-/// with rayon (each row/column transform is independent).
+/// over lines (each row/column transform is independent).
 pub fn fft_2d<T: Scalar>(data: &mut [Complex<T>], rows: usize, cols: usize, dir: Direction) {
     assert_eq!(data.len(), rows * cols);
     // Rows.
-    data.par_chunks_mut(cols).for_each(|row| fft(row, dir));
+    par::for_each_chunk_mut(data, cols, |_, row| fft(row, dir));
     // Columns via transpose-FFT-transpose.
     let mut t = transpose(data, rows, cols);
-    t.par_chunks_mut(rows).for_each(|col| fft(col, dir));
+    par::for_each_chunk_mut(&mut t, rows, |_, col| fft(col, dir));
     let back = transpose(&t, cols, rows);
     data.copy_from_slice(&back);
 }
 
 /// 3D FFT over a row-major `n × n × n` cube: three axis passes, each a
-/// batch of 1D transforms (rayon-parallel). Used by the particle-mesh
+/// parallel batch of 1D transforms. Used by the particle-mesh
 /// gravity solver in `pvc-apps`.
 pub fn fft_3d<T: Scalar>(data: &mut [Complex<T>], n: usize, dir: Direction) {
     assert_eq!(data.len(), n * n * n, "cube must be n^3");
     // Axis z (contiguous): independent rows of length n.
-    data.par_chunks_mut(n).for_each(|row| fft(row, dir));
+    par::for_each_chunk_mut(data, n, |_, row| fft(row, dir));
     // Axis y: gather strided lines, transform, scatter.
     axis_pass(data, n, |x, y, z| (x * n + y) * n + z, true, dir);
     // Axis x.
@@ -252,7 +252,7 @@ fn axis_pass<T: Scalar>(
             lines.push(line);
         }
     }
-    lines.par_iter_mut().for_each(|line| fft(line, dir));
+    par::for_each_mut(&mut lines, |_, line| fft(line, dir));
     let mut it = lines.into_iter();
     for a in 0..n {
         for b in 0..n {
@@ -294,7 +294,8 @@ pub fn dft_naive<T: Scalar>(data: &[Complex<T>], dir: Direction) -> Vec<Complex<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pvc_core::check::check;
+    use pvc_core::ensure;
 
     fn signal(n: usize, seed: u64) -> Vec<Complex<f64>> {
         let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).max(3);
@@ -469,10 +470,11 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-        #[test]
-        fn prop_linearity(n in 2usize..64, s in 0u64..50) {
+    #[test]
+    fn prop_linearity() {
+        check("fft::prop_linearity", 12, |g| {
+            let n = g.usize_in(2..64);
+            let s = g.u64_in(0..50);
             let x = signal(n, s);
             let y = signal(n, s + 1);
             let sum: Vec<Complex<f64>> = x.iter().zip(y.iter()).map(|(a, b)| *a + *b).collect();
@@ -484,21 +486,27 @@ mod tests {
             fft(&mut fs, Direction::Forward);
             for i in 0..n {
                 let lin = fx[i] + fy[i];
-                prop_assert!((lin.re - fs[i].re).abs() < 1e-7);
-                prop_assert!((lin.im - fs[i].im).abs() < 1e-7);
+                ensure!((lin.re - fs[i].re).abs() < 1e-7);
+                ensure!((lin.im - fs[i].im).abs() < 1e-7);
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_roundtrip_any_length(n in 2usize..200, s in 0u64..50) {
+    #[test]
+    fn prop_roundtrip_any_length() {
+        check("fft::prop_roundtrip_any_length", 12, |g| {
+            let n = g.usize_in(2..200);
+            let s = g.u64_in(0..50);
             let x = signal(n, s);
             let mut y = x.clone();
             fft(&mut y, Direction::Forward);
             fft(&mut y, Direction::Backward);
             for i in 0..n {
-                prop_assert!((y[i].re / n as f64 - x[i].re).abs() < 1e-7);
-                prop_assert!((y[i].im / n as f64 - x[i].im).abs() < 1e-7);
+                ensure!((y[i].re / n as f64 - x[i].re).abs() < 1e-7);
+                ensure!((y[i].im / n as f64 - x[i].im).abs() < 1e-7);
             }
-        }
+            Ok(())
+        });
     }
 }

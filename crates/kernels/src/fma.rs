@@ -10,7 +10,7 @@
 //! non-trivial and finite.
 
 use crate::scalar::Scalar;
-use rayon::prelude::*;
+use pvc_core::par;
 
 /// The paper's per-work-item FMA count: 16 × 128.
 pub const FMA_PER_WORK_ITEM: u64 = 16 * 128;
@@ -32,16 +32,13 @@ pub fn fma_chain<T: Scalar>(lanes: usize, fma_per_lane: u64) -> FmaResult {
     // of any length.
     let a = T::from_f64(0.5);
     let b = T::from_f64(1.0);
-    let checksum: f64 = (0..lanes)
-        .into_par_iter()
-        .map(|lane| {
-            let mut x = T::from_f64(lane as f64 / lanes.max(1) as f64);
-            for _ in 0..fma_per_lane {
-                x = x.mul_add(a, b);
-            }
-            x.to_f64()
-        })
-        .sum();
+    let checksum: f64 = par::map_sum(lanes, |lane| {
+        let mut x = T::from_f64(lane as f64 / lanes.max(1) as f64);
+        for _ in 0..fma_per_lane {
+            x = x.mul_add(a, b);
+        }
+        x.to_f64()
+    });
     FmaResult {
         flops: 2 * lanes as u64 * fma_per_lane,
         checksum,

@@ -5,12 +5,12 @@
 //! N × N matrix of size N = 20480. … A total of 2·N³ floating point
 //! operations is expected to be performed."
 //!
-//! This module provides a cache-blocked, rayon-parallel C = A·B (row
+//! This module provides a cache-blocked, thread-parallel C = A·B (row
 //! major) plus a naive reference used in tests, and an i32-accumulating
 //! integer GEMM standing in for the I8 benchmark's arithmetic.
 
 use crate::scalar::Scalar;
-use rayon::prelude::*;
+use pvc_core::par;
 
 /// The paper's matrix dimension.
 pub const PAPER_N: usize = 20480;
@@ -48,10 +48,8 @@ pub fn gemm<T: Scalar>(n: usize, a: &[T], b: &[T], c: &mut [T]) {
     assert_eq!(a.len(), n * n, "A must be n x n");
     assert_eq!(b.len(), n * n, "B must be n x n");
     assert_eq!(c.len(), n * n, "C must be n x n");
-    c.par_chunks_mut(BLOCK * n)
-        .enumerate()
-        .for_each(|(bi, c_panel)| {
-            let i0 = bi * BLOCK;
+    par::for_each_chunk_mut(c, BLOCK * n, |bi, c_panel| {
+        let i0 = bi * BLOCK;
             let rows = c_panel.len() / n;
             for row in c_panel.iter_mut() {
                 *row = T::ZERO;
@@ -83,7 +81,7 @@ pub fn gemm<T: Scalar>(n: usize, a: &[T], b: &[T], c: &mut [T]) {
 pub fn gemm_batch<T: Scalar>(n: usize, a: &[Vec<T>], b: &[Vec<T>], c: &mut [Vec<T>]) {
     assert_eq!(a.len(), b.len(), "batch count mismatch");
     assert_eq!(a.len(), c.len(), "batch count mismatch");
-    c.par_iter_mut().enumerate().for_each(|(i, ci)| {
+    par::for_each_mut(c, |i, ci| {
         assert_eq!(a[i].len(), n * n);
         assert_eq!(b[i].len(), n * n);
         assert_eq!(ci.len(), n * n);
@@ -107,7 +105,7 @@ pub fn gemm_i8(n: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
     assert_eq!(a.len(), n * n);
     assert_eq!(b.len(), n * n);
     assert_eq!(c.len(), n * n);
-    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+    par::for_each_chunk_mut(c, n, |i, crow| {
         for v in crow.iter_mut() {
             *v = 0;
         }
@@ -137,7 +135,8 @@ pub fn test_matrix<T: Scalar>(n: usize, seed: u64) -> Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pvc_core::check::check;
+    use pvc_core::ensure;
 
     #[test]
     fn identity_multiplication() {
@@ -225,24 +224,29 @@ mod tests {
         assert!((gemm_flops(PAPER_N) as f64 - 1.718e13).abs() / 1.718e13 < 0.001);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-        #[test]
-        fn prop_blocked_matches_naive(n in 1usize..48, s1 in 0u64..1000, s2 in 0u64..1000) {
-            let a = test_matrix::<f64>(n, s1);
-            let b = test_matrix::<f64>(n, s2);
+    #[test]
+    fn prop_blocked_matches_naive() {
+        check("gemm::prop_blocked_matches_naive", 16, |g| {
+            let n = g.usize_in(1..48);
+            let a = test_matrix::<f64>(n, g.u64_in(0..1000));
+            let b = test_matrix::<f64>(n, g.u64_in(0..1000));
             let mut c1 = vec![0.0f64; n * n];
             let mut c2 = vec![0.0f64; n * n];
             gemm(n, &a, &b, &mut c1);
             gemm_naive(n, &a, &b, &mut c2);
             for (x, y) in c1.iter().zip(c2.iter()) {
-                prop_assert!((x - y).abs() < 1e-9);
+                ensure!((x - y).abs() < 1e-9);
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_gemm_is_linear_in_a(n in 1usize..24, s in 0u64..100) {
+    #[test]
+    fn prop_gemm_is_linear_in_a() {
+        check("gemm::prop_gemm_is_linear_in_a", 16, |g| {
             // (2A)·B == 2(A·B)
+            let n = g.usize_in(1..24);
+            let s = g.u64_in(0..100);
             let a = test_matrix::<f64>(n, s);
             let b = test_matrix::<f64>(n, s + 1);
             let a2: Vec<f64> = a.iter().map(|x| 2.0 * x).collect();
@@ -251,8 +255,9 @@ mod tests {
             gemm(n, &a, &b, &mut c);
             gemm(n, &a2, &b, &mut c2);
             for (x, y) in c.iter().zip(c2.iter()) {
-                prop_assert!((2.0 * x - y).abs() < 1e-9);
+                ensure!((2.0 * x - y).abs() < 1e-9);
             }
-        }
+            Ok(())
+        });
     }
 }

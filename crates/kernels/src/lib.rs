@@ -4,7 +4,7 @@
 //! algorithms used for benchmarking (stream triad, chain of FMAs,
 //! data-transfert)" (§IV). This crate implements those algorithms — plus
 //! the GEMM and FFT workloads behind the oneMKL rows of Table II — as
-//! real, verifiable Rust code parallelised with rayon.
+//! real, verifiable Rust code parallelised with pvc_core::par.
 //!
 //! The kernels serve two purposes:
 //!

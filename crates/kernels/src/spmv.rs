@@ -8,7 +8,7 @@
 //! kernel lives in `pvc-apps::sparse`.
 
 use crate::scalar::Scalar;
-use rayon::prelude::*;
+use pvc_core::par;
 
 /// A compressed-sparse-row matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,7 +65,7 @@ impl<T: Scalar> Csr<T> {
     pub fn spmv(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.cols, "x length != cols");
         assert_eq!(y.len(), self.rows, "y length != rows");
-        y.par_iter_mut().enumerate().for_each(|(r, out)| {
+        par::for_each_mut(y, |r, out| {
             let lo = self.row_ptr[r];
             let hi = self.row_ptr[r + 1];
             let mut acc = T::ZERO;
@@ -135,7 +135,8 @@ pub fn synthetic_sparse<T: Scalar>(n: usize, nnz_per_row: usize, seed: u64) -> C
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pvc_core::check::check;
+    use pvc_core::ensure;
 
     #[allow(clippy::needless_range_loop)]
     fn dense_mv(n: usize, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
@@ -186,22 +187,29 @@ mod tests {
         let _ = Csr::from_triplets(2, 2, vec![(5, 0, 1.0f64)]);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-        #[test]
-        fn prop_spmv_matches_dense(n in 1usize..64, nnz in 3usize..12, seed in 0u64..500) {
+    #[test]
+    fn prop_spmv_matches_dense() {
+        check("spmv::prop_spmv_matches_dense", 16, |g| {
+            let n = g.usize_in(1..64);
+            let nnz = g.usize_in(3..12);
+            let seed = g.u64_in(0..500);
             let a = synthetic_sparse::<f64>(n, nnz, seed);
             let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
             let mut y = vec![0.0; n];
             a.spmv(&x, &mut y);
             let oracle = dense_mv(n, &a, &x);
             for (a, b) in y.iter().zip(oracle.iter()) {
-                prop_assert!((a - b).abs() < 1e-10);
+                ensure!((a - b).abs() < 1e-10);
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_spmv_is_linear(n in 2usize..32, seed in 0u64..200) {
+    #[test]
+    fn prop_spmv_is_linear() {
+        check("spmv::prop_spmv_is_linear", 16, |g| {
+            let n = g.usize_in(2..32);
+            let seed = g.u64_in(0..200);
             let a = synthetic_sparse::<f64>(n, 5, seed);
             let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
             let x2: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
@@ -210,8 +218,9 @@ mod tests {
             a.spmv(&x, &mut y);
             a.spmv(&x2, &mut y2);
             for (a, b) in y.iter().zip(y2.iter()) {
-                prop_assert!((2.0 * a - b).abs() < 1e-9);
+                ensure!((2.0 * a - b).abs() < 1e-9);
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -9,7 +9,7 @@
 //! so the kernel measures HBM, not cache.
 
 use crate::scalar::Scalar;
-use rayon::prelude::*;
+use pvc_core::par;
 
 /// The paper's array size: 4 × the 192 MiB per-stack LLC, in bytes.
 pub const PAPER_ARRAY_BYTES: usize = 4 * 192 * 1024 * 1024;
@@ -27,11 +27,9 @@ pub fn triad_bytes(n: usize, elem: usize) -> u64 {
 pub fn triad<T: Scalar>(a: &mut [T], b: &[T], c: &[T], s: T) {
     assert_eq!(a.len(), b.len());
     assert_eq!(a.len(), c.len());
-    a.par_iter_mut()
-        .zip(b.par_iter().zip(c.par_iter()))
-        .for_each(|(a, (&b, &c))| {
-            *a = c.mul_add(s, b);
-        });
+    par::for_each_mut(a, |i, a| {
+        *a = c[i].mul_add(s, b[i]);
+    });
 }
 
 /// Allocates paper-shaped arrays (scaled by `scale` to keep tests quick),

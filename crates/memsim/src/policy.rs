@@ -184,7 +184,8 @@ pub fn lru_matches_cachesim(size: u64, line: u32, assoc: u32, addrs: &[u64]) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pvc_core::check::check;
+    use pvc_core::ensure;
 
     #[test]
     fn lru_policy_cache_equals_production_lru() {
@@ -217,21 +218,26 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    /// LRU equivalence on random traces.
+    #[test]
+    fn prop_lru_equivalence() {
+        check("policy::prop_lru_equivalence", 32, |g| {
+            let addrs = g.vec_u64(1..500, 0..32768);
+            ensure!(lru_matches_cachesim(2048, 64, 4, &addrs));
+            Ok(())
+        });
+    }
 
-        /// LRU equivalence on random traces.
-        #[test]
-        fn prop_lru_equivalence(addrs in prop::collection::vec(0u64..32768, 1..500)) {
-            prop_assert!(lru_matches_cachesim(2048, 64, 4, &addrs));
-        }
-
-        /// Miss ratio is always in [0, 1] and 0 for fitting sets.
-        #[test]
-        fn prop_miss_ratio_bounds(fp in 64u64..1_000_000, seed in 0u64..100) {
+    /// Miss ratio is always in [0, 1] and 0 for fitting sets.
+    #[test]
+    fn prop_miss_ratio_bounds() {
+        check("policy::prop_miss_ratio_bounds", 32, |g| {
+            let fp = g.u64_in(64..1_000_000);
+            let seed = g.u64_in(0..100);
             let curve = miss_curve(64 * 1024, 64, 8, Replacement::Random(seed), &[fp], 2);
             let (_, mr) = curve[0];
-            prop_assert!((0.0..=1.0).contains(&mr));
-        }
+            ensure!((0.0..=1.0).contains(&mr));
+            Ok(())
+        });
     }
 }

@@ -16,7 +16,7 @@
 use crate::{Fom, ScaleLevel};
 use pvc_arch::{Precision, System};
 use pvc_engine::Engine;
-use rayon::prelude::*;
+use pvc_core::par;
 
 /// The paper's input deck shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,10 +135,7 @@ pub fn pose_energy(ligand: &[Atom], protein: &[Atom], pose: &Pose) -> f32 {
 /// Screens every pose (rayon over poses — the GPU's pose-parallel
 /// decomposition), returning per-pose energies.
 pub fn screen(ligand: &[Atom], protein: &[Atom], poses: &[Pose]) -> Vec<f32> {
-    poses
-        .par_iter()
-        .map(|p| pose_energy(ligand, protein, p))
-        .collect()
+    par::map_collect(poses.len(), |i| pose_energy(ligand, protein, &poses[i]))
 }
 
 /// Fraction of FP32 peak the miniBUDE kernel sustains on each system

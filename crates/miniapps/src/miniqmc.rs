@@ -21,9 +21,7 @@
 use crate::congestion::HostCongestion;
 use crate::{Fom, ScaleLevel};
 use pvc_arch::System;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
+use pvc_core::{par, SimRng};
 
 /// Walkers per GPU in the paper's runs.
 pub const WALKERS_PER_GPU: usize = 320;
@@ -122,7 +120,7 @@ pub fn local_energy(cell: &Cell, electrons: &[[f64; 3]]) -> f64 {
 pub fn init_walkers(cell: &Cell, n_walkers: usize, n_electrons: usize, seed: u64) -> Vec<Walker> {
     (0..n_walkers)
         .map(|w| {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(w as u64));
+            let mut rng = SimRng::seed_from_u64(seed.wrapping_add(w as u64));
             let electrons = (0..n_electrons)
                 .map(|_| {
                     [
@@ -148,8 +146,8 @@ pub fn init_walkers(cell: &Cell, n_walkers: usize, n_electrons: usize, seed: u64
 /// gaussian move, accept by the Metropolis ratio, then sample the local
 /// energy.
 pub fn diffusion_step(cell: &Cell, walkers: &mut [Walker], timestep: f64, sweep: u64) {
-    walkers.par_iter_mut().enumerate().for_each(|(w, walker)| {
-        let mut rng = StdRng::seed_from_u64((sweep << 32) ^ w as u64);
+    par::for_each_mut(walkers, |w, walker| {
+        let mut rng = SimRng::seed_from_u64((sweep << 32) ^ w as u64);
         let mut log_old = log_psi(cell, &walker.electrons);
         for e in 0..walker.electrons.len() {
             let old = walker.electrons[e];
@@ -174,7 +172,7 @@ pub fn diffusion_step(cell: &Cell, walkers: &mut [Walker], timestep: f64, sweep:
     });
 }
 
-fn gaussian(rng: &mut StdRng) -> f64 {
+fn gaussian(rng: &mut SimRng) -> f64 {
     // Box-Muller.
     let u1: f64 = rng.random::<f64>().max(1e-12);
     let u2: f64 = rng.random();
@@ -224,7 +222,7 @@ pub fn dmc_step(
     // population.
     let total: f64 = weights.iter().sum();
     let n_new = target;
-    let mut rng = StdRng::seed_from_u64(sweep.wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng = SimRng::seed_from_u64(sweep.wrapping_mul(0x9E3779B97F4A7C15));
     let start: f64 = rng.random::<f64>() * total / n_new as f64;
     let mut new_walkers = Vec::with_capacity(n_new);
     let mut cum = 0.0;

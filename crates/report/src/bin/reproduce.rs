@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! reproduce [table1|table2|table3|table4|table5|table6|fig1|fig2|fig3|fig4|experiments|json|all]
+//! reproduce [table1..table6|fig1..fig4|experiments|json|conformance|validate|all]
 //! ```
 //! With no argument, prints everything.
 
@@ -86,11 +86,25 @@ fn main() {
             out.push_str(&format!(
                 "validated {compared} published cells against the model; {failures} outside 8%\n"
             ));
+            match pvc_report::conformance::verdict() {
+                Ok(line) => out.push_str(&line),
+                Err(msg) => {
+                    eprint!("{msg}");
+                    failures += 1;
+                }
+            }
             if failures > 0 {
                 print!("{out}");
                 std::process::exit(1);
             }
         }
+        "conformance" => match pvc_report::conformance::verdict() {
+            Ok(_) => out.push_str(&pvc_report::conformance::markdown()),
+            Err(msg) => {
+                eprint!("{msg}");
+                std::process::exit(1);
+            }
+        },
         "all" => {
             for s in [
                 tables::render_table1(),
@@ -118,7 +132,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, rooflines, ablations, scaling or all"
+                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling or all"
             );
             std::process::exit(2);
         }

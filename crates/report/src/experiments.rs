@@ -1,10 +1,10 @@
 //! Paper-vs-measured experiment records — the data behind EXPERIMENTS.md.
 
 use crate::tables;
-use serde::Serialize;
+use pvc_core::json::{Json, ToJson};
 
 /// One compared cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRecord {
     /// Paper element ("Table II", …).
     pub element: &'static str,
@@ -110,9 +110,22 @@ pub fn markdown() -> String {
     out
 }
 
+impl ToJson for ExperimentRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("element", Json::str(self.element)),
+            ("row", Json::str(self.row.clone())),
+            ("column", Json::str(self.column.clone())),
+            ("published", self.published.to_json()),
+            ("simulated", self.simulated.to_json()),
+            ("rel_err", self.rel_err.to_json()),
+        ])
+    }
+}
+
 /// JSON dump of the records.
 pub fn json() -> String {
-    serde_json::to_string_pretty(&collect()).expect("records serialise")
+    collect().to_json().pretty()
 }
 
 #[cfg(test)]

@@ -7,11 +7,14 @@
 //!   crates, paired cell-by-cell with the published values;
 //! * [`figdata`] — Figure 1 latency series and Figures 2–4 bar data;
 //! * [`experiments`] — the paper-vs-measured record used to generate
-//!   EXPERIMENTS.md.
+//!   EXPERIMENTS.md;
+//! * [`conformance`] — the `pvc-validate` golden-expectation run
+//!   rendered as a report section (and the CLI gate's verdict).
 //!
 //! The `reproduce` binary (in `src/bin`) prints any or all of them.
 
 pub mod ablations;
+pub mod conformance;
 pub mod csv;
 pub mod energy;
 pub mod experiments;

@@ -1,0 +1,128 @@
+//! Edge-case tests for the fluid flow network: the degenerate corners a
+//! randomized property sweep rarely lands on exactly — zero-latency
+//! flows, single-resource saturation, simultaneous completion ties, and
+//! malformed-input rejection.
+
+use pvc_simrt::{FlowNetwork, FlowSpec, ResourceId, Time};
+
+fn spec(start: f64, bytes: f64, path: Vec<ResourceId>) -> FlowSpec {
+    FlowSpec {
+        start: Time::from_secs(start),
+        bytes,
+        path,
+        latency: 0.0,
+    }
+}
+
+/// A zero-latency flow begins exactly at its start time, and the
+/// reported bandwidth equals bytes over the fluid-transfer window.
+#[test]
+fn zero_latency_flow_begins_at_start() {
+    let mut net = FlowNetwork::new();
+    let link = net.add_resource(200.0);
+    let f = net.add_flow(spec(3.25, 100.0, vec![link]));
+    let done = net.run();
+    let out = done[&f];
+    assert!((out.began.as_secs() - 3.25).abs() < 1e-12);
+    assert!((out.finished.as_secs() - 3.75).abs() < 1e-9);
+    assert!((out.bandwidth() - 200.0).abs() < 1e-9);
+    assert!((out.duration_from(Time::from_secs(3.25)) - 0.5).abs() < 1e-9);
+}
+
+/// Many flows saturating one resource: aggregate bandwidth equals the
+/// capacity exactly while all are active, and equal-size flows all
+/// finish together at total/capacity.
+#[test]
+fn single_resource_saturation_is_work_conserving() {
+    let mut net = FlowNetwork::new();
+    let link = net.add_resource(64.0);
+    let n = 16;
+    let ids: Vec<_> = (0..n)
+        .map(|_| net.add_flow(spec(0.0, 32.0, vec![link])))
+        .collect();
+    let done = net.run();
+    let expect = (n as f64 * 32.0) / 64.0; // 8 s
+    for id in &ids {
+        assert!((done[id].finished.as_secs() - expect).abs() < 1e-9);
+        // Per-flow fair share: capacity / n.
+        assert!((done[id].bandwidth() - 64.0 / n as f64).abs() < 1e-9);
+    }
+}
+
+/// Flows engineered to complete at the same instant all get the same
+/// finish time, and the network keeps progressing past the tie (a
+/// later-arriving flow still completes).
+#[test]
+fn simultaneous_completion_ties_resolve_cleanly() {
+    let mut net = FlowNetwork::new();
+    let l1 = net.add_resource(100.0);
+    let l2 = net.add_resource(50.0);
+    // a and b never share a resource; sized to tie at t = 2.
+    let a = net.add_flow(spec(0.0, 200.0, vec![l1]));
+    let b = net.add_flow(spec(0.0, 100.0, vec![l2]));
+    // c arrives after the tie and must still run to completion.
+    let c = net.add_flow(spec(2.0, 100.0, vec![l1]));
+    let done = net.run();
+    assert!((done[&a].finished.as_secs() - 2.0).abs() < 1e-9);
+    assert!((done[&b].finished.as_secs() - 2.0).abs() < 1e-9);
+    assert!((done[&c].finished.as_secs() - 3.0).abs() < 1e-9);
+}
+
+/// Two identical flows sharing a link tie exactly, and neither is
+/// reported twice or dropped.
+#[test]
+fn identical_flows_tie_exactly() {
+    let mut net = FlowNetwork::new();
+    let link = net.add_resource(10.0);
+    let a = net.add_flow(spec(0.0, 40.0, vec![link]));
+    let b = net.add_flow(spec(0.0, 40.0, vec![link]));
+    let done = net.run();
+    assert_eq!(done.len(), 2);
+    assert_eq!(
+        done[&a].finished.as_secs().to_bits(),
+        done[&b].finished.as_secs().to_bits(),
+        "equal flows must tie bit-exactly"
+    );
+    assert!((done[&a].finished.as_secs() - 8.0).abs() < 1e-9);
+}
+
+/// Empty paths are rejected at submission time, not at run time.
+#[test]
+#[should_panic(expected = "flow path must not be empty")]
+fn empty_path_rejected_at_add() {
+    let mut net = FlowNetwork::new();
+    let _ = net.add_resource(100.0);
+    net.add_flow(spec(0.0, 1.0, vec![]));
+}
+
+/// Non-positive byte counts are rejected.
+#[test]
+#[should_panic(expected = "flow bytes must be positive")]
+fn zero_bytes_rejected() {
+    let mut net = FlowNetwork::new();
+    let link = net.add_resource(100.0);
+    net.add_flow(spec(0.0, 0.0, vec![link]));
+}
+
+/// Negative latency is rejected.
+#[test]
+#[should_panic(expected = "flow latency must be non-negative")]
+fn negative_latency_rejected() {
+    let mut net = FlowNetwork::new();
+    let link = net.add_resource(100.0);
+    net.add_flow(FlowSpec {
+        start: Time::ZERO,
+        bytes: 1.0,
+        path: vec![link],
+        latency: -0.1,
+    });
+}
+
+/// Unknown resource ids are rejected.
+#[test]
+#[should_panic(expected = "unknown resource")]
+fn out_of_range_resource_rejected() {
+    let mut net = FlowNetwork::new();
+    let _ = net.add_resource(100.0);
+    net.add_flow(spec(0.0, 1.0, vec![ResourceId(7)]));
+}

@@ -1,8 +1,10 @@
 //! Property-based tests of the max–min fair flow network: the invariants
 //! any fluid bandwidth-sharing model must satisfy, on randomly generated
-//! topologies and flow sets.
+//! topologies and flow sets. Runs on the deterministic
+//! `pvc_core::check` harness.
 
-use proptest::prelude::*;
+use pvc_core::check::{check, Gen};
+use pvc_core::ensure;
 use pvc_simrt::{FlowNetwork, FlowSpec, ResourceId, Time};
 
 /// A random scenario: `caps` resources, flows picking 1–3 resources each.
@@ -12,21 +14,20 @@ struct Scenario {
     flows: Vec<(f64, Vec<usize>, f64)>, // (bytes, path, start)
 }
 
-fn scenario() -> impl Strategy<Value = Scenario> {
-    let caps = prop::collection::vec(1.0f64..1000.0, 1..6);
-    caps.prop_flat_map(|caps| {
-        let n = caps.len();
-        let flow = (
-            1.0f64..1e6,
-            prop::collection::btree_set(0..n, 1..=n.min(3)),
-            0.0f64..10.0,
-        )
-            .prop_map(|(bytes, path, start)| (bytes, path.into_iter().collect::<Vec<_>>(), start));
-        prop::collection::vec(flow, 1..10).prop_map(move |flows| Scenario {
-            caps: caps.clone(),
-            flows,
+fn scenario(g: &mut Gen) -> Scenario {
+    let caps = g.vec_f64(1..6, 1.0..1000.0);
+    let n = caps.len();
+    let nflows = g.usize_in(1..10);
+    let flows = (0..nflows)
+        .map(|_| {
+            let bytes = g.f64_in(1.0..1e6);
+            let path = g.subset(n, 1..n.min(3) + 1);
+            let path = if path.is_empty() { vec![0] } else { path };
+            let start = g.f64_in(0.0..10.0);
+            (bytes, path, start)
         })
-    })
+        .collect();
+    Scenario { caps, flows }
 }
 
 fn build(s: &Scenario) -> (FlowNetwork, Vec<pvc_simrt::FlowId>) {
@@ -47,99 +48,130 @@ fn build(s: &Scenario) -> (FlowNetwork, Vec<pvc_simrt::FlowId>) {
     (net, ids)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every flow finishes (no starvation under max–min fairness), and
-    /// no earlier than physics allows.
-    #[test]
-    fn all_flows_complete_and_respect_capacity(s in scenario()) {
+/// Every flow finishes (no starvation under max–min fairness), and
+/// no earlier than physics allows.
+#[test]
+fn all_flows_complete_and_respect_capacity() {
+    check("simrt::all_flows_complete_and_respect_capacity", 64, |g| {
+        let s = scenario(g);
         let (mut net, ids) = build(&s);
         let done = net.run();
         for (id, (bytes, path, start)) in ids.iter().zip(s.flows.iter()) {
-            let out = done.get(id).expect("no starvation");
+            let out = done.get(id).ok_or("starved flow")?;
             // A flow can never beat its bottleneck running alone.
             let best_bw = path.iter().map(|&i| s.caps[i]).fold(f64::INFINITY, f64::min);
             let min_time = bytes / best_bw;
             let elapsed = out.finished.as_secs() - start;
-            prop_assert!(
+            ensure!(
                 elapsed >= min_time * (1.0 - 1e-9) - 1e-9,
                 "flow finished faster than its bottleneck: {elapsed} < {min_time}"
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Aggregate achieved bandwidth through any single shared resource
-    /// never exceeds its capacity (checked via the one-resource case
-    /// where the math is exact).
-    #[test]
-    fn single_resource_aggregate_is_exactly_capacity(
-        cap in 1.0f64..1000.0,
-        sizes in prop::collection::vec(1.0f64..1e5, 2..8)
-    ) {
-        let mut net = FlowNetwork::new();
-        let r = net.add_resource(cap);
-        let ids: Vec<_> = sizes
-            .iter()
-            .map(|&b| {
-                net.add_flow(FlowSpec {
-                    start: Time::ZERO,
-                    bytes: b,
-                    path: vec![r],
-                    latency: 0.0,
+/// Aggregate achieved bandwidth through any single shared resource
+/// never exceeds its capacity (checked via the one-resource case
+/// where the math is exact).
+#[test]
+fn single_resource_aggregate_is_exactly_capacity() {
+    check(
+        "simrt::single_resource_aggregate_is_exactly_capacity",
+        64,
+        |g| {
+            let cap = g.f64_in(1.0..1000.0);
+            let sizes = g.vec_f64(2..8, 1.0..1e5);
+            let mut net = FlowNetwork::new();
+            let r = net.add_resource(cap);
+            let ids: Vec<_> = sizes
+                .iter()
+                .map(|&b| {
+                    net.add_flow(FlowSpec {
+                        start: Time::ZERO,
+                        bytes: b,
+                        path: vec![r],
+                        latency: 0.0,
+                    })
                 })
-            })
-            .collect();
-        let done = net.run();
-        // Work conservation: total bytes / makespan == capacity while
-        // anything is running, so makespan == total/capacity.
-        let total: f64 = sizes.iter().sum();
-        let makespan = ids
-            .iter()
-            .map(|id| done[id].finished.as_secs())
-            .fold(0.0f64, f64::max);
-        prop_assert!((makespan - total / cap).abs() / (total / cap) < 1e-6);
-    }
+                .collect();
+            let done = net.run();
+            // Work conservation: total bytes / makespan == capacity while
+            // anything is running, so makespan == total/capacity.
+            let total: f64 = sizes.iter().sum();
+            let makespan = ids
+                .iter()
+                .map(|id| done[id].finished.as_secs())
+                .fold(0.0f64, f64::max);
+            ensure!((makespan - total / cap).abs() / (total / cap) < 1e-6);
+            Ok(())
+        },
+    );
+}
 
-    /// Adding a competing flow never helps an existing flow (bandwidth
-    /// monotonicity).
-    #[test]
-    fn competition_never_speeds_you_up(
-        cap in 10.0f64..500.0,
-        mine in 100.0f64..1e5,
-        theirs in 100.0f64..1e5
-    ) {
+/// Adding a competing flow never helps an existing flow (bandwidth
+/// monotonicity).
+#[test]
+fn competition_never_speeds_you_up() {
+    check("simrt::competition_never_speeds_you_up", 64, |g| {
+        let cap = g.f64_in(10.0..500.0);
+        let mine = g.f64_in(100.0..1e5);
+        let theirs = g.f64_in(100.0..1e5);
         let solo = {
             let mut net = FlowNetwork::new();
             let r = net.add_resource(cap);
-            let id = net.add_flow(FlowSpec { start: Time::ZERO, bytes: mine, path: vec![r], latency: 0.0 });
+            let id = net.add_flow(FlowSpec {
+                start: Time::ZERO,
+                bytes: mine,
+                path: vec![r],
+                latency: 0.0,
+            });
             net.run()[&id].finished.as_secs()
         };
         let contested = {
             let mut net = FlowNetwork::new();
             let r = net.add_resource(cap);
-            let id = net.add_flow(FlowSpec { start: Time::ZERO, bytes: mine, path: vec![r], latency: 0.0 });
-            let _ = net.add_flow(FlowSpec { start: Time::ZERO, bytes: theirs, path: vec![r], latency: 0.0 });
+            let id = net.add_flow(FlowSpec {
+                start: Time::ZERO,
+                bytes: mine,
+                path: vec![r],
+                latency: 0.0,
+            });
+            let _ = net.add_flow(FlowSpec {
+                start: Time::ZERO,
+                bytes: theirs,
+                path: vec![r],
+                latency: 0.0,
+            });
             net.run()[&id].finished.as_secs()
         };
-        prop_assert!(contested >= solo - 1e-9);
-    }
+        ensure!(contested >= solo - 1e-9);
+        Ok(())
+    });
+}
 
-    /// Doubling every capacity halves every completion time (scale
-    /// invariance).
-    #[test]
-    fn scale_invariance(s in scenario()) {
+/// Doubling every capacity halves every completion time (scale
+/// invariance).
+#[test]
+fn scale_invariance() {
+    check("simrt::scale_invariance", 64, |g| {
+        let s = scenario(g);
         let (mut net1, ids1) = build(&s);
         let done1 = net1.run();
         let mut s2 = s.clone();
-        for c in &mut s2.caps { *c *= 2.0; }
-        for f in &mut s2.flows { f.2 /= 2.0; } // starts scale with time too
+        for c in &mut s2.caps {
+            *c *= 2.0;
+        }
+        for f in &mut s2.flows {
+            f.2 /= 2.0; // starts scale with time too
+        }
         let (mut net2, ids2) = build(&s2);
         let done2 = net2.run();
         for (a, b) in ids1.iter().zip(ids2.iter()) {
             let t1 = done1[a].finished.as_secs();
             let t2 = done2[b].finished.as_secs();
-            prop_assert!((t2 - t1 / 2.0).abs() < 1e-6 * t1.max(1.0), "{t1} vs {t2}");
+            ensure!((t2 - t1 / 2.0).abs() < 1e-6 * t1.max(1.0), "{t1} vs {t2}");
         }
-    }
+        Ok(())
+    });
 }

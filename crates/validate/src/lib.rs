@@ -1,0 +1,29 @@
+//! # pvc-validate — paper conformance and metamorphic validation
+//!
+//! The repo's answer to "does the simulation still reproduce the
+//! paper?", in three layers:
+//!
+//! * [`expectations`] — the golden catalog: every published value we
+//!   pin, as a typed [`expectations::Expectation`] with the printed
+//!   number, a tolerance band, and a citation
+//!   (`"Table II row 3, Aurora 6 PVC"`).
+//! * [`conformance`] — the runner: recomputes each expectation from
+//!   `pvc-microbench` / `pvc-miniapps` / `pvc-predict` and groups
+//!   pass/fail per paper element. [`conformance::run`] returns the
+//!   report; `markdown()` / `json()` render it (the markdown feeds
+//!   `pvc-report`).
+//! * [`metamorphic`] — cross-layer relations that must hold for *any*
+//!   parameter values: flow conservation in the fluid network,
+//!   bandwidth monotonicity across scaling levels, roofline bounds on
+//!   every library benchmark, and governor/TDP power caps.
+//!
+//! Everything here is hermetic and deterministic: no registry crates,
+//! no wall clock, no ambient randomness — two invocations produce
+//! byte-identical reports (pinned by a test in `tests/golden.rs`).
+
+pub mod conformance;
+pub mod expectations;
+pub mod metamorphic;
+
+pub use conformance::{run, Conformance, ConformanceReport, ElementReport};
+pub use expectations::{catalog, Expectation};

@@ -1,0 +1,71 @@
+//! Randomized sweep of the cross-layer metamorphic relations, on the
+//! deterministic `pvc_core::check` harness.
+
+use pvc_arch::System;
+use pvc_core::check::check;
+use pvc_validate::metamorphic::{
+    bandwidth_monotone_in_message_size, benchmarks_respect_rooflines, flow_conserves_bytes,
+    power_stays_under_cap, scaling_is_monotone_and_subperfect, FlowReq,
+};
+
+const SYSTEMS: [System; 4] = [
+    System::Aurora,
+    System::Dawn,
+    System::JlseH100,
+    System::JlseMi250,
+];
+
+/// Random topologies, random flows: bytes are always conserved and
+/// capacities never exceeded.
+#[test]
+fn flow_conservation_over_random_networks() {
+    check("validate::flow_conservation", 64, |g| {
+        let caps = g.vec_f64(1..6, 1.0..1000.0);
+        let n_flows = g.usize_in(1..9);
+        let flows: Vec<FlowReq> = (0..n_flows)
+            .map(|_| FlowReq {
+                bytes: g.f64_in(1.0..1e6),
+                path: g.subset(caps.len(), 1..caps.len().min(3) + 1),
+                start: g.f64_in(0.0..10.0),
+            })
+            .collect();
+        flow_conserves_bytes(&caps, &flows)
+    });
+}
+
+/// Amortizing a fixed latency: effective bandwidth never falls as the
+/// message grows, and never beats the link.
+#[test]
+fn bandwidth_monotone_in_size_over_random_links() {
+    check("validate::bandwidth_monotone_in_size", 64, |g| {
+        let capacity = g.f64_in(1.0..1e12);
+        let latency = g.f64_in(0.0..1e-3);
+        let small = g.f64_in(1.0..1e6);
+        let large = small * g.f64_in(1.0..1e4);
+        bandwidth_monotone_in_message_size(capacity, latency, small, large)
+    });
+}
+
+/// Monotone, sub-perfect scaling on every system.
+#[test]
+fn scaling_monotonicity_on_every_system() {
+    check("validate::scaling_monotonicity", 8, |g| {
+        scaling_is_monotone_and_subperfect(*g.choose(&SYSTEMS))
+    });
+}
+
+/// No benchmark beats its roofline on any system.
+#[test]
+fn rooflines_on_every_system() {
+    check("validate::rooflines", 8, |g| {
+        benchmarks_respect_rooflines(*g.choose(&SYSTEMS))
+    });
+}
+
+/// The governed power model never exceeds the §III caps.
+#[test]
+fn power_caps_on_every_system() {
+    check("validate::power_caps", 8, |g| {
+        power_stays_under_cap(*g.choose(&SYSTEMS))
+    });
+}

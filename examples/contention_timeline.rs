@@ -6,9 +6,9 @@
 //! cargo run --release --example contention_timeline
 //! ```
 
-use pvc_core::fabric::NodeFabric;
-use pvc_core::prelude::*;
-use pvc_core::simrt::FlowSpec;
+use pvc_repro::fabric::NodeFabric;
+use pvc_repro::prelude::*;
+use pvc_repro::simrt::FlowSpec;
 
 fn main() {
     let node = System::Aurora.node();

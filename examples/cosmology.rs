@@ -7,10 +7,10 @@
 //! cargo run --release --example cosmology
 //! ```
 
-use pvc_core::apps::hacc::{
+use pvc_repro::apps::hacc::{
     fom_node, leapfrog_step, particle_cube, sph_density, total_energy,
 };
-use pvc_core::prelude::*;
+use pvc_repro::prelude::*;
 
 fn main() {
     let n = 12; // 12^3 = 1728 particles

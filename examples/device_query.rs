@@ -5,11 +5,11 @@
 //! cargo run --release --example device_query
 //! ```
 
-use pvc_core::arch::frontier::mi250x_gpu;
-use pvc_core::arch::power;
-use pvc_core::prelude::*;
+use pvc_repro::arch::frontier::mi250x_gpu;
+use pvc_repro::arch::power;
+use pvc_repro::prelude::*;
 
-fn dump(gpu: &pvc_core::arch::GpuModel) {
+fn dump(gpu: &pvc_repro::arch::GpuModel) {
     let p = &gpu.partition;
     println!("{}", gpu.name);
     println!("  partitions/device      : {} x {}", gpu.partitions, p.kind);

@@ -7,8 +7,8 @@
 //! cargo run --release --example frontier_projection
 //! ```
 
-use pvc_core::arch::frontier::frontier_node;
-use pvc_core::prelude::*;
+use pvc_repro::arch::frontier::frontier_node;
+use pvc_repro::prelude::*;
 
 fn main() {
     let frontier = frontier_node();
@@ -40,7 +40,7 @@ fn main() {
     println!("  CloverLeaf ~{clover_frontier:6.1} Mcells/s       (vs {clover_aurora:.1})");
 
     // Node-level OpenMC projection from the latency model.
-    let lookups = pvc_core::apps::openmc::LOOKUPS_PER_PARTICLE;
+    let lookups = pvc_repro::apps::openmc::LOOKUPS_PER_PARTICLE;
     let rate = frontier.gpu.partition.memory.random_access_rate(frontier.gpu.clock.max_hz());
     let openmc_node = rate / lookups * frontier.partitions() as f64 / 1e3;
     println!("  OpenMC     ~{openmc_node:6.0} kparticles/s per node (vs 2032 on Aurora, 729 on JLSE-MI250)");

@@ -6,7 +6,7 @@
 //! cargo run --release --example host_microbench
 //! ```
 
-use pvc_core::microbench::host::{run_host_suite, HostConfig};
+use pvc_repro::microbench::host::{run_host_suite, HostConfig};
 
 fn main() {
     let cfg = HostConfig::default();

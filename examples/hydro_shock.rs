@@ -7,7 +7,7 @@
 //! cargo run --release --example hydro_shock
 //! ```
 
-use pvc_core::prelude::*;
+use pvc_repro::prelude::*;
 use pvc_miniapps::cloverleaf::Grid;
 
 fn main() {
@@ -39,7 +39,7 @@ fn main() {
     println!("\nWeak-scaled FOMs at the paper's 15360^2-per-rank size:");
     println!("{:<14} {:>9} {:>9} {:>9}", "", "1 part", "1 GPU", "node");
     for sys in System::ALL {
-        let f = |l| pvc_core::predict::fom(AppKind::CloverLeaf, sys, l);
+        let f = |l| pvc_repro::predict::fom(AppKind::CloverLeaf, sys, l);
         println!(
             "{:<14} {:>9.2} {:>9.2} {:>9.2}",
             sys.label(),
@@ -48,8 +48,8 @@ fn main() {
             f(ScaleLevel::FullNode).unwrap(),
         );
     }
-    let pvc = pvc_core::predict::fom(AppKind::CloverLeaf, System::Aurora, ScaleLevel::OneGpu).unwrap();
-    let h100 = pvc_core::predict::fom(AppKind::CloverLeaf, System::JlseH100, ScaleLevel::OneGpu).unwrap();
+    let pvc = pvc_repro::predict::fom(AppKind::CloverLeaf, System::Aurora, ScaleLevel::OneGpu).unwrap();
+    let h100 = pvc_repro::predict::fom(AppKind::CloverLeaf, System::JlseH100, ScaleLevel::OneGpu).unwrap();
     println!(
         "\none PVC / one H100 = {:.2} — the paper's lowest relative FOM (0.6x),\n\
          expected from the bandwidth ratio 2 TB/s / 3.35 TB/s = 0.60",

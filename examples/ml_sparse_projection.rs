@@ -5,9 +5,9 @@
 //! cargo run --release --example ml_sparse_projection
 //! ```
 
-use pvc_core::apps::sparse::{spmv_nnz_rate, TransformerLayer};
-use pvc_core::kernels::spmv::synthetic_sparse;
-use pvc_core::prelude::*;
+use pvc_repro::apps::sparse::{spmv_nnz_rate, TransformerLayer};
+use pvc_repro::kernels::spmv::synthetic_sparse;
+use pvc_repro::prelude::*;
 use std::time::Instant;
 
 fn main() {

@@ -9,10 +9,10 @@
 //! cargo run --release --example node_contention
 //! ```
 
-use pvc_core::fabric::comm::Transfer;
-use pvc_core::fabric::plane::plane_of;
-use pvc_core::fabric::{NodeFabric, RouteVia};
-use pvc_core::prelude::*;
+use pvc_repro::fabric::comm::Transfer;
+use pvc_repro::fabric::plane::plane_of;
+use pvc_repro::fabric::{NodeFabric, RouteVia};
+use pvc_repro::prelude::*;
 
 fn main() {
     println!("== PCIe: per-rank D2H bandwidth as the node fills up ==");

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pvc_core::prelude::*;
+use pvc_repro::prelude::*;
 use pvc_microbench::{membw, peakflops};
 
 fn main() {

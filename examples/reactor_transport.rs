@@ -7,8 +7,8 @@
 //! cargo run --release --example reactor_transport
 //! ```
 
-use pvc_core::apps::openmc::{fom_node, run_transport, MultigroupXs};
-use pvc_core::prelude::*;
+use pvc_repro::apps::openmc::{fom_node, run_transport, MultigroupXs};
+use pvc_repro::prelude::*;
 
 fn main() {
     let xs = MultigroupXs::two_group_fuel();

@@ -7,10 +7,10 @@
 //! cargo run --release --example scaling_curves
 //! ```
 
-use pvc_core::miniapps::scaling::{
+use pvc_repro::miniapps::scaling::{
     cloverleaf_series, minigamess_series, miniqmc_series, ScalingPoint,
 };
-use pvc_core::prelude::*;
+use pvc_repro::prelude::*;
 
 fn plot(name: &str, series: &[ScalingPoint]) {
     let max = series.iter().map(|p| p.fom).fold(0.0f64, f64::max);

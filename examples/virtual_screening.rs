@@ -8,7 +8,7 @@
 //! cargo run --release --example virtual_screening
 //! ```
 
-use pvc_core::prelude::*;
+use pvc_repro::prelude::*;
 use pvc_miniapps::minibude::{
     self, synthetic_molecule, synthetic_poses, Deck, FLOPS_PER_INTERACTION,
 };
@@ -48,7 +48,7 @@ fn main() {
 
     println!("\nTable VI FOMs at paper scale (simulated devices):");
     for sys in System::ALL {
-        let f = pvc_core::predict::fom(AppKind::MiniBude, sys, ScaleLevel::OneStack).unwrap();
+        let f = pvc_repro::predict::fom(AppKind::MiniBude, sys, ScaleLevel::OneStack).unwrap();
         let eff = minibude::kernel_efficiency(sys);
         println!(
             "  {:<14} {f:7.2} GInteractions/s  ({:.0}% of FP32 peak, {:.0} flops/interaction)",
@@ -58,8 +58,8 @@ fn main() {
         );
     }
 
-    let a = pvc_core::predict::fom(AppKind::MiniBude, System::Aurora, ScaleLevel::OneStack).unwrap();
-    let d = pvc_core::predict::fom(AppKind::MiniBude, System::Dawn, ScaleLevel::OneStack).unwrap();
+    let a = pvc_repro::predict::fom(AppKind::MiniBude, System::Aurora, ScaleLevel::OneStack).unwrap();
+    let d = pvc_repro::predict::fom(AppKind::MiniBude, System::Dawn, ScaleLevel::OneStack).unwrap();
     println!(
         "\nAurora/Dawn ratio {:.2} vs expected 0.88 (Figure 2's black bar)",
         a / d

@@ -1,0 +1,46 @@
+//! Smoke coverage for the examples: everything under `examples/`
+//! compiles, and the two cheap entry points (`quickstart`,
+//! `device_query`) actually run and print something.
+//!
+//! The test shells out to the same `cargo` that is running the test
+//! suite (the `CARGO` env var), always with `--offline` — the examples
+//! must build and run without touching a registry.
+
+use std::process::Command;
+
+fn cargo() -> Command {
+    Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+}
+
+#[test]
+fn every_example_compiles_offline() {
+    let out = cargo()
+        .args(["build", "--offline", "--examples"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        out.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn quickstart_and_device_query_run() {
+    for example in ["quickstart", "device_query"] {
+        let out = cargo()
+            .args(["run", "--offline", "--example", example])
+            .output()
+            .expect("failed to spawn cargo");
+        assert!(
+            out.status.success(),
+            "example `{example}` exited nonzero:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.lines().count() > 3,
+            "example `{example}` printed almost nothing:\n{stdout}"
+        );
+    }
+}
