@@ -32,4 +32,16 @@ run cargo run --offline --release -p pvc-report --bin reproduce validate
 run cargo run --offline --release --example quickstart > /dev/null
 run cargo run --offline --release --example device_query > /dev/null
 
+# 6. Observability: a profile run emits parseable, non-empty, and
+#    byte-reproducible Chrome-trace JSON (the binary itself validates
+#    the JSON parses and traceEvents is non-empty before writing).
+profile_dir="$(mktemp -d)"
+trap 'rm -rf "$profile_dir"' EXIT
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  profile pcie-h2d "$profile_dir/a.json" > /dev/null
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  profile pcie-h2d "$profile_dir/b.json" > /dev/null
+test -s "$profile_dir/a.json"
+run cmp "$profile_dir/a.json" "$profile_dir/b.json"
+
 echo "ci: all gates green"

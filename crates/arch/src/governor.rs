@@ -16,6 +16,7 @@
 //! them.
 
 use crate::precision::Precision;
+use pvc_obs::{Layer, Tracer};
 
 /// Piecewise-linear derate factor as a function of the number of busy
 /// partitions node-wide. Points must be sorted by partition count;
@@ -129,6 +130,38 @@ impl ClockPolicy {
     pub fn memory_derate(&self, active: u32) -> f64 {
         self.derate_memory.at(active)
     }
+
+    /// Effective (scale-derated) sustained vector clock in Hz, and —
+    /// when `tracer` records — a `governor.clock` throttle-transition
+    /// instant on the arch lane at virtual time `t` carrying the base
+    /// clock, precision, derate, and partition count. The paper's FP64
+    /// TDP cliff (1.6 → ~1.2 GHz, §IV-B2) and multi-stack downclocking
+    /// (§IV-B1) both show up as distinct transitions in a profile.
+    pub fn observe_vector_clock(
+        &self,
+        p: Precision,
+        active: u32,
+        tracer: &Tracer,
+        t: f64,
+    ) -> f64 {
+        let base_hz = self.vector_clock_hz(p);
+        let derate = self.scale_derate(p, active);
+        if tracer.enabled() {
+            tracer.instant(
+                Layer::Arch,
+                "governor.clock",
+                t,
+                vec![
+                    ("precision", format!("{p}").into()),
+                    ("ghz", (base_hz / 1e9).into()),
+                    ("derate", derate.into()),
+                    ("active", (active as i64).into()),
+                    ("effective_ghz", (base_hz * derate / 1e9).into()),
+                ],
+            );
+        }
+        base_hz * derate
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +215,37 @@ mod tests {
         // §IV-B2: "the ratio between single and double precision Flops is
         // 1.3x (23/17)".
         assert!((ratio - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_clock_emits_transition_and_matches_plain_path() {
+        let p = ClockPolicy {
+            max_ghz: 1.6,
+            fp64_vector_ghz: 1.2,
+            derate_fp64: ScaleCurve::new(vec![(1, 1.0), (12, 0.95)]),
+            derate_fp32: ScaleCurve::flat(),
+            derate_matrix: ScaleCurve::flat(),
+            derate_memory: ScaleCurve::flat(),
+        };
+        let tracer = Tracer::recording();
+        let hz = p.observe_vector_clock(Precision::Fp64, 12, &tracer, 2.5);
+        assert_eq!(
+            hz,
+            p.vector_clock_hz(Precision::Fp64) * p.scale_derate(Precision::Fp64, 12)
+        );
+        let recs = tracer.records();
+        assert_eq!(recs.len(), 1);
+        match &recs[0] {
+            pvc_obs::trace::Record::Instant { layer, name, t, .. } => {
+                assert_eq!(*layer, Layer::Arch);
+                assert_eq!(name, "governor.clock");
+                assert_eq!(*t, 2.5);
+            }
+            other => panic!("expected instant, got {other:?}"),
+        }
+        // Disabled sink: same value, nothing recorded.
+        let off = Tracer::disabled();
+        assert_eq!(p.observe_vector_clock(Precision::Fp64, 12, &off, 2.5), hz);
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Minimal JSON tree and pretty-printer (the `serde_json` subset the
-//! report and query modules need: building a document and dumping it
-//! with 2-space indentation).
+//! Minimal JSON tree, pretty-printer and parser (the `serde_json`
+//! subset the report and query modules need: building a document,
+//! dumping it with 2-space indentation, and re-reading emitted
+//! artifacts for validation).
 
 use std::fmt::Write;
 
@@ -28,6 +29,30 @@ impl Json {
     /// Convenience object builder from key/value pairs.
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Object field lookup (first match). `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
     }
 
     /// Pretty-prints with 2-space indentation (the `serde_json`
@@ -123,6 +148,223 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Parse error with byte offset for context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document. Accepts exactly what [`Json::pretty`] emits
+/// plus arbitrary standard JSON (any whitespace, escapes, nested
+/// containers); numbers with a fraction or exponent become
+/// [`Json::Num`], bare integers in `i64` range become [`Json::Int`].
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> ParseError {
+        ParseError { at: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8, msg: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let v = self.value()?;
+            pairs.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut s = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&c) = rest.first() else {
+                return Err(self.err("unterminated string"));
+            };
+            match c {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    let esc = rest.get(1).copied().ok_or(self.err("bad escape"))?;
+                    self.pos += 2;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or(self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by our
+                            // writer; map lone surrogates to U+FFFD.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let tail = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = tail.chars().next().expect("non-empty");
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII");
+        if !fractional {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| ParseError { at: start, msg: "invalid number" })
+    }
+}
+
 /// Types that can render themselves as a [`Json`] tree.
 pub trait ToJson {
     fn to_json(&self) -> Json;
@@ -210,6 +452,40 @@ mod tests {
     fn non_finite_becomes_null() {
         assert_eq!(Json::Num(f64::NAN).pretty(), "null");
         assert_eq!(Json::Num(f64::INFINITY).pretty(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_output() {
+        let j = Json::obj(vec![
+            ("name", Json::str("Aurora \"PVC\"\n")),
+            ("peaks", Json::Arr(vec![Json::Num(17.5), Json::Int(-3)])),
+            ("empty", Json::Arr(vec![])),
+            ("none", Json::Null),
+            ("ok", Json::Bool(true)),
+        ]);
+        let parsed = parse(&j.pretty()).expect("round trip");
+        assert_eq!(parsed, j);
+    }
+
+    #[test]
+    fn parse_handles_standard_json_forms() {
+        let v = parse(r#"{"a":[1,2.5,-4e2],"b":"A\t"}"#).unwrap();
+        let Json::Obj(pairs) = v else { panic!("object") };
+        assert_eq!(pairs[0].1, Json::Arr(vec![
+            Json::Int(1),
+            Json::Num(2.5),
+            Json::Num(-400.0),
+        ]));
+        assert_eq!(pairs[1].1, Json::Str("A\t".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "{bad:?} must fail");
+        }
+        let e = parse("[1,]").unwrap_err();
+        assert!(e.to_string().contains("byte"));
     }
 
     #[test]

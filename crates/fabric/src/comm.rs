@@ -10,6 +10,7 @@
 use crate::plane::StackId;
 use crate::topology::{NodeFabric, RouteVia};
 use pvc_arch::{NodeModel, System};
+use pvc_obs::{Layer, Tracer};
 use pvc_simrt::{FlowSpec, Time};
 
 /// Result of a point-to-point benchmark round.
@@ -84,8 +85,24 @@ impl Comm {
     /// Runs `transfers`, each moving `bytes`, all starting at t = 0 with
     /// non-blocking semantics, and returns per-flow bandwidths.
     pub fn run_transfers(&self, transfers: &[Transfer], bytes: f64) -> P2pResult {
+        self.run_transfers_traced(transfers, bytes, &Tracer::disabled(), 0.0)
+    }
+
+    /// Like [`run_transfers`](Self::run_transfers), but records the round
+    /// into `tracer`: a fabric-lane `comm.transfers` span covering the
+    /// whole round, one simrt-lane span per flow (named `h2d[0.0]`,
+    /// `d2d[0.0->1.1]`, …), and per-resource utilization gauges — all
+    /// shifted by `epoch` seconds so sequential rounds share a timeline.
+    pub fn run_transfers_traced(
+        &self,
+        transfers: &[Transfer],
+        bytes: f64,
+        tracer: &Tracer,
+        epoch: f64,
+    ) -> P2pResult {
         let fabric = NodeFabric::with_active(&self.node, self.active);
         let mut net = fabric.net.clone_resources();
+        net.set_tracer(tracer.clone(), epoch);
         let latency = |t: &Transfer| match t {
             Transfer::H2d(_) | Transfer::D2h(_) => self.node.pcie.latency,
             Transfer::D2d(..) => self.node.fabric.latency,
@@ -93,17 +110,22 @@ impl Comm {
         let ids: Vec<_> = transfers
             .iter()
             .map(|t| {
-                let path = match *t {
-                    Transfer::H2d(dst) => fabric.h2d_path(dst),
-                    Transfer::D2h(src) => fabric.d2h_path(src),
-                    Transfer::D2d(src, dst, via) => fabric.d2d_path(src, dst, via),
+                let (path, label) = match *t {
+                    Transfer::H2d(dst) => (fabric.h2d_path(dst), format!("h2d[{dst}]")),
+                    Transfer::D2h(src) => (fabric.d2h_path(src), format!("d2h[{src}]")),
+                    Transfer::D2d(src, dst, via) => {
+                        (fabric.d2d_path(src, dst, via), format!("d2d[{src}->{dst}]"))
+                    }
                 };
-                net.add_flow(FlowSpec {
-                    start: Time::ZERO,
-                    bytes,
-                    path,
-                    latency: latency(t),
-                })
+                net.add_flow_labeled(
+                    FlowSpec {
+                        start: Time::ZERO,
+                        bytes,
+                        path,
+                        latency: latency(t),
+                    },
+                    label,
+                )
             })
             .collect();
         let done = net.run();
@@ -112,6 +134,19 @@ impl Comm {
             .iter()
             .map(|id| done[id].finished.as_secs())
             .fold(0.0f64, f64::max);
+        if tracer.enabled() {
+            tracer.span(
+                Layer::Fabric,
+                "comm.transfers",
+                epoch,
+                epoch + wall_time,
+                vec![
+                    ("flows", transfers.len().into()),
+                    ("bytes_each", bytes.into()),
+                    ("active_partitions", (self.active as i64).into()),
+                ],
+            );
+        }
         P2pResult {
             per_flow,
             wall_time,
@@ -148,6 +183,19 @@ impl Comm {
     /// the ring, plus per-step launch latencies. Used by the strong-scaled
     /// mini-GAMESS model (Table V: its reduction spans ranks).
     pub fn allreduce_time(&self, ranks: &[StackId], bytes: f64) -> f64 {
+        self.allreduce_time_traced(ranks, bytes, &Tracer::disabled(), 0.0)
+    }
+
+    /// Like [`allreduce_time`](Self::allreduce_time), but records the
+    /// collective's two phases — reduce-scatter then allgather, each
+    /// (n−1)/n of the data movement — as fabric-lane spans in `tracer`.
+    pub fn allreduce_time_traced(
+        &self,
+        ranks: &[StackId],
+        bytes: f64,
+        tracer: &Tracer,
+        epoch: f64,
+    ) -> f64 {
         let n = ranks.len();
         if n <= 1 {
             return 0.0;
@@ -164,8 +212,36 @@ impl Comm {
             min_bw = min_bw.min(bw);
         }
         let steps = 2 * (n - 1);
-        2.0 * (n as f64 - 1.0) / n as f64 * bytes / min_bw
-            + steps as f64 * self.node.fabric.latency
+        let total = 2.0 * (n as f64 - 1.0) / n as f64 * bytes / min_bw
+            + steps as f64 * self.node.fabric.latency;
+        if tracer.enabled() {
+            // Ring allreduce splits symmetrically: both phases rotate
+            // (n-1)/n of the payload through the same bottleneck link.
+            let half = total / 2.0;
+            let attrs = |phase: &str| {
+                vec![
+                    ("ranks", n.into()),
+                    ("bytes", bytes.into()),
+                    ("ring_bottleneck_gbs", (min_bw / 1e9).into()),
+                    ("phase", phase.into()),
+                ]
+            };
+            tracer.span(
+                Layer::Fabric,
+                "allreduce.reduce_scatter",
+                epoch,
+                epoch + half,
+                attrs("reduce-scatter"),
+            );
+            tracer.span(
+                Layer::Fabric,
+                "allreduce.allgather",
+                epoch + half,
+                epoch + total,
+                attrs("allgather"),
+            );
+        }
+        total
     }
 
     /// Nearest-neighbour halo-exchange time estimate: every rank sends
@@ -308,6 +384,64 @@ mod tests {
         let t2 = comm.allreduce_time(&ranks, 2e9);
         assert!(t2 > t1 * 1.8);
         assert_eq!(comm.allreduce_time(&ranks[..1], 1e9), 0.0);
+    }
+
+    #[test]
+    fn traced_transfers_emit_fabric_span_and_flow_spans() {
+        let comm = Comm::new(System::Aurora, 2);
+        let tracer = Tracer::recording();
+        let ts = [
+            Transfer::H2d(StackId::new(0, 0)),
+            Transfer::H2d(StackId::new(0, 1)),
+        ];
+        let r = comm.run_transfers_traced(&ts, 500e6, &tracer, 1.0);
+        let recs = tracer.records();
+        let mut fabric_spans = 0;
+        let mut flow_spans = Vec::new();
+        for rec in recs.iter() {
+            if let pvc_obs::trace::Record::Span {
+                layer, name, t0, ..
+            } = rec
+            {
+                match layer {
+                    Layer::Fabric => {
+                        fabric_spans += 1;
+                        assert_eq!(name, "comm.transfers");
+                        assert_eq!(*t0, 1.0, "epoch shift applies to the round span");
+                    }
+                    Layer::Simrt => flow_spans.push(name.clone()),
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(fabric_spans, 1);
+        assert_eq!(flow_spans, vec!["h2d[0.0]", "h2d[0.1]"]);
+        // Tracing must not perturb the model.
+        let untraced = comm.run_transfers(&ts, 500e6);
+        assert_eq!(r.wall_time.to_bits(), untraced.wall_time.to_bits());
+    }
+
+    #[test]
+    fn traced_allreduce_has_two_equal_phases() {
+        let comm = Comm::new(System::Aurora, 12);
+        let ranks = comm.all_stacks();
+        let tracer = Tracer::recording();
+        let total = comm.allreduce_time_traced(&ranks, 1e9, &tracer, 0.0);
+        let spans: Vec<_> = tracer
+            .records()
+            .iter()
+            .filter_map(|r| match r {
+                pvc_obs::trace::Record::Span { name, t0, t1, .. } => {
+                    Some((name.clone(), *t0, *t1))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].0, "allreduce.reduce_scatter");
+        assert_eq!(spans[1].0, "allreduce.allgather");
+        assert!((spans[1].2 - total).abs() < 1e-12);
+        assert!((spans[0].2 - spans[1].1).abs() < 1e-15, "phases abut");
     }
 
     #[test]

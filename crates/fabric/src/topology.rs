@@ -81,43 +81,73 @@ impl NodeFabric {
             net: FlowNetwork::new(),
         };
 
-        // Host sockets.
-        for _ in 0..node.sockets {
-            f.rc_h2d.push(net.add_resource(node.cpu.rc_h2d));
-            f.rc_d2h.push(net.add_resource(node.cpu.rc_d2h));
-            f.rc_duplex.push(net.add_resource(node.cpu.rc_duplex));
+        // Host sockets. Every resource carries a stable trace label so
+        // utilization counter tracks in exported profiles name the
+        // physical link they measure.
+        for s in 0..node.sockets {
+            f.rc_h2d
+                .push(net.add_resource_labeled(node.cpu.rc_h2d, format!("rc.h2d[s{s}]")));
+            f.rc_d2h
+                .push(net.add_resource_labeled(node.cpu.rc_d2h, format!("rc.d2h[s{s}]")));
+            f.rc_duplex
+                .push(net.add_resource_labeled(node.cpu.rc_duplex, format!("rc.duplex[s{s}]")));
         }
 
         // Cards: PCIe link + per-stack adapters + MDFI.
         for g in 0..node.gpus {
-            f.pcie_h2d.push(net.add_resource(node.pcie.per_card_h2d));
-            f.pcie_d2h.push(net.add_resource(node.pcie.per_card_d2h));
-            f.pcie_duplex
-                .push(net.add_resource(node.pcie.per_card_duplex));
+            f.pcie_h2d
+                .push(net.add_resource_labeled(node.pcie.per_card_h2d, format!("pcie.h2d[g{g}]")));
+            f.pcie_d2h
+                .push(net.add_resource_labeled(node.pcie.per_card_d2h, format!("pcie.d2h[g{g}]")));
+            f.pcie_duplex.push(net.add_resource_labeled(
+                node.pcie.per_card_duplex,
+                format!("pcie.duplex[g{g}]"),
+            ));
             for s in 0..node.gpu.partitions {
                 let id = StackId::new(g, s);
                 f.adapter_h2d.insert(
                     id,
-                    net.add_resource(node.pcie.per_card_h2d * STACK_ADAPTER_H2D),
+                    net.add_resource_labeled(
+                        node.pcie.per_card_h2d * STACK_ADAPTER_H2D,
+                        format!("adapter.h2d[{g}.{s}]"),
+                    ),
                 );
                 f.adapter_d2h.insert(
                     id,
-                    net.add_resource(node.pcie.per_card_d2h * STACK_ADAPTER_D2H),
+                    net.add_resource_labeled(
+                        node.pcie.per_card_d2h * STACK_ADAPTER_D2H,
+                        format!("adapter.d2h[{g}.{s}]"),
+                    ),
                 );
                 f.adapter_duplex.insert(
                     id,
-                    net.add_resource(node.pcie.per_card_duplex * STACK_ADAPTER_DUPLEX),
+                    net.add_resource_labeled(
+                        node.pcie.per_card_duplex * STACK_ADAPTER_DUPLEX,
+                        format!("adapter.duplex[{g}.{s}]"),
+                    ),
                 );
             }
             if node.gpu.partitions == 2 && node.fabric.local_uni > 0.0 {
                 let a = StackId::new(g, 0);
                 let b = StackId::new(g, 1);
-                f.mdfi_dir
-                    .insert((a, b), net.add_resource(node.fabric.local_uni * derate));
-                f.mdfi_dir
-                    .insert((b, a), net.add_resource(node.fabric.local_uni * derate));
-                f.mdfi_duplex
-                    .push(net.add_resource(node.fabric.local_duplex * derate));
+                f.mdfi_dir.insert(
+                    (a, b),
+                    net.add_resource_labeled(
+                        node.fabric.local_uni * derate,
+                        format!("mdfi[{g}.0->{g}.1]"),
+                    ),
+                );
+                f.mdfi_dir.insert(
+                    (b, a),
+                    net.add_resource_labeled(
+                        node.fabric.local_uni * derate,
+                        format!("mdfi[{g}.1->{g}.0]"),
+                    ),
+                );
+                f.mdfi_duplex.push(net.add_resource_labeled(
+                    node.fabric.local_duplex * derate,
+                    format!("mdfi.duplex[g{g}]"),
+                ));
             }
         }
 
@@ -129,11 +159,25 @@ impl NodeFabric {
             for (i, &u) in stacks.iter().enumerate() {
                 for &v in &stacks[i + 1..] {
                     if u.gpu != v.gpu && same_plane(node.system, u, v) {
-                        f.xel_dir
-                            .insert((u, v), net.add_resource(node.fabric.remote_uni));
-                        f.xel_dir
-                            .insert((v, u), net.add_resource(node.fabric.remote_uni));
-                        let pool = net.add_resource(node.fabric.remote_duplex);
+                        let p = plane_of(node.system, u);
+                        f.xel_dir.insert(
+                            (u, v),
+                            net.add_resource_labeled(
+                                node.fabric.remote_uni,
+                                format!("xel.p{p}[{u}->{v}]"),
+                            ),
+                        );
+                        f.xel_dir.insert(
+                            (v, u),
+                            net.add_resource_labeled(
+                                node.fabric.remote_uni,
+                                format!("xel.p{p}[{v}->{u}]"),
+                            ),
+                        );
+                        let pool = net.add_resource_labeled(
+                            node.fabric.remote_duplex,
+                            format!("xel.p{p}.duplex[{u}<->{v}]"),
+                        );
                         f.xel_duplex.insert((u, v), pool);
                         f.xel_duplex.insert((v, u), pool);
                     }

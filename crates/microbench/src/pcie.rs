@@ -12,6 +12,7 @@ use crate::ScaleTriplet;
 use pvc_arch::System;
 use pvc_fabric::comm::{Comm, Transfer};
 use pvc_fabric::StackId;
+use pvc_obs::{Layer, Tracer};
 
 /// Paper transfer size per direction: 500 MB.
 pub const TRANSFER_BYTES: f64 = 500e6;
@@ -44,27 +45,79 @@ fn transfers_for(stacks: &[StackId], mode: PcieMode) -> Vec<Transfer> {
         .collect()
 }
 
-fn aggregate(system: System, stacks: &[StackId], mode: PcieMode) -> f64 {
-    let comm = Comm::new(system, stacks.len() as u32);
-    let r = comm.run_transfers(&transfers_for(stacks, mode), TRANSFER_BYTES);
-    r.aggregate_bandwidth()
-}
-
 /// Runs the benchmark in `mode` on `system`.
 pub fn run(system: System, mode: PcieMode) -> PcieBandwidth {
+    run_traced(system, mode, &Tracer::disabled())
+}
+
+fn mode_name(mode: PcieMode) -> &'static str {
+    match mode {
+        PcieMode::H2d => "h2d",
+        PcieMode::D2h => "d2h",
+        PcieMode::Bidirectional => "bidir",
+    }
+}
+
+/// Like [`run`], recording the benchmark into `tracer`: each scaling
+/// level becomes a workload-lane span (preceded by a short warm-up
+/// transfer, as the paper's benchmark does before timing), and the
+/// underlying fabric/flow activity lands on the fabric and simrt lanes.
+/// Levels run back-to-back on one shared virtual timeline.
+pub fn run_traced(system: System, mode: PcieMode, tracer: &Tracer) -> PcieBandwidth {
     let node = system.node();
     let one_stack = vec![StackId::new(0, 0)];
     let one_card: Vec<StackId> = (0..node.gpu.partitions).map(|s| StackId::new(0, s)).collect();
     let all: Vec<StackId> = (0..node.gpus)
         .flat_map(|g| (0..node.gpu.partitions).map(move |s| StackId::new(g, s)))
         .collect();
+
+    let mut epoch = 0.0;
+    let mut level = |name: &'static str, stacks: &[StackId]| -> f64 {
+        let comm = Comm::new(system, stacks.len() as u32);
+        // Warm-up: a 1/10-size transfer on the first rank, untimed.
+        let warm_bytes = TRANSFER_BYTES / 10.0;
+        let warm = comm.run_transfers_traced(
+            &transfers_for(&stacks[..1], mode),
+            warm_bytes,
+            tracer,
+            epoch,
+        );
+        if tracer.enabled() {
+            tracer.span(
+                Layer::Workload,
+                format!("pcie.{}.{name}.warmup", mode_name(mode)),
+                epoch,
+                epoch + warm.wall_time,
+                vec![("bytes", warm_bytes.into()), ("ranks", 1i64.into())],
+            );
+        }
+        epoch += warm.wall_time;
+        let r = comm.run_transfers_traced(&transfers_for(stacks, mode), TRANSFER_BYTES, tracer, epoch);
+        let agg = r.aggregate_bandwidth();
+        if tracer.enabled() {
+            tracer.span(
+                Layer::Workload,
+                format!("pcie.{}.{name}", mode_name(mode)),
+                epoch,
+                epoch + r.wall_time,
+                vec![
+                    ("ranks", stacks.len().into()),
+                    ("bytes_each", TRANSFER_BYTES.into()),
+                    ("aggregate_gbs", (agg / 1e9).into()),
+                ],
+            );
+        }
+        epoch += r.wall_time;
+        agg
+    };
+
     PcieBandwidth {
         system,
         mode,
         bandwidth: ScaleTriplet {
-            one_stack: aggregate(system, &one_stack, mode),
-            one_pvc: aggregate(system, &one_card, mode),
-            full_node: aggregate(system, &all, mode),
+            one_stack: level("one_stack", &one_stack),
+            one_pvc: level("one_pvc", &one_card),
+            full_node: level("full_node", &all),
         },
     }
 }
@@ -121,6 +174,45 @@ mod tests {
             .one_stack;
         let factor = bi / uni;
         assert!((1.3..1.5).contains(&factor), "duplex factor {factor:.2}");
+    }
+
+    #[test]
+    fn traced_run_covers_three_layers_and_matches_untraced() {
+        let tracer = Tracer::recording();
+        let traced = run_traced(System::Aurora, PcieMode::H2d, &tracer);
+        let plain = run(System::Aurora, PcieMode::H2d);
+        assert_eq!(
+            traced.bandwidth.full_node.to_bits(),
+            plain.bandwidth.full_node.to_bits(),
+            "tracing must not perturb the model"
+        );
+        let mut layers = std::collections::BTreeSet::new();
+        let mut workload_spans = Vec::new();
+        for r in tracer.records().iter() {
+            layers.insert(r.layer().cat());
+            if let pvc_obs::trace::Record::Span {
+                layer: Layer::Workload,
+                name,
+                ..
+            } = r
+            {
+                workload_spans.push(name.clone());
+            }
+        }
+        for want in ["simrt", "fabric", "workload"] {
+            assert!(layers.contains(want), "missing layer {want} in {layers:?}");
+        }
+        assert_eq!(
+            workload_spans,
+            vec![
+                "pcie.h2d.one_stack.warmup",
+                "pcie.h2d.one_stack",
+                "pcie.h2d.one_pvc.warmup",
+                "pcie.h2d.one_pvc",
+                "pcie.h2d.full_node.warmup",
+                "pcie.h2d.full_node",
+            ]
+        );
     }
 
     #[test]

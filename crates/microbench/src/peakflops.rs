@@ -8,6 +8,7 @@ use crate::ScaleTriplet;
 use pvc_arch::{Precision, System};
 use pvc_engine::Engine;
 use pvc_kernels::fma;
+use pvc_obs::{Layer, Tracer};
 
 /// Result of the peak-flops benchmark for one system and precision.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +27,18 @@ const VERIFY_WORK_ITEMS: usize = 4096;
 
 /// Runs the benchmark.
 pub fn run(system: System, precision: Precision) -> PeakFlops {
+    run_traced(system, precision, &Tracer::disabled())
+}
+
+/// Nominal virtual duration of one scaling-level measurement in the
+/// profile timeline. The FMA chain is a fixed-length rate measurement,
+/// so levels are laid out as equal-length spans.
+const LEVEL_SECS: f64 = 1.0;
+
+/// Like [`run`], recording each scaling level as a workload-lane span
+/// and the governor's throttle decision (clock × precision × derate) as
+/// an arch-lane `governor.clock` instant at each level boundary.
+pub fn run_traced(system: System, precision: Precision, tracer: &Tracer) -> PeakFlops {
     let engine = Engine::new(system);
     // Host verification: the kernel must complete its dependent chains
     // and produce the analytic fixed point (checked in pvc-kernels
@@ -34,7 +47,34 @@ pub fn run(system: System, precision: Precision) -> PeakFlops {
         Precision::Fp32 => fma::paper_kernel::<f32>(VERIFY_WORK_ITEMS),
         _ => fma::paper_kernel::<f64>(VERIFY_WORK_ITEMS),
     };
-    let rates = ScaleTriplet::from_rate(system, |active| engine.vector_peak(precision, active));
+    let node = system.node();
+    let levels = [
+        ("peakflops.one_stack", 1u32),
+        ("peakflops.one_pvc", node.gpu.partitions),
+        ("peakflops.full_node", node.partitions()),
+    ];
+    let rate = |active: u32| engine.vector_peak(precision, active);
+    if tracer.enabled() {
+        for (i, &(name, active)) in levels.iter().enumerate() {
+            let t0 = i as f64 * LEVEL_SECS;
+            node.gpu
+                .clock
+                .observe_vector_clock(precision, active, tracer, t0);
+            let agg = rate(active) * active as f64;
+            tracer.span(
+                Layer::Workload,
+                name,
+                t0,
+                t0 + LEVEL_SECS,
+                vec![
+                    ("precision", format!("{precision}").into()),
+                    ("active", (active as i64).into()),
+                    ("aggregate_tflops", (agg / 1e12).into()),
+                ],
+            );
+        }
+    }
+    let rates = ScaleTriplet::from_rate(system, rate);
     PeakFlops {
         system,
         precision,
@@ -90,6 +130,30 @@ mod tests {
         let eff12 = r.node_efficiency(12);
         assert!((0.94..=0.99).contains(&eff2), "two-stack eff {eff2:.3}");
         assert!((0.92..=0.97).contains(&eff12), "node eff {eff12:.3}");
+    }
+
+    #[test]
+    fn traced_run_records_governor_transitions() {
+        let tracer = Tracer::recording();
+        let traced = run_traced(System::Aurora, Precision::Fp64, &tracer);
+        let plain = run(System::Aurora, Precision::Fp64);
+        assert_eq!(
+            traced.rates.full_node.to_bits(),
+            plain.rates.full_node.to_bits()
+        );
+        let governor: Vec<_> = tracer
+            .records()
+            .iter()
+            .filter(|r| r.name() == "governor.clock")
+            .map(|r| r.start())
+            .collect();
+        assert_eq!(governor, vec![0.0, 1.0, 2.0]);
+        let workload = tracer
+            .records()
+            .iter()
+            .filter(|r| r.layer() == pvc_obs::Layer::Workload)
+            .count();
+        assert_eq!(workload, 3);
     }
 
     #[test]

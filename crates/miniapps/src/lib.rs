@@ -24,6 +24,7 @@ pub mod decomposition;
 pub mod minibude;
 pub mod minigamess;
 pub mod miniqmc;
+pub mod profile;
 pub mod scaling;
 
 use pvc_arch::System;

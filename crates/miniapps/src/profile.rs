@@ -1,0 +1,290 @@
+//! Traced profile runs of the mini-apps (§V).
+//!
+//! Each runner lays a reduced-iteration execution of one mini-app onto
+//! the shared virtual timeline: per-phase workload-lane spans (warmup,
+//! iterations, reduction; H2D/compute/D2H), fabric-lane communication
+//! spans, and simrt-lane flow/dispatch detail underneath. The iteration
+//! loop is driven through [`EventSim`] so event-dispatch instants and
+//! queue-depth samples appear alongside the phase spans.
+//!
+//! Phase durations come from the same calibrated models the FOM
+//! harnesses use, so a profile is a faithful decomposition of the
+//! published numbers — not a separate estimate.
+
+use crate::congestion::HostCongestion;
+use crate::{cloverleaf, miniqmc, ScaleLevel};
+use pvc_arch::System;
+use pvc_fabric::comm::{Comm, Transfer};
+use pvc_obs::{Layer, Tracer};
+use pvc_simrt::{EventSim, Time};
+
+/// Timed iterations in a profile run (the real benchmarks run 100; a
+/// profile only needs enough to show the steady-state shape).
+pub const PROFILE_ITERATIONS: usize = 4;
+
+/// Halo payload per exchange direction: one ghost row of the paper grid
+/// across the four conserved fields (density, energy, two velocities).
+const HALO_BYTES: f64 = (cloverleaf::PAPER_GRID_EDGE * 4 * 8) as f64;
+
+/// Schedules one labeled no-op event per iteration boundary, so the
+/// EventSim dispatch instrumentation marks the loop structure.
+fn drive_loop(tracer: &Tracer, label: &'static str, boundaries: &[f64]) {
+    let mut sim = EventSim::new();
+    sim.set_tracer(tracer.clone());
+    for &t in boundaries {
+        sim.schedule_labeled(Time::from_secs(t), label, |_| {});
+    }
+    sim.run();
+}
+
+/// Profiles a full-node weak-scaled CloverLeaf run: warmup step, then
+/// [`PROFILE_ITERATIONS`] hydro steps (compute + ring halo exchange),
+/// then the end-of-run reduction. Returns total virtual time.
+pub fn cloverleaf_profile(system: System, tracer: &Tracer) -> f64 {
+    let n = ScaleLevel::FullNode.ranks(system);
+    let comm = Comm::new(system, n);
+    let ranks = comm.all_stacks();
+
+    // Per-rank hydro-step time from the calibrated FOM: the single-rank
+    // cell rate over the paper grid, one step's worth.
+    let cells = (cloverleaf::PAPER_GRID_EDGE * cloverleaf::PAPER_GRID_EDGE) as f64;
+    let rate = cloverleaf::fom(system, ScaleLevel::OneStack).expect("cloverleaf FOM") * 1e6;
+    let t_step = cells / rate / cloverleaf::BENCH_STEPS;
+
+    let ring: Vec<Transfer> = (0..ranks.len())
+        .flat_map(|i| {
+            let a = ranks[i];
+            let b = ranks[(i + 1) % ranks.len()];
+            [
+                Transfer::D2d(a, b, pvc_fabric::RouteVia::Auto),
+                Transfer::D2d(b, a, pvc_fabric::RouteVia::Auto),
+            ]
+        })
+        .collect();
+
+    let mut t = 0.0;
+    let mut boundaries = Vec::new();
+
+    // Warmup: one untimed hydro step, no halo.
+    tracer.span(
+        Layer::Workload,
+        "clover.warmup",
+        t,
+        t + t_step,
+        vec![("ranks", ranks.len().into())],
+    );
+    t += t_step;
+
+    for step in 0..PROFILE_ITERATIONS {
+        boundaries.push(t);
+        tracer.span(
+            Layer::Workload,
+            "clover.compute",
+            t,
+            t + t_step,
+            vec![
+                ("step", (step as i64).into()),
+                ("cells", cells.into()),
+            ],
+        );
+        t += t_step;
+        let halo = comm.run_transfers_traced(&ring, HALO_BYTES, tracer, t);
+        tracer.span(
+            Layer::Workload,
+            "clover.halo",
+            t,
+            t + halo.wall_time,
+            vec![
+                ("step", (step as i64).into()),
+                ("bytes_per_edge", HALO_BYTES.into()),
+            ],
+        );
+        t += halo.wall_time;
+    }
+
+    // End-of-run reduction: the field summaries (4 f64 per rank).
+    let t_red = comm.allreduce_time_traced(&ranks, 32.0, tracer, t);
+    tracer.span(
+        Layer::Workload,
+        "clover.reduction",
+        t,
+        t + t_red,
+        vec![("ranks", ranks.len().into())],
+    );
+    t += t_red;
+
+    drive_loop(tracer, "clover.step", &boundaries);
+    t
+}
+
+/// Profiles a full-node miniQMC run: per step, the walker buffers move
+/// H2D, the diffusion kernel runs (stretched by host congestion, §V-B1),
+/// and the local energies return D2H — with the next step's H2D
+/// overlapping the current compute, the pattern the paper's host-side
+/// congestion analysis hinges on. Returns total virtual time.
+pub fn miniqmc_profile(system: System, tracer: &Tracer) -> f64 {
+    let node = system.node();
+    let n = ScaleLevel::FullNode.ranks(system);
+    let comm = Comm::new(system, n);
+    let stacks = comm.all_stacks();
+    let g = n / node.sockets; // ranks sharing each socket
+
+    let m: HostCongestion = miniqmc::congestion_model(system);
+    let t_compute = m.step_time(g);
+    let host_frac = (t_compute - m.t_gpu) / t_compute;
+
+    // Walker state per rank: electrons × 3 coordinates, f64.
+    let bytes =
+        (miniqmc::WALKERS_PER_GPU * miniqmc::PAPER_ELECTRONS * 3 * 8) as f64;
+    let h2d: Vec<Transfer> = stacks.iter().map(|&s| Transfer::H2d(s)).collect();
+    // Local energies back: one f64 per walker.
+    let d2h: Vec<Transfer> = stacks.iter().map(|&s| Transfer::D2h(s)).collect();
+    let d2h_bytes = (miniqmc::WALKERS_PER_GPU * 8) as f64;
+
+    let mut t = 0.0;
+    let mut boundaries = Vec::new();
+
+    // Initial upload before the loop.
+    let up = comm.run_transfers_traced(&h2d, bytes, tracer, t);
+    tracer.span(
+        Layer::Workload,
+        "qmc.h2d",
+        t,
+        t + up.wall_time,
+        vec![("bytes_per_rank", bytes.into()), ("step", (-1i64).into())],
+    );
+    t += up.wall_time;
+
+    for step in 0..PROFILE_ITERATIONS {
+        boundaries.push(t);
+        let t0 = t;
+        tracer.span(
+            Layer::Workload,
+            "qmc.compute",
+            t0,
+            t0 + t_compute,
+            vec![
+                ("step", (step as i64).into()),
+                ("ranks_per_socket", (g as i64).into()),
+                ("host_frac", host_frac.into()),
+            ],
+        );
+        tracer.sample(Layer::Workload, "host_congestion_frac", t0, host_frac);
+        // Next step's walker upload overlaps this compute.
+        let mut next_up = 0.0;
+        if step + 1 < PROFILE_ITERATIONS {
+            let up = comm.run_transfers_traced(&h2d, bytes, tracer, t0);
+            tracer.span(
+                Layer::Workload,
+                "qmc.h2d",
+                t0,
+                t0 + up.wall_time,
+                vec![
+                    ("bytes_per_rank", bytes.into()),
+                    ("step", (step as i64).into()),
+                ],
+            );
+            next_up = up.wall_time;
+        }
+        let t1 = t0 + t_compute;
+        let down = comm.run_transfers_traced(&d2h, d2h_bytes, tracer, t1);
+        tracer.span(
+            Layer::Workload,
+            "qmc.d2h",
+            t1,
+            t1 + down.wall_time,
+            vec![
+                ("bytes_per_rank", d2h_bytes.into()),
+                ("step", (step as i64).into()),
+            ],
+        );
+        t = (t1 + down.wall_time).max(t0 + next_up);
+    }
+
+    drive_loop(tracer, "qmc.step", &boundaries);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_obs::chrome_trace_json;
+    use std::collections::BTreeSet;
+
+    fn layer_cats(tracer: &Tracer) -> BTreeSet<&'static str> {
+        tracer.records().iter().map(|r| r.layer().cat()).collect()
+    }
+
+    #[test]
+    fn cloverleaf_profile_spans_three_layers() {
+        let tracer = Tracer::recording();
+        let total = cloverleaf_profile(System::Aurora, &tracer);
+        assert!(total > 0.0);
+        let cats = layer_cats(&tracer);
+        for want in ["workload", "fabric", "simrt"] {
+            assert!(cats.contains(want), "missing {want} in {cats:?}");
+        }
+        // Phase structure: warmup, per-step compute/halo, one reduction.
+        let count = |name: &str| {
+            tracer
+                .records()
+                .iter()
+                .filter(|r| r.layer() == Layer::Workload && r.name() == name)
+                .count()
+        };
+        assert_eq!(count("clover.warmup"), 1);
+        assert_eq!(count("clover.compute"), PROFILE_ITERATIONS);
+        assert_eq!(count("clover.halo"), PROFILE_ITERATIONS);
+        assert_eq!(count("clover.reduction"), 1);
+    }
+
+    #[test]
+    fn miniqmc_profile_overlaps_h2d_with_compute() {
+        let tracer = Tracer::recording();
+        let total = miniqmc_profile(System::Aurora, &tracer);
+        assert!(total > 0.0);
+        let cats = layer_cats(&tracer);
+        for want in ["workload", "fabric", "simrt"] {
+            assert!(cats.contains(want), "missing {want} in {cats:?}");
+        }
+        // Every mid-loop H2D starts exactly when a compute span starts
+        // (pipelined overlap), and congestion gauges are present.
+        let mut compute_starts = Vec::new();
+        let mut h2d_starts = Vec::new();
+        let mut gauges = 0;
+        for r in tracer.records().iter() {
+            if r.layer() != Layer::Workload {
+                continue;
+            }
+            match r.name() {
+                "qmc.compute" => compute_starts.push(r.start()),
+                "qmc.h2d" => h2d_starts.push(r.start()),
+                "host_congestion_frac" => gauges += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(gauges, PROFILE_ITERATIONS);
+        assert_eq!(h2d_starts.len(), PROFILE_ITERATIONS); // initial + overlapped
+        for s in &h2d_starts[1..] {
+            assert!(
+                compute_starts.contains(s),
+                "overlapped H2D at {s} should align with a compute start"
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        for run in [cloverleaf_profile, miniqmc_profile] {
+            let a = Tracer::recording();
+            let b = Tracer::recording();
+            run(System::Dawn, &a);
+            run(System::Dawn, &b);
+            assert_eq!(
+                chrome_trace_json(&a, None),
+                chrome_trace_json(&b, None),
+                "profile trace must be byte-identical across runs"
+            );
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Exporters: Chrome `trace_event` JSON and the span-total table.
+//!
+//! The Chrome export uses complete (`"ph": "X"`) events with explicit
+//! `ts`/`dur` in microseconds of **virtual** time, instant (`"i"`)
+//! events, and counter (`"C"`) tracks, plus metadata naming one thread
+//! lane per [`Layer`]. Records are sorted by `(start, -end, seq)` —
+//! total, deterministic — so enclosing spans precede their children and
+//! two identical runs serialize byte-identically.
+
+use crate::metrics::Metrics;
+use crate::trace::{AttrValue, Layer, Record, Tracer};
+use pvc_core::Json;
+
+fn attrs_json(attrs: &[(&'static str, AttrValue)]) -> Json {
+    Json::Obj(
+        attrs
+            .iter()
+            .map(|(k, v)| {
+                let jv = match v {
+                    AttrValue::Int(i) => Json::Int(*i),
+                    AttrValue::Num(x) => Json::Num(*x),
+                    AttrValue::Str(s) => Json::Str(s.clone()),
+                    AttrValue::Bool(b) => Json::Bool(*b),
+                };
+                (k.to_string(), jv)
+            })
+            .collect(),
+    )
+}
+
+/// Seconds of virtual time → Chrome-trace microseconds.
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+/// Deterministic export order: by start time, then longest-first (so a
+/// parent precedes the children it contains), then insertion sequence.
+fn sorted_records(tracer: &Tracer) -> Vec<Record> {
+    let mut recs = tracer.records();
+    recs.sort_by(|a, b| {
+        let (a0, b0) = (a.start(), b.start());
+        a0.partial_cmp(&b0)
+            .expect("trace timestamps are finite")
+            .then_with(|| {
+                let end = |r: &Record| match r {
+                    Record::Span { t1, .. } => *t1,
+                    Record::Instant { t, .. } | Record::Sample { t, .. } => *t,
+                };
+                end(b).partial_cmp(&end(a)).expect("finite")
+            })
+            .then_with(|| a.seq().cmp(&b.seq()))
+    });
+    recs
+}
+
+/// Builds the Chrome `trace_event` document as a JSON tree.
+pub fn chrome_trace(tracer: &Tracer, metrics: Option<&Metrics>) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+
+    // Metadata: one process, one named lane per layer.
+    events.push(Json::obj(vec![
+        ("name", Json::str("process_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::Int(1)),
+        ("tid", Json::Int(0)),
+        (
+            "args",
+            Json::obj(vec![("name", Json::str("pvc-sim (virtual time)"))]),
+        ),
+    ]));
+    for layer in Layer::ALL {
+        events.push(Json::obj(vec![
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::Int(1)),
+            ("tid", Json::Int(layer.tid())),
+            ("args", Json::obj(vec![("name", Json::str(layer.cat()))])),
+        ]));
+    }
+
+    for rec in sorted_records(tracer) {
+        let ev = match &rec {
+            Record::Span {
+                layer,
+                name,
+                t0,
+                t1,
+                attrs,
+                ..
+            } => Json::obj(vec![
+                ("name", Json::str(name.clone())),
+                ("cat", Json::str(layer.cat())),
+                ("ph", Json::str("X")),
+                ("ts", Json::Num(us(*t0))),
+                ("dur", Json::Num(us(*t1 - *t0))),
+                ("pid", Json::Int(1)),
+                ("tid", Json::Int(layer.tid())),
+                ("args", attrs_json(attrs)),
+            ]),
+            Record::Instant {
+                layer,
+                name,
+                t,
+                attrs,
+                ..
+            } => Json::obj(vec![
+                ("name", Json::str(name.clone())),
+                ("cat", Json::str(layer.cat())),
+                ("ph", Json::str("i")),
+                ("ts", Json::Num(us(*t))),
+                ("pid", Json::Int(1)),
+                ("tid", Json::Int(layer.tid())),
+                ("s", Json::str("t")),
+                ("args", attrs_json(attrs)),
+            ]),
+            Record::Sample {
+                layer, name, t, value, ..
+            } => Json::obj(vec![
+                ("name", Json::str(name.clone())),
+                ("cat", Json::str(layer.cat())),
+                ("ph", Json::str("C")),
+                ("ts", Json::Num(us(*t))),
+                ("pid", Json::Int(1)),
+                ("args", Json::obj(vec![("value", Json::Num(*value))])),
+            ]),
+        };
+        events.push(ev);
+    }
+
+    let mut top = vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ];
+    if let Some(m) = metrics {
+        if !m.is_empty() {
+            top.push(("metrics", m.to_json()));
+        }
+    }
+    Json::obj(top)
+}
+
+/// The Chrome trace serialized to a pretty-printed JSON string.
+pub fn chrome_trace_json(tracer: &Tracer, metrics: Option<&Metrics>) -> String {
+    let mut s = chrome_trace(tracer, metrics).pretty();
+    s.push('\n');
+    s
+}
+
+/// Aggregated time for one span name on one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTotal {
+    pub layer: Layer,
+    pub name: String,
+    /// Number of span instances.
+    pub count: u64,
+    /// Summed inclusive duration, virtual seconds.
+    pub total: f64,
+}
+
+/// Aggregates spans by `(layer, name)`, sorted by total inclusive time
+/// descending (ties by first appearance) — the raw "where did the time
+/// go" data.
+pub fn span_totals(tracer: &Tracer) -> Vec<SpanTotal> {
+    let mut totals: Vec<SpanTotal> = Vec::new();
+    for rec in tracer.records() {
+        if let Record::Span {
+            layer, name, t0, t1, ..
+        } = rec
+        {
+            match totals
+                .iter_mut()
+                .find(|s| s.layer == layer && s.name == name)
+            {
+                Some(s) => {
+                    s.count += 1;
+                    s.total += t1 - t0;
+                }
+                None => totals.push(SpanTotal {
+                    layer,
+                    name,
+                    count: 1,
+                    total: t1 - t0,
+                }),
+            }
+        }
+    }
+    totals.sort_by(|a, b| b.total.partial_cmp(&a.total).expect("finite totals"));
+    totals
+}
+
+/// Renders the top-`n` span totals as a plain-text table.
+pub fn top_table(tracer: &Tracer, n: usize) -> String {
+    let totals = span_totals(tracer);
+    let shown = totals.iter().take(n);
+    let grand: f64 = totals.iter().map(|s| s.total).sum();
+    let mut out = String::from("Where did the (virtual) time go:\n");
+    out.push_str(&format!(
+        "{:<10} {:<34} {:>6} {:>14} {:>7}\n",
+        "layer", "span", "count", "total", "share"
+    ));
+    out.push_str(&"-".repeat(75));
+    out.push('\n');
+    for s in shown {
+        let share = if grand > 0.0 { s.total / grand * 100.0 } else { 0.0 };
+        out.push_str(&format!(
+            "{:<10} {:<34} {:>6} {:>11.6} s {:>6.1}%\n",
+            s.layer.cat(),
+            s.name,
+            s.count,
+            s.total,
+            share
+        ));
+    }
+    if totals.len() > n {
+        out.push_str(&format!("({} more spans not shown)\n", totals.len() - n));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_trace_contains_lanes_and_events() {
+        let t = Tracer::recording();
+        t.span(Layer::Workload, "phase", 0.0, 2.0, vec![("n", 3i64.into())]);
+        t.instant(Layer::Simrt, "tick", 1.0, vec![]);
+        t.sample(Layer::Fabric, "util", 0.5, 0.75);
+        let s = chrome_trace_json(&t, None);
+        assert!(s.contains("\"traceEvents\""));
+        assert!(s.contains("\"ph\": \"X\""));
+        assert!(s.contains("\"ph\": \"i\""));
+        assert!(s.contains("\"ph\": \"C\""));
+        assert!(s.contains("\"thread_name\""));
+        assert!(s.contains("\"workload\""));
+        // span ts in µs: 0, dur 2e6.
+        assert!(s.contains("\"dur\": 2000000"));
+    }
+
+    #[test]
+    fn export_sorts_by_virtual_time_not_emission_order() {
+        let t = Tracer::recording();
+        t.span(Layer::Workload, "late", 5.0, 6.0, vec![]);
+        t.span(Layer::Workload, "outer", 0.0, 10.0, vec![]);
+        t.span(Layer::Workload, "early", 0.0, 1.0, vec![]);
+        let s = chrome_trace_json(&t, None);
+        let outer = s.find("\"outer\"").unwrap();
+        let early = s.find("\"early\"").unwrap();
+        let late = s.find("\"late\"").unwrap();
+        // Same start: the enclosing (longer) span comes first; later
+        // starts follow.
+        assert!(outer < early, "parent precedes contained child");
+        assert!(early < late);
+    }
+
+    #[test]
+    fn span_totals_aggregate_and_rank() {
+        let t = Tracer::recording();
+        t.span(Layer::Workload, "compute", 0.0, 3.0, vec![]);
+        t.span(Layer::Workload, "compute", 3.0, 6.0, vec![]);
+        t.span(Layer::Fabric, "halo", 6.0, 7.0, vec![]);
+        let totals = span_totals(&t);
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].name, "compute");
+        assert_eq!(totals[0].count, 2);
+        assert!((totals[0].total - 6.0).abs() < 1e-12);
+        let table = top_table(&t, 1);
+        assert!(table.contains("compute"));
+        assert!(table.contains("1 more spans not shown"));
+    }
+
+    #[test]
+    fn empty_tracer_exports_valid_skeleton() {
+        let t = Tracer::recording();
+        let s = chrome_trace_json(&t, None);
+        assert!(s.contains("traceEvents"));
+        let doc = pvc_core::json::parse(&s).expect("skeleton parses");
+        let Json::Obj(pairs) = doc else { panic!("object") };
+        assert!(pairs.iter().any(|(k, _)| k == "traceEvents"));
+    }
+}

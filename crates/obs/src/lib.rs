@@ -1,0 +1,30 @@
+//! # pvc-obs — deterministic tracing and metrics for the simulator
+//!
+//! Every timestamp in this crate is **virtual simulation time** (seconds
+//! since simulation start, the same clock as [`pvc-simrt`]'s `Time`) —
+//! never wall clock. Two runs of the same workload with the same seed
+//! therefore produce byte-identical traces, extending the workspace's
+//! reproducibility guarantee to observability artifacts.
+//!
+//! Three pieces:
+//!
+//! * [`Tracer`] — nestable spans and instant events carrying typed
+//!   key/value attributes, grouped into per-layer lanes ([`Layer`]).
+//!   The default tracer is a **no-op sink**: every hook collapses to a
+//!   single branch on an `Option`, so instrumented hot paths cost
+//!   nothing when tracing is off.
+//! * [`Metrics`] — an insertion-ordered registry of counters (saturating
+//!   at `u64::MAX`), gauges, and fixed-bucket histograms.
+//! * [`export`] — Chrome `trace_event` JSON (loadable in
+//!   `chrome://tracing` / Perfetto) and a plain-text summary, built on
+//!   the in-tree `pvc-core` JSON writer.
+//!
+//! [`pvc-simrt`]: ../pvc_simrt/index.html
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{chrome_trace, chrome_trace_json, span_totals, top_table, SpanTotal};
+pub use metrics::Metrics;
+pub use trace::{AttrValue, Layer, SpanHandle, Tracer};

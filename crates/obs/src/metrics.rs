@@ -1,0 +1,328 @@
+//! Metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Insertion-ordered (never hash-ordered) so every rendering of the
+//! registry is deterministic. Like [`crate::Tracer`], the registry is a
+//! cheap cloneable handle sharing one buffer; a disabled registry is
+//! not needed — an unused `Metrics` simply stays empty.
+
+use pvc_core::Json;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Instrument {
+    /// Monotonic count; saturates at `u64::MAX` instead of wrapping.
+    Counter { value: u64 },
+    /// Last-set value plus observed range.
+    Gauge { value: f64, min: f64, max: f64, set: bool },
+    /// Fixed upper-bound buckets plus an overflow bucket.
+    Histogram {
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        count: u64,
+        sum: f64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    names: Vec<String>,
+    instruments: Vec<Instrument>,
+}
+
+impl Registry {
+    fn index(&mut self, name: &str, make: impl FnOnce() -> Instrument) -> usize {
+        match self.names.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                self.names.push(name.to_string());
+                self.instruments.push(make());
+                self.names.len() - 1
+            }
+        }
+    }
+}
+
+/// The metrics registry handle.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    reg: Rc<RefCell<Registry>>,
+}
+
+impl Metrics {
+    /// A fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to counter `name` (created at 0 on first use),
+    /// saturating at `u64::MAX`.
+    pub fn count(&self, name: &str, n: u64) {
+        let mut r = self.reg.borrow_mut();
+        let i = r.index(name, || Instrument::Counter { value: 0 });
+        if let Instrument::Counter { value } = &mut r.instruments[i] {
+            *value = value.saturating_add(n);
+        } else {
+            panic!("metric '{name}' is not a counter");
+        }
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        let r = self.reg.borrow();
+        match r.names.iter().position(|n| n == name) {
+            Some(i) => match &r.instruments[i] {
+                Instrument::Counter { value } => *value,
+                _ => panic!("metric '{name}' is not a counter"),
+            },
+            None => 0,
+        }
+    }
+
+    /// Sets gauge `name` to `v`, tracking the observed min/max.
+    pub fn gauge(&self, name: &str, v: f64) {
+        assert!(v.is_finite(), "gauge '{name}' set to non-finite {v}");
+        let mut r = self.reg.borrow_mut();
+        let i = r.index(name, || Instrument::Gauge {
+            value: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            set: false,
+        });
+        if let Instrument::Gauge { value, min, max, set } = &mut r.instruments[i] {
+            *value = v;
+            *min = min.min(v);
+            *max = max.max(v);
+            *set = true;
+        } else {
+            panic!("metric '{name}' is not a gauge");
+        }
+    }
+
+    /// Last-set value of gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let r = self.reg.borrow();
+        let i = r.names.iter().position(|n| n == name)?;
+        match &r.instruments[i] {
+            Instrument::Gauge { value, set, .. } => set.then_some(*value),
+            _ => panic!("metric '{name}' is not a gauge"),
+        }
+    }
+
+    /// Declares histogram `name` with the given ascending bucket upper
+    /// bounds (an implicit overflow bucket catches everything above the
+    /// last bound). Declaring twice with different bounds panics.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn declare_histogram(&self, name: &str, bounds: &[f64]) {
+        assert!(!bounds.is_empty(), "histogram '{name}' needs buckets");
+        for w in bounds.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "histogram '{name}' bounds must be strictly ascending"
+            );
+        }
+        let mut r = self.reg.borrow_mut();
+        let i = r.index(name, || Instrument::Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        });
+        if let Instrument::Histogram { bounds: b, .. } = &r.instruments[i] {
+            assert_eq!(b, bounds, "histogram '{name}' re-declared with different bounds");
+        } else {
+            panic!("metric '{name}' is not a histogram");
+        }
+    }
+
+    /// Records `v` into histogram `name` (must be declared first). A
+    /// value lands in the first bucket whose upper bound is `>= v`;
+    /// values above every bound land in the overflow bucket.
+    pub fn record(&self, name: &str, v: f64) {
+        let mut r = self.reg.borrow_mut();
+        let i = r
+            .names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("histogram '{name}' not declared"));
+        if let Instrument::Histogram { bounds, counts, count, sum } = &mut r.instruments[i] {
+            let b = bounds
+                .iter()
+                .position(|&ub| v <= ub)
+                .unwrap_or(bounds.len());
+            counts[b] += 1;
+            *count += 1;
+            *sum += v;
+        } else {
+            panic!("metric '{name}' is not a histogram");
+        }
+    }
+
+    /// `(bucket counts including overflow, total count, sum)` of
+    /// histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<(Vec<u64>, u64, f64)> {
+        let r = self.reg.borrow();
+        let i = r.names.iter().position(|n| n == name)?;
+        match &r.instruments[i] {
+            Instrument::Histogram { counts, count, sum, .. } => {
+                Some((counts.clone(), *count, *sum))
+            }
+            _ => panic!("metric '{name}' is not a histogram"),
+        }
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.reg.borrow().names.is_empty()
+    }
+
+    /// Plain-text summary, one line per instrument, registration order.
+    pub fn summary(&self) -> String {
+        let r = self.reg.borrow();
+        let mut out = String::new();
+        for (name, inst) in r.names.iter().zip(r.instruments.iter()) {
+            match inst {
+                Instrument::Counter { value } => {
+                    out.push_str(&format!("counter {name} = {value}\n"));
+                }
+                Instrument::Gauge { value, min, max, set } => {
+                    if *set {
+                        out.push_str(&format!(
+                            "gauge   {name} = {value} (min {min}, max {max})\n"
+                        ));
+                    }
+                }
+                Instrument::Histogram { bounds, counts, count, sum } => {
+                    let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                    out.push_str(&format!(
+                        "histo   {name}: n={count} mean={mean:.4}"
+                    ));
+                    for (i, c) in counts.iter().enumerate() {
+                        if *c == 0 {
+                            continue;
+                        }
+                        if i < bounds.len() {
+                            out.push_str(&format!(" le{}={c}", bounds[i]));
+                        } else {
+                            out.push_str(&format!(" overflow={c}"));
+                        }
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// The registry as a JSON object, registration order.
+    pub fn to_json(&self) -> Json {
+        let r = self.reg.borrow();
+        let mut pairs = Vec::new();
+        for (name, inst) in r.names.iter().zip(r.instruments.iter()) {
+            let v = match inst {
+                Instrument::Counter { value } => Json::Int(*value as i64),
+                Instrument::Gauge { value, min, max, set } => {
+                    if !*set {
+                        continue;
+                    }
+                    Json::obj(vec![
+                        ("value", Json::Num(*value)),
+                        ("min", Json::Num(*min)),
+                        ("max", Json::Num(*max)),
+                    ])
+                }
+                Instrument::Histogram { bounds, counts, count, sum } => Json::obj(vec![
+                    ("bounds", Json::Arr(bounds.iter().map(|&b| Json::Num(b)).collect())),
+                    (
+                        "counts",
+                        Json::Arr(counts.iter().map(|&c| Json::Int(c as i64)).collect()),
+                    ),
+                    ("count", Json::Int(*count as i64)),
+                    ("sum", Json::Num(*sum)),
+                ]),
+            };
+            pairs.push((name.clone(), v));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let m = Metrics::new();
+        m.count("events", 2);
+        m.count("events", 3);
+        assert_eq!(m.counter("events"), 5);
+        m.count("events", u64::MAX);
+        assert_eq!(m.counter("events"), u64::MAX, "saturates, never wraps");
+        m.count("events", 1);
+        assert_eq!(m.counter("events"), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_track_range() {
+        let m = Metrics::new();
+        assert_eq!(m.gauge_value("util"), None);
+        m.gauge("util", 0.5);
+        m.gauge("util", 0.9);
+        m.gauge("util", 0.2);
+        assert_eq!(m.gauge_value("util"), Some(0.2));
+        assert!(m.summary().contains("min 0.2, max 0.9"));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let m = Metrics::new();
+        m.declare_histogram("lat", &[1.0, 2.0, 4.0]);
+        // Exactly on a bound lands in that bucket (le semantics).
+        for v in [0.5, 1.0, 1.5, 2.0, 4.0, 4.000001, 100.0] {
+            m.record("lat", v);
+        }
+        let (counts, n, sum) = m.histogram("lat").unwrap();
+        assert_eq!(counts, vec![2, 2, 1, 2]); // le1, le2, le4, overflow
+        assert_eq!(n, 7);
+        assert!((sum - 113.000001).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn recording_undeclared_histogram_panics() {
+        Metrics::new().record("nope", 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_rejected() {
+        Metrics::new().declare_histogram("h", &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn summary_is_registration_ordered() {
+        let m = Metrics::new();
+        m.count("z_first", 1);
+        m.gauge("a_second", 2.0);
+        let s = m.summary();
+        let zi = s.find("z_first").unwrap();
+        let ai = s.find("a_second").unwrap();
+        assert!(zi < ai, "insertion order, not alphabetical");
+    }
+
+    #[test]
+    fn json_rendering_has_all_kinds() {
+        let m = Metrics::new();
+        m.count("c", 1);
+        m.gauge("g", 0.5);
+        m.declare_histogram("h", &[1.0]);
+        m.record("h", 0.5);
+        let j = m.to_json().pretty();
+        assert!(j.contains("\"c\": 1"));
+        assert!(j.contains("\"value\": 0.5"));
+        assert!(j.contains("\"counts\""));
+    }
+}

@@ -1,0 +1,431 @@
+//! The tracer: nestable spans and instant events on the virtual clock.
+//!
+//! A [`Tracer`] is a cheap cloneable handle. [`Tracer::disabled`] (the
+//! default) carries no sink at all: every emit call is a single branch.
+//! [`Tracer::recording`] shares one in-memory buffer among all clones,
+//! so a workload can hand the same tracer to the flow network, the
+//! fabric and its own phase loop and get one merged timeline.
+//!
+//! Spans may begin and end out of order with respect to buffer insertion
+//! — virtual time is the only ordering that matters, and the exporter
+//! sorts records by `(start, -duration)` so enclosing spans precede
+//! their children regardless of emission order.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A typed attribute value attached to a span or instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Num(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// Attribute list: static keys, typed values.
+pub type Attrs = Vec<(&'static str, AttrValue)>;
+
+/// The stack layer a record belongs to. Each layer renders as its own
+/// named thread lane in Perfetto, so contention across layers lines up
+/// vertically on the shared virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Simulation runtime: event dispatch, flow rate segments.
+    Simrt,
+    /// Node fabric: PCIe/MDFI/Xe-Link transfers and collectives.
+    Fabric,
+    /// Architecture models: governor clock/power transitions.
+    Arch,
+    /// Workload phases: warmup/iteration/reduction, H2D/compute/D2H.
+    Workload,
+    /// Report generation diagnostics (dropped rows, truncations).
+    Report,
+}
+
+impl Layer {
+    /// Stable lane id used as the Chrome-trace `tid`.
+    pub fn tid(self) -> i64 {
+        match self {
+            Layer::Workload => 1,
+            Layer::Fabric => 2,
+            Layer::Arch => 3,
+            Layer::Simrt => 4,
+            Layer::Report => 5,
+        }
+    }
+
+    /// Category string used as the Chrome-trace `cat`.
+    pub fn cat(self) -> &'static str {
+        match self {
+            Layer::Simrt => "simrt",
+            Layer::Fabric => "fabric",
+            Layer::Arch => "arch",
+            Layer::Workload => "workload",
+            Layer::Report => "report",
+        }
+    }
+
+    /// All layers in lane order.
+    pub const ALL: [Layer; 5] = [
+        Layer::Workload,
+        Layer::Fabric,
+        Layer::Arch,
+        Layer::Simrt,
+        Layer::Report,
+    ];
+}
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A completed span `[t0, t1]`.
+    Span {
+        layer: Layer,
+        name: String,
+        t0: f64,
+        t1: f64,
+        attrs: Attrs,
+        seq: u64,
+    },
+    /// An instant event at `t`.
+    Instant {
+        layer: Layer,
+        name: String,
+        t: f64,
+        attrs: Attrs,
+        seq: u64,
+    },
+    /// A counter-track sample (utilization, queue depth, clock state).
+    Sample {
+        layer: Layer,
+        name: String,
+        t: f64,
+        value: f64,
+        seq: u64,
+    },
+}
+
+impl Record {
+    /// Virtual start time of the record.
+    pub fn start(&self) -> f64 {
+        match self {
+            Record::Span { t0, .. } => *t0,
+            Record::Instant { t, .. } | Record::Sample { t, .. } => *t,
+        }
+    }
+
+    /// Insertion sequence (tie-break).
+    pub fn seq(&self) -> u64 {
+        match self {
+            Record::Span { seq, .. }
+            | Record::Instant { seq, .. }
+            | Record::Sample { seq, .. } => *seq,
+        }
+    }
+
+    /// The lane the record belongs to.
+    pub fn layer(&self) -> Layer {
+        match self {
+            Record::Span { layer, .. }
+            | Record::Instant { layer, .. }
+            | Record::Sample { layer, .. } => *layer,
+        }
+    }
+
+    /// Record name.
+    pub fn name(&self) -> &str {
+        match self {
+            Record::Span { name, .. }
+            | Record::Instant { name, .. }
+            | Record::Sample { name, .. } => name,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    layer: Layer,
+    name: String,
+    t0: f64,
+    attrs: Attrs,
+}
+
+#[derive(Debug, Default)]
+struct TraceBuf {
+    records: Vec<Record>,
+    open: Vec<Option<OpenSpan>>,
+    seq: u64,
+}
+
+impl TraceBuf {
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+}
+
+/// Handle to a span begun with [`Tracer::begin`], finished by
+/// [`Tracer::end`]. Ending a handle twice is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanHandle(usize);
+
+/// A cheap cloneable tracing handle. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    buf: Option<Rc<RefCell<TraceBuf>>>,
+}
+
+impl Tracer {
+    /// The no-op sink: every emit call is one branch, nothing allocates.
+    pub fn disabled() -> Self {
+        Tracer { buf: None }
+    }
+
+    /// A recording tracer with a fresh shared buffer.
+    pub fn recording() -> Self {
+        Tracer {
+            buf: Some(Rc::new(RefCell::new(TraceBuf::default()))),
+        }
+    }
+
+    /// True when records are being captured. Hooks with non-trivial
+    /// attribute construction should early-return on `!enabled()`.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// Records a completed span `[t0, t1]` on `layer`.
+    ///
+    /// # Panics
+    /// Panics if either timestamp is not finite or `t1 < t0` — a broken
+    /// virtual clock upstream must not silently corrupt the trace.
+    pub fn span(
+        &self,
+        layer: Layer,
+        name: impl Into<String>,
+        t0: f64,
+        t1: f64,
+        attrs: Attrs,
+    ) {
+        let Some(buf) = &self.buf else { return };
+        assert!(
+            t0.is_finite() && t1.is_finite() && t1 >= t0,
+            "invalid span interval [{t0}, {t1}]"
+        );
+        let mut b = buf.borrow_mut();
+        let seq = b.next_seq();
+        b.records.push(Record::Span {
+            layer,
+            name: name.into(),
+            t0,
+            t1,
+            attrs,
+            seq,
+        });
+    }
+
+    /// Opens a span at `t0`; finish it with [`end`](Self::end). Spans on
+    /// the same layer nest by time containment, so handles may be ended
+    /// in any order.
+    pub fn begin(
+        &self,
+        layer: Layer,
+        name: impl Into<String>,
+        t0: f64,
+        attrs: Attrs,
+    ) -> SpanHandle {
+        let Some(buf) = &self.buf else {
+            return SpanHandle(usize::MAX);
+        };
+        assert!(t0.is_finite(), "invalid span start {t0}");
+        let mut b = buf.borrow_mut();
+        b.open.push(Some(OpenSpan {
+            layer,
+            name: name.into(),
+            t0,
+            attrs,
+        }));
+        SpanHandle(b.open.len() - 1)
+    }
+
+    /// Closes a span opened with [`begin`](Self::begin) at `t1`.
+    /// No-op on a disabled tracer or an already-ended handle.
+    pub fn end(&self, handle: SpanHandle, t1: f64) {
+        let Some(buf) = &self.buf else { return };
+        if handle.0 == usize::MAX {
+            return;
+        }
+        let mut b = buf.borrow_mut();
+        let Some(open) = b.open.get_mut(handle.0).and_then(Option::take) else {
+            return;
+        };
+        assert!(
+            t1.is_finite() && t1 >= open.t0,
+            "span '{}' ends at {t1} before it began at {}",
+            open.name,
+            open.t0
+        );
+        let seq = b.next_seq();
+        b.records.push(Record::Span {
+            layer: open.layer,
+            name: open.name,
+            t0: open.t0,
+            t1,
+            attrs: open.attrs,
+            seq,
+        });
+    }
+
+    /// Records an instant event at `t`.
+    pub fn instant(&self, layer: Layer, name: impl Into<String>, t: f64, attrs: Attrs) {
+        let Some(buf) = &self.buf else { return };
+        assert!(t.is_finite(), "invalid instant timestamp {t}");
+        let mut b = buf.borrow_mut();
+        let seq = b.next_seq();
+        b.records.push(Record::Instant {
+            layer,
+            name: name.into(),
+            t,
+            attrs,
+            seq,
+        });
+    }
+
+    /// Records a counter-track sample (renders as a stepped value graph
+    /// in Perfetto — utilization, occupancy, clock state).
+    pub fn sample(&self, layer: Layer, name: impl Into<String>, t: f64, value: f64) {
+        let Some(buf) = &self.buf else { return };
+        assert!(t.is_finite(), "invalid sample timestamp {t}");
+        let mut b = buf.borrow_mut();
+        let seq = b.next_seq();
+        b.records.push(Record::Sample {
+            layer,
+            name: name.into(),
+            t,
+            value,
+            seq,
+        });
+    }
+
+    /// Snapshot of all records in insertion order. Open (un-ended)
+    /// spans are not included.
+    pub fn records(&self) -> Vec<Record> {
+        match &self.buf {
+            Some(buf) => buf.borrow().records.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of captured records (0 on a disabled tracer).
+    pub fn len(&self) -> usize {
+        self.buf.as_ref().map_or(0, |b| b.borrow().records.len())
+    }
+
+    /// True when no records have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.span(Layer::Simrt, "s", 0.0, 1.0, vec![]);
+        t.instant(Layer::Simrt, "i", 0.5, vec![]);
+        t.sample(Layer::Simrt, "c", 0.5, 1.0);
+        let h = t.begin(Layer::Simrt, "b", 0.0, vec![]);
+        t.end(h, 2.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = Tracer::recording();
+        let u = t.clone();
+        t.instant(Layer::Fabric, "a", 0.0, vec![]);
+        u.instant(Layer::Fabric, "b", 1.0, vec![]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn begin_end_out_of_order_is_fine() {
+        let t = Tracer::recording();
+        let outer = t.begin(Layer::Workload, "outer", 0.0, vec![]);
+        let inner = t.begin(Layer::Workload, "inner", 1.0, vec![]);
+        // End outer first: virtual time, not emission order, defines
+        // nesting.
+        t.end(outer, 10.0);
+        t.end(inner, 2.0);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn double_end_is_noop() {
+        let t = Tracer::recording();
+        let h = t.begin(Layer::Workload, "x", 0.0, vec![]);
+        t.end(h, 1.0);
+        t.end(h, 5.0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid span interval")]
+    fn backwards_span_rejected() {
+        let t = Tracer::recording();
+        t.span(Layer::Simrt, "bad", 2.0, 1.0, vec![]);
+    }
+
+    #[test]
+    fn attr_conversions() {
+        assert_eq!(AttrValue::from(3i64), AttrValue::Int(3));
+        assert_eq!(AttrValue::from(3u32), AttrValue::Int(3));
+        assert_eq!(AttrValue::from(1.5), AttrValue::Num(1.5));
+        assert_eq!(AttrValue::from("x"), AttrValue::Str("x".into()));
+        assert_eq!(AttrValue::from(true), AttrValue::Bool(true));
+    }
+}

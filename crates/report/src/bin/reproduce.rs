@@ -3,8 +3,12 @@
 //! Usage:
 //! ```text
 //! reproduce [table1..table6|fig1..fig4|experiments|json|conformance|validate|all]
+//! reproduce profile <workload> [outfile]
 //! ```
-//! With no argument, prints everything.
+//! With no argument, prints everything. `profile` runs one workload
+//! under the deterministic virtual-time tracer and writes a Chrome-trace
+//! JSON file (default `profile-<workload>.json`), then prints the top-N
+//! span table and the metrics summary.
 
 use pvc_memsim::LatsConfig;
 use pvc_report::{experiments, figdata, tables};
@@ -98,6 +102,44 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "profile" => {
+            let Some(workload) = args.get(1) else {
+                eprintln!("usage: reproduce profile <workload> [outfile]");
+                eprintln!("workloads:");
+                for (name, desc) in pvc_report::profile::WORKLOADS {
+                    eprintln!("  {name:<12} {desc}");
+                }
+                std::process::exit(2);
+            };
+            let artifact = match pvc_report::profile::run(workload, pvc_arch::System::Aurora) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            let events = match artifact.validate() {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            };
+            let path = args
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| format!("profile-{workload}.json"));
+            if let Err(e) = std::fs::write(&path, &artifact.trace_json) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            out.push_str(&format!(
+                "wrote {path} ({events} trace events, valid JSON)\n\n"
+            ));
+            out.push_str(&artifact.top);
+            out.push('\n');
+            out.push_str(&artifact.summary);
+        }
         "conformance" => match pvc_report::conformance::verdict() {
             Ok(_) => out.push_str(&pvc_report::conformance::markdown()),
             Err(msg) => {
@@ -132,7 +174,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling or all"
+                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling, profile <workload> or all"
             );
             std::process::exit(2);
         }

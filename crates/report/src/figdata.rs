@@ -5,6 +5,7 @@ use crate::render::{opt, TextTable};
 use pvc_memsim::LatsConfig;
 use pvc_microbench::latsbench;
 use pvc_miniapps::ScaleLevel;
+use pvc_obs::{Layer, Tracer};
 use pvc_predict::{figure2, figure3, figure4, FigureBar};
 
 /// Figure 1 as CSV: `footprint_bytes` then one cycles column per system.
@@ -34,7 +35,41 @@ fn level_tag(level: ScaleLevel) -> &'static str {
     }
 }
 
-fn render_bars(title: &str, bars: &[FigureBar]) -> String {
+/// Accounts for bars with no FOM source instead of letting them vanish
+/// silently: one stderr summary line per affected figure, plus (when
+/// `tracer` records) a report-lane `figure.missing_fom` instant per
+/// missing bar so profiles show exactly which cells are dashes and why.
+/// Returns the number of missing bars.
+pub fn report_missing_foms(figure: &str, bars: &[FigureBar], tracer: &Tracer) -> usize {
+    let missing: Vec<&FigureBar> = bars.iter().filter(|b| b.measured.is_none()).collect();
+    if missing.is_empty() {
+        return 0;
+    }
+    eprintln!(
+        "warning: {figure}: {} of {} bars have no FOM source (printed as '-')",
+        missing.len(),
+        bars.len()
+    );
+    if tracer.enabled() {
+        for (i, b) in missing.iter().enumerate() {
+            tracer.instant(
+                Layer::Report,
+                "figure.missing_fom",
+                i as f64,
+                vec![
+                    ("figure", figure.into()),
+                    ("app", b.app.label().into()),
+                    ("system", b.system.label().into()),
+                    ("level", level_tag(b.level).into()),
+                ],
+            );
+        }
+    }
+    missing.len()
+}
+
+fn render_bars(title: &str, bars: &[FigureBar], tracer: &Tracer) -> String {
+    report_missing_foms(title, bars, tracer);
     let mut t = TextTable::new(title).header(vec![
         "Mini-app".into(),
         "System".into(),
@@ -58,6 +93,7 @@ fn render_bars(title: &str, bars: &[FigureBar]) -> String {
 /// measured ratio with a `|` marker at the expected (black-bar) value —
 /// the closest a terminal gets to the paper's Figures 2–4.
 pub fn render_bars_ascii(title: &str, bars: &[FigureBar], unity_note: &str) -> String {
+    report_missing_foms(title, bars, &Tracer::disabled());
     let max = bars
         .iter()
         .filter_map(|b| b.measured)
@@ -108,25 +144,43 @@ pub fn render_bars_ascii(title: &str, bars: &[FigureBar], unity_note: &str) -> S
 
 /// Renders Figure 2's data.
 pub fn render_figure2() -> String {
-    render_bars(
-        "Figure 2: FOMs on Aurora relative to Dawn (simulated)",
-        &figure2(),
-    )
+    render_figure2_traced(&Tracer::disabled())
 }
 
 /// Renders Figure 3's data.
 pub fn render_figure3() -> String {
-    render_bars(
-        "Figure 3: FOMs on Aurora and Dawn relative to JLSE-H100 (simulated)",
-        &figure3(),
-    )
+    render_figure3_traced(&Tracer::disabled())
 }
 
 /// Renders Figure 4's data.
 pub fn render_figure4() -> String {
+    render_figure4_traced(&Tracer::disabled())
+}
+
+/// [`render_figure2`] with missing-FOM instants recorded into `tracer`.
+pub fn render_figure2_traced(tracer: &Tracer) -> String {
+    render_bars(
+        "Figure 2: FOMs on Aurora relative to Dawn (simulated)",
+        &figure2(),
+        tracer,
+    )
+}
+
+/// [`render_figure3`] with missing-FOM instants recorded into `tracer`.
+pub fn render_figure3_traced(tracer: &Tracer) -> String {
+    render_bars(
+        "Figure 3: FOMs on Aurora and Dawn relative to JLSE-H100 (simulated)",
+        &figure3(),
+        tracer,
+    )
+}
+
+/// [`render_figure4`] with missing-FOM instants recorded into `tracer`.
+pub fn render_figure4_traced(tracer: &Tracer) -> String {
     render_bars(
         "Figure 4: FOMs on Aurora and Dawn relative to JLSE-MI250 (simulated)",
         &figure4(),
+        tracer,
     )
 }
 
@@ -180,6 +234,38 @@ mod tests {
         assert!(s.contains('█'), "measured bars drawn");
         assert!(s.contains('|'), "expected markers drawn");
         assert!(s.contains("Figure 4 (chart)"));
+    }
+
+    #[test]
+    fn missing_fom_bars_are_reported_not_dropped() {
+        use pvc_predict::AppKind;
+        use pvc_arch::System;
+        let bars = vec![
+            FigureBar {
+                app: AppKind::MiniQmc,
+                system: System::Aurora,
+                level: ScaleLevel::OneStack,
+                measured: None,
+                expected: None,
+            },
+            FigureBar {
+                app: AppKind::MiniBude,
+                system: System::Aurora,
+                level: ScaleLevel::OneStack,
+                measured: Some(1.0),
+                expected: Some(1.0),
+            },
+        ];
+        let tracer = Tracer::recording();
+        assert_eq!(report_missing_foms("test figure", &bars, &tracer), 1);
+        let recs = tracer.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].layer(), Layer::Report);
+        assert_eq!(recs[0].name(), "figure.missing_fom");
+        // Fully-populated figures stay silent.
+        let t2 = Tracer::recording();
+        assert_eq!(report_missing_foms("ok figure", &bars[1..], &t2), 0);
+        assert!(t2.records().is_empty());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! * [`figdata`] — Figure 1 latency series and Figures 2–4 bar data;
 //! * [`experiments`] — the paper-vs-measured record used to generate
 //!   EXPERIMENTS.md;
+//! * [`profile`] — `reproduce profile <workload>`: deterministic
+//!   virtual-time Chrome-trace profiles of the simulated workloads;
 //! * [`conformance`] — the `pvc-validate` golden-expectation run
 //!   rendered as a report section (and the CLI gate's verdict).
 //!
@@ -20,6 +22,7 @@ pub mod energy;
 pub mod experiments;
 pub mod fabric_matrix;
 pub mod figdata;
+pub mod profile;
 pub mod published;
 pub mod render;
 pub mod tables;

@@ -1,0 +1,219 @@
+//! `reproduce profile <workload>` — deterministic virtual-time profiles.
+//!
+//! Runs one workload with the [`pvc_obs`] tracer attached and packages
+//! the result as a [`ProfileArtifact`]: a Chrome-trace JSON document
+//! (loadable in Perfetto / `chrome://tracing`), a top-N "where did the
+//! (virtual) time go" table, and a plain-text metrics summary. All
+//! timestamps are virtual simulation time, so two runs of the same
+//! workload produce byte-identical artifacts.
+
+use pvc_arch::{Precision, System};
+use pvc_fabric::comm::{Comm, Transfer};
+use pvc_fabric::{RouteVia, StackId};
+use pvc_microbench::pcie::{self, PcieMode};
+use pvc_microbench::peakflops;
+use pvc_miniapps::profile as miniprof;
+use pvc_obs::{chrome_trace_json, span_totals, top_table, Layer, Metrics, Tracer};
+
+/// Workloads `reproduce profile` accepts, with one-line descriptions.
+pub const WORKLOADS: &[(&str, &str)] = &[
+    ("pcie-h2d", "host-to-device PCIe sweep over the three scaling levels"),
+    ("pcie-d2h", "device-to-host PCIe sweep over the three scaling levels"),
+    ("pcie-bidir", "bidirectional PCIe sweep (1.4x duplex factor)"),
+    ("p2p-local", "MDFI stack-to-stack transfer inside one card"),
+    ("p2p-remote", "Xe-Link stack-to-stack transfer between cards"),
+    ("allreduce", "full-node ring allreduce (reduce-scatter + allgather)"),
+    ("peakflops", "FP64 FMA peak sweep with governor throttle transitions"),
+    ("cloverleaf", "weak-scaled hydro steps: compute + halo + reduction"),
+    ("miniqmc", "DMC steps with H2D/compute/D2H overlap and host congestion"),
+    ("figures", "figure renders, tracing bars with missing FOM sources"),
+];
+
+/// The rendered outputs of one profile run.
+#[derive(Debug, Clone)]
+pub struct ProfileArtifact {
+    pub workload: String,
+    /// Chrome `trace_event` JSON (pretty-printed, trailing newline).
+    pub trace_json: String,
+    /// Top-N span table.
+    pub top: String,
+    /// Metrics registry summary.
+    pub summary: String,
+}
+
+fn workload_names() -> String {
+    WORKLOADS
+        .iter()
+        .map(|(n, _)| *n)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Runs `workload` on `system` under a recording tracer.
+pub fn run(workload: &str, system: System) -> Result<ProfileArtifact, String> {
+    let tracer = Tracer::recording();
+    match workload {
+        "pcie-h2d" => {
+            pcie::run_traced(system, PcieMode::H2d, &tracer);
+        }
+        "pcie-d2h" => {
+            pcie::run_traced(system, PcieMode::D2h, &tracer);
+        }
+        "pcie-bidir" => {
+            pcie::run_traced(system, PcieMode::Bidirectional, &tracer);
+        }
+        "p2p-local" => {
+            let comm = Comm::new(system, 2);
+            comm.run_transfers_traced(
+                &[Transfer::D2d(
+                    StackId::new(0, 0),
+                    StackId::new(0, 1),
+                    RouteVia::Auto,
+                )],
+                500e6,
+                &tracer,
+                0.0,
+            );
+        }
+        "p2p-remote" => {
+            let comm = Comm::new(system, 2);
+            comm.run_transfers_traced(
+                &[Transfer::D2d(
+                    StackId::new(0, 0),
+                    StackId::new(1, 1),
+                    RouteVia::Auto,
+                )],
+                500e6,
+                &tracer,
+                0.0,
+            );
+        }
+        "allreduce" => {
+            let node = system.node();
+            let comm = Comm::new(system, node.partitions());
+            comm.allreduce_time_traced(&comm.all_stacks(), 1e9, &tracer, 0.0);
+        }
+        "peakflops" => {
+            peakflops::run_traced(system, Precision::Fp64, &tracer);
+        }
+        "cloverleaf" => {
+            miniprof::cloverleaf_profile(system, &tracer);
+        }
+        "miniqmc" => {
+            miniprof::miniqmc_profile(system, &tracer);
+        }
+        "figures" => {
+            crate::figdata::render_figure2_traced(&tracer);
+            crate::figdata::render_figure3_traced(&tracer);
+            crate::figdata::render_figure4_traced(&tracer);
+        }
+        other => {
+            return Err(format!(
+                "unknown profile workload '{other}'; expected one of: {}",
+                workload_names()
+            ))
+        }
+    }
+    Ok(package(workload, &tracer))
+}
+
+/// Derives the metrics registry from the captured records and renders
+/// the three artifact views.
+fn package(workload: &str, tracer: &Tracer) -> ProfileArtifact {
+    let metrics = Metrics::new();
+    for layer in Layer::ALL {
+        metrics.count(
+            &format!("records.{}", layer.cat()),
+            tracer
+                .records()
+                .iter()
+                .filter(|r| r.layer() == layer)
+                .count() as u64,
+        );
+    }
+    metrics.declare_histogram(
+        "span_secs",
+        &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0],
+    );
+    for s in span_totals(tracer) {
+        // One sample per span instance at the mean instance length keeps
+        // the histogram deterministic and cheap.
+        for _ in 0..s.count {
+            metrics.record("span_secs", s.total / s.count as f64);
+        }
+    }
+    ProfileArtifact {
+        workload: workload.to_string(),
+        trace_json: chrome_trace_json(tracer, Some(&metrics)),
+        top: top_table(tracer, 12),
+        summary: metrics.summary(),
+    }
+}
+
+impl ProfileArtifact {
+    /// Validates the trace document: parses as JSON and has a non-empty
+    /// `traceEvents` array. Returns the event count.
+    pub fn validate(&self) -> Result<usize, String> {
+        let doc = pvc_core::json::parse(&self.trace_json)
+            .map_err(|e| format!("profile trace is not valid JSON: {e}"))?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| "profile trace has no traceEvents array".to_string())?;
+        if events.is_empty() {
+            return Err("profile trace has an empty traceEvents array".to_string());
+        }
+        Ok(events.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn every_catalog_workload_runs_and_validates() {
+        for (name, _) in WORKLOADS {
+            let art = run(name, System::Aurora).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let n = art.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(n > 0, "{name}: empty trace");
+            assert!(art.top.contains("Where did the (virtual) time go"));
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_rejected_with_catalog() {
+        let err = run("bogus", System::Aurora).unwrap_err();
+        assert!(err.contains("unknown profile workload 'bogus'"));
+        assert!(err.contains("pcie-h2d"));
+    }
+
+    #[test]
+    fn pcie_h2d_profile_covers_three_layers() {
+        let art = run("pcie-h2d", System::Aurora).unwrap();
+        let doc = pvc_core::json::parse(&art.trace_json).unwrap();
+        let cats: BTreeSet<String> = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .filter_map(|e| e.get("cat"))
+            .filter_map(|c| c.as_str().map(str::to_string))
+            .collect();
+        for want in ["simrt", "fabric", "workload"] {
+            assert!(cats.contains(want), "missing layer {want} in {cats:?}");
+        }
+    }
+
+    #[test]
+    fn profiles_are_byte_deterministic() {
+        for name in ["pcie-h2d", "cloverleaf"] {
+            let a = run(name, System::Aurora).unwrap();
+            let b = run(name, System::Aurora).unwrap();
+            assert_eq!(a.trace_json, b.trace_json, "{name} trace not reproducible");
+            assert_eq!(a.top, b.top);
+            assert_eq!(a.summary, b.summary);
+        }
+    }
+}

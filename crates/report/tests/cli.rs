@@ -66,6 +66,48 @@ fn scaling_summary_prints_percentages() {
 }
 
 #[test]
+fn profile_pcie_h2d_is_byte_deterministic_and_spans_three_layers() {
+    let dir = std::env::temp_dir().join("pvc_cli_profile_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    for path in [&a, &b] {
+        let (stdout, _, ok) = reproduce(&["profile", "pcie-h2d", path.to_str().unwrap()]);
+        assert!(ok, "{stdout}");
+        assert!(stdout.contains("valid JSON"), "{stdout}");
+        assert!(stdout.contains("Where did the (virtual) time go"));
+    }
+    let ja = std::fs::read(&a).unwrap();
+    let jb = std::fs::read(&b).unwrap();
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "same workload twice must emit byte-identical traces");
+    // Spans from at least three layers of the stack (acceptance check).
+    let text = String::from_utf8(ja).unwrap();
+    for cat in ["\"cat\": \"simrt\"", "\"cat\": \"fabric\"", "\"cat\": \"workload\""] {
+        assert!(text.contains(cat), "missing {cat}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_without_workload_lists_catalog() {
+    let (_, stderr, ok) = reproduce(&["profile"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage: reproduce profile"));
+    assert!(stderr.contains("pcie-h2d"));
+    assert!(stderr.contains("cloverleaf"));
+}
+
+#[test]
+fn profile_unknown_workload_fails_with_catalog() {
+    let (_, stderr, ok) = reproduce(&["profile", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown profile workload 'nope'"));
+    assert!(stderr.contains("miniqmc"));
+}
+
+#[test]
 fn csv_writes_artifacts_to_requested_dir() {
     let dir = std::env::temp_dir().join("pvc_cli_csv_test");
     let _ = std::fs::remove_dir_all(&dir);

@@ -14,12 +14,14 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::Time;
+use pvc_obs::{Layer, Tracer};
 
 type Handler = Box<dyn FnOnce(&mut EventSim)>;
 
 struct Scheduled {
     at: Time,
     seq: u64,
+    label: Option<&'static str>,
     handler: Handler,
 }
 
@@ -62,12 +64,29 @@ pub struct EventSim {
     seq: u64,
     queue: BinaryHeap<Scheduled>,
     processed: u64,
+    tracer: Tracer,
 }
 
 impl EventSim {
     /// Creates an empty simulator at t = 0.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a tracer: every dispatched event emits an instant on
+    /// the `simrt` lane (named by its schedule label when one was
+    /// given) plus an event-queue occupancy sample. Default is the
+    /// no-op sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (no-op sink unless [`set_tracer`] was
+    /// called) — handlers can emit their own spans through it.
+    ///
+    /// [`set_tracer`]: Self::set_tracer
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Current virtual time.
@@ -101,6 +120,29 @@ impl EventSim {
         self.queue.push(Scheduled {
             at,
             seq,
+            label: None,
+            handler: Box::new(handler),
+        });
+    }
+
+    /// Like [`schedule`](Self::schedule) with a dispatch label shown in
+    /// the trace.
+    pub fn schedule_labeled<F>(&mut self, at: Time, label: &'static str, handler: F)
+    where
+        F: FnOnce(&mut EventSim) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: {} < {}",
+            at,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            label: Some(label),
             handler: Box::new(handler),
         });
     }
@@ -140,6 +182,17 @@ impl EventSim {
                 debug_assert!(ev.at >= self.now);
                 self.now = ev.at;
                 self.processed += 1;
+                if self.tracer.enabled() {
+                    let t = self.now.as_secs();
+                    self.tracer.instant(
+                        Layer::Simrt,
+                        ev.label.unwrap_or("event.dispatch"),
+                        t,
+                        vec![("seq", (ev.seq as i64).into())],
+                    );
+                    self.tracer
+                        .sample(Layer::Simrt, "event_queue_depth", t, self.queue.len() as f64);
+                }
                 (ev.handler)(self);
                 true
             }
@@ -210,6 +263,37 @@ mod tests {
         assert!(!sim.is_idle());
         sim.run();
         assert_eq!(*fired.borrow(), 3);
+    }
+
+    #[test]
+    fn traced_dispatch_emits_instants_and_queue_depth() {
+        let tracer = Tracer::recording();
+        let mut sim = EventSim::new();
+        sim.set_tracer(tracer.clone());
+        sim.schedule_labeled(Time::from_secs(1.0), "tick", |_| {});
+        sim.schedule(Time::from_secs(2.0), |_| {});
+        sim.run();
+        let recs = tracer.records();
+        let names: Vec<_> = recs
+            .iter()
+            .filter_map(|r| match r {
+                pvc_obs::trace::Record::Instant { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["tick", "event.dispatch"]);
+        let depths: Vec<f64> = recs
+            .iter()
+            .filter_map(|r| match r {
+                pvc_obs::trace::Record::Sample { name, value, .. }
+                    if name == "event_queue_depth" =>
+                {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(depths, vec![1.0, 0.0]);
     }
 
     #[test]

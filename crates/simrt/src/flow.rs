@@ -21,10 +21,51 @@
 //! arrival or completion, (3) debit transferred bytes.
 
 use crate::time::Time;
+use pvc_obs::{Layer, Tracer};
+use std::fmt;
 
 /// Identifies a capacity-limited resource in the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResourceId(pub usize);
+
+/// Rejection reasons for malformed network inputs. The panicking
+/// builders ([`FlowNetwork::add_resource`], [`FlowNetwork::add_flow`])
+/// surface these through their panic message; the `try_` variants
+/// return them so callers and tests can match on variants instead of
+/// message strings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowError {
+    /// A flow path listed no resources.
+    EmptyPath,
+    /// `bytes` was zero, negative or non-finite.
+    NonPositiveBytes(f64),
+    /// `latency` was negative or non-finite.
+    NegativeLatency(f64),
+    /// A path referenced a resource id that was never added.
+    UnknownResource(ResourceId),
+    /// A resource capacity was zero, negative or non-finite.
+    NonPositiveCapacity(f64),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::EmptyPath => write!(f, "flow path must not be empty"),
+            FlowError::NonPositiveBytes(b) => {
+                write!(f, "flow bytes must be positive, got {b}")
+            }
+            FlowError::NegativeLatency(l) => {
+                write!(f, "flow latency must be non-negative, got {l}")
+            }
+            FlowError::UnknownResource(r) => write!(f, "unknown resource {r:?}"),
+            FlowError::NonPositiveCapacity(c) => {
+                write!(f, "resource capacity must be positive and finite, got {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
 
 /// Identifies a flow returned by [`FlowNetwork::add_flow`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,6 +136,9 @@ pub struct RateSegment {
 struct Resource {
     capacity: f64, // bytes/s
     enabled: bool,
+    /// Trace label ("pcie.h2d[g0]", "rc.d2h[s1]", …); defaults to
+    /// "res<i>".
+    label: String,
 }
 
 #[derive(Debug, Clone)]
@@ -103,6 +147,8 @@ struct Flow {
     remaining: f64,
     began: Option<Time>,
     finished: Option<Time>,
+    /// Trace label; defaults to "flow<i>".
+    label: String,
 }
 
 /// A fluid-flow network. Build resources with [`add_resource`], submit
@@ -129,6 +175,10 @@ struct Flow {
 pub struct FlowNetwork {
     resources: Vec<Resource>,
     flows: Vec<Flow>,
+    tracer: Tracer,
+    /// Virtual-time offset added to every trace record, so several
+    /// sequential network runs land on one shared timeline.
+    trace_epoch: f64,
 }
 
 impl FlowNetwork {
@@ -137,20 +187,51 @@ impl FlowNetwork {
         Self::default()
     }
 
+    /// Attaches a tracer; records are shifted by `epoch` seconds of
+    /// virtual time. The default is the no-op sink (near-zero cost).
+    pub fn set_tracer(&mut self, tracer: Tracer, epoch: f64) {
+        assert!(
+            epoch.is_finite() && epoch >= 0.0,
+            "trace epoch must be a valid virtual time, got {epoch}"
+        );
+        self.tracer = tracer;
+        self.trace_epoch = epoch;
+    }
+
     /// Adds a resource with `capacity` bytes/second; returns its id.
     ///
     /// # Panics
     /// Panics if `capacity` is not positive and finite.
     pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
-        assert!(
-            capacity.is_finite() && capacity > 0.0,
-            "resource capacity must be positive and finite, got {capacity}"
-        );
+        self.try_add_resource(capacity)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`add_resource`](Self::add_resource).
+    pub fn try_add_resource(&mut self, capacity: f64) -> Result<ResourceId, FlowError> {
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(FlowError::NonPositiveCapacity(capacity));
+        }
+        let label = format!("res{}", self.resources.len());
         self.resources.push(Resource {
             capacity,
             enabled: true,
+            label,
         });
-        ResourceId(self.resources.len() - 1)
+        Ok(ResourceId(self.resources.len() - 1))
+    }
+
+    /// Adds a resource with a trace label (shown on its utilization
+    /// counter track).
+    pub fn add_resource_labeled(&mut self, capacity: f64, label: impl Into<String>) -> ResourceId {
+        let id = self.add_resource(capacity);
+        self.resources[id.0].label = label.into();
+        id
+    }
+
+    /// The trace label of a resource.
+    pub fn resource_label(&self, id: ResourceId) -> &str {
+        &self.resources[id.0].label
     }
 
     /// Disables a resource (failure injection): flows whose path contains
@@ -172,6 +253,8 @@ impl FlowNetwork {
         FlowNetwork {
             resources: self.resources.clone(),
             flows: Vec::new(),
+            tracer: Tracer::disabled(),
+            trace_epoch: 0.0,
         }
     }
 
@@ -181,27 +264,41 @@ impl FlowNetwork {
     /// Panics on empty paths, non-positive byte counts, out-of-range
     /// resource ids, or negative latency.
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
-        assert!(!spec.path.is_empty(), "flow path must not be empty");
-        assert!(
-            spec.bytes.is_finite() && spec.bytes > 0.0,
-            "flow bytes must be positive, got {}",
-            spec.bytes
-        );
-        assert!(
-            spec.latency.is_finite() && spec.latency >= 0.0,
-            "flow latency must be non-negative"
-        );
-        for r in &spec.path {
-            assert!(r.0 < self.resources.len(), "unknown resource {:?}", r);
+        self.try_add_flow(spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`add_flow`](Self::add_flow): returns the precise
+    /// [`FlowError`] variant instead of panicking.
+    pub fn try_add_flow(&mut self, spec: FlowSpec) -> Result<FlowId, FlowError> {
+        if spec.path.is_empty() {
+            return Err(FlowError::EmptyPath);
+        }
+        if !(spec.bytes.is_finite() && spec.bytes > 0.0) {
+            return Err(FlowError::NonPositiveBytes(spec.bytes));
+        }
+        if !(spec.latency.is_finite() && spec.latency >= 0.0) {
+            return Err(FlowError::NegativeLatency(spec.latency));
+        }
+        if let Some(&r) = spec.path.iter().find(|r| r.0 >= self.resources.len()) {
+            return Err(FlowError::UnknownResource(r));
         }
         let remaining = spec.bytes;
+        let label = format!("flow{}", self.flows.len());
         self.flows.push(Flow {
             spec,
             remaining,
             began: None,
             finished: None,
+            label,
         });
-        FlowId(self.flows.len() - 1)
+        Ok(FlowId(self.flows.len() - 1))
+    }
+
+    /// Submits a flow with a trace label (shown as its span name).
+    pub fn add_flow_labeled(&mut self, spec: FlowSpec, label: impl Into<String>) -> FlowId {
+        let id = self.add_flow(spec);
+        self.flows[id.0].label = label.into();
+        id
     }
 
     /// Max–min fair rate allocation over currently-active flows.
@@ -285,6 +382,69 @@ impl FlowNetwork {
         (outcomes, trace)
     }
 
+    /// Emits one rate-resegmentation instant plus per-resource
+    /// saturation gauges for the segment `[now, now+dt]`. No-op when
+    /// the tracer is disabled.
+    fn trace_segment(&self, now: Time, dt: f64, active: &[usize], rates: &[f64]) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let t = self.trace_epoch + now.as_secs();
+        self.tracer.instant(
+            Layer::Simrt,
+            "flow.reseg",
+            t,
+            vec![
+                ("active_flows", active.len().into()),
+                ("segment_secs", dt.into()),
+            ],
+        );
+        // Per-resource utilization: allocated rate over capacity. Only
+        // resources touched by an active flow get a sample — idle
+        // tracks stay flat at their last value.
+        let mut alloc = vec![0.0f64; self.resources.len()];
+        let mut touched = vec![false; self.resources.len()];
+        for (ai, &fi) in active.iter().enumerate() {
+            for r in &self.flows[fi].spec.path {
+                alloc[r.0] += rates[ai];
+                touched[r.0] = true;
+            }
+        }
+        for (ri, res) in self.resources.iter().enumerate() {
+            if touched[ri] {
+                self.tracer.sample(
+                    Layer::Simrt,
+                    format!("util:{}", res.label),
+                    t,
+                    alloc[ri] / res.capacity,
+                );
+            }
+        }
+    }
+
+    /// Emits the completed-transfer span for flow `fi`. No-op when the
+    /// tracer is disabled.
+    fn trace_flow_done(&self, fi: usize, finished: Time) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let f = &self.flows[fi];
+        let began = f.began.expect("finished flow must have begun");
+        let dt = finished - began;
+        let bw = if dt > 0.0 { f.spec.bytes / dt } else { f64::INFINITY };
+        self.tracer.span(
+            Layer::Simrt,
+            f.label.clone(),
+            self.trace_epoch + began.as_secs(),
+            self.trace_epoch + finished.as_secs(),
+            vec![
+                ("bytes", f.spec.bytes.into()),
+                ("avg_gbs", (bw / 1e9).into()),
+                ("resources", f.spec.path.len().into()),
+            ],
+        );
+    }
+
     fn run_inner(
         &mut self,
         mut trace: Option<&mut Vec<RateSegment>>,
@@ -360,6 +520,7 @@ impl FlowNetwork {
                     });
                 }
             }
+            self.trace_segment(now, dt, &active, &rates);
 
             now += dt;
             for (ai, &fi) in active.iter().enumerate() {
@@ -368,6 +529,7 @@ impl FlowNetwork {
                 if f.remaining <= EPS_BYTES {
                     f.remaining = 0.0;
                     f.finished = Some(now);
+                    self.trace_flow_done(fi, now);
                 }
             }
         }
@@ -556,5 +718,105 @@ mod tests {
     fn zero_capacity_rejected() {
         let mut net = FlowNetwork::new();
         net.add_resource(0.0);
+    }
+
+    #[test]
+    fn traced_network_emits_spans_and_gauges() {
+        use pvc_obs::Tracer;
+        let mut net = FlowNetwork::new();
+        let tracer = Tracer::recording();
+        net.set_tracer(tracer.clone(), 0.0);
+        let link = net.add_resource_labeled(100.0, "link");
+        let a = net.add_flow_labeled(spec(0.0, 50.0, vec![link]), "a");
+        let b = net.add_flow(spec(0.0, 150.0, vec![link]));
+        let done = net.run();
+        assert!(done.contains_key(&a) && done.contains_key(&b));
+        let recs = tracer.records();
+        // Two segments (before/after a finishes) -> two reseg instants
+        // plus two utilization samples, then two completion spans.
+        let spans: Vec<_> = recs
+            .iter()
+            .filter_map(|r| match r {
+                pvc_obs::trace::Record::Span { name, t0, t1, .. } => {
+                    Some((name.clone(), *t0, *t1))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].0, "a");
+        assert!((spans[0].2 - 1.0).abs() < 1e-9);
+        assert_eq!(spans[1].0, "flow1");
+        let samples: Vec<_> = recs
+            .iter()
+            .filter_map(|r| match r {
+                pvc_obs::trace::Record::Sample { name, value, .. } => {
+                    Some((name.clone(), *value))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(samples.len(), 2, "one utilization sample per segment");
+        assert!(samples.iter().all(|(n, v)| n == "util:link" && (*v - 1.0).abs() < 1e-9));
+        assert!(recs.iter().any(|r| matches!(
+            r,
+            pvc_obs::trace::Record::Instant { name, .. } if name == "flow.reseg"
+        )));
+    }
+
+    #[test]
+    fn trace_epoch_shifts_timestamps() {
+        use pvc_obs::Tracer;
+        let mut net = FlowNetwork::new();
+        let tracer = Tracer::recording();
+        net.set_tracer(tracer.clone(), 10.0);
+        let link = net.add_resource(100.0);
+        net.add_flow(spec(0.0, 100.0, vec![link]));
+        net.run();
+        let recs = tracer.records();
+        assert!(recs.iter().all(|r| r.start() >= 10.0));
+    }
+
+    #[test]
+    fn untraced_run_is_unchanged() {
+        // The disabled tracer must not perturb outcomes (zero-cost
+        // hooks): identical results with and without tracing.
+        let build = |traced: bool| {
+            let mut net = FlowNetwork::new();
+            if traced {
+                net.set_tracer(pvc_obs::Tracer::recording(), 0.0);
+            }
+            let l1 = net.add_resource(100.0);
+            let l2 = net.add_resource(50.0);
+            let a = net.add_flow(spec(0.0, 1000.0, vec![l1]));
+            let c = net.add_flow(spec(0.5, 600.0, vec![l1, l2]));
+            let done = net.run();
+            (done[&a].finished, done[&c].finished)
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn try_variants_report_precise_errors() {
+        let mut net = FlowNetwork::new();
+        assert!(matches!(
+            net.try_add_resource(f64::NAN),
+            Err(FlowError::NonPositiveCapacity(c)) if c.is_nan()
+        ));
+        let link = net.try_add_resource(10.0).unwrap();
+        assert!(matches!(
+            net.try_add_flow(spec(0.0, -1.0, vec![link])),
+            Err(FlowError::NonPositiveBytes(b)) if b == -1.0
+        ));
+        assert!(matches!(
+            net.try_add_flow(spec(0.0, 1.0, vec![])),
+            Err(FlowError::EmptyPath)
+        ));
+        assert!(matches!(
+            net.try_add_flow(spec(0.0, 1.0, vec![ResourceId(9)])),
+            Err(FlowError::UnknownResource(ResourceId(9)))
+        ));
+        // A valid submission still works after rejections.
+        assert!(net.try_add_flow(spec(0.0, 1.0, vec![link])).is_ok());
     }
 }

@@ -21,5 +21,5 @@ pub mod flow;
 pub mod time;
 
 pub use event::EventSim;
-pub use flow::{FlowId, FlowNetwork, FlowSpec, RateSegment, ResourceId, TransferOutcome};
+pub use flow::{FlowError, FlowId, FlowNetwork, FlowSpec, RateSegment, ResourceId, TransferOutcome};
 pub use time::Time;

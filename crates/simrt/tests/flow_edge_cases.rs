@@ -3,7 +3,7 @@
 //! flows, single-resource saturation, simultaneous completion ties, and
 //! malformed-input rejection.
 
-use pvc_simrt::{FlowNetwork, FlowSpec, ResourceId, Time};
+use pvc_simrt::{FlowError, FlowNetwork, FlowSpec, ResourceId, Time};
 
 fn spec(start: f64, bytes: f64, path: Vec<ResourceId>) -> FlowSpec {
     FlowSpec {
@@ -86,43 +86,81 @@ fn identical_flows_tie_exactly() {
     assert!((done[&a].finished.as_secs() - 8.0).abs() < 1e-9);
 }
 
-/// Empty paths are rejected at submission time, not at run time.
+/// Empty paths are rejected at submission time, not at run time, with
+/// the precise [`FlowError`] variant rather than a free-form message.
 #[test]
-#[should_panic(expected = "flow path must not be empty")]
 fn empty_path_rejected_at_add() {
     let mut net = FlowNetwork::new();
     let _ = net.add_resource(100.0);
-    net.add_flow(spec(0.0, 1.0, vec![]));
+    assert!(matches!(
+        net.try_add_flow(spec(0.0, 1.0, vec![])),
+        Err(FlowError::EmptyPath)
+    ));
 }
 
-/// Non-positive byte counts are rejected.
+/// Non-positive byte counts are rejected, carrying the offending value.
 #[test]
-#[should_panic(expected = "flow bytes must be positive")]
 fn zero_bytes_rejected() {
     let mut net = FlowNetwork::new();
     let link = net.add_resource(100.0);
-    net.add_flow(spec(0.0, 0.0, vec![link]));
+    assert!(matches!(
+        net.try_add_flow(spec(0.0, 0.0, vec![link])),
+        Err(FlowError::NonPositiveBytes(b)) if b == 0.0
+    ));
+    assert!(matches!(
+        net.try_add_flow(spec(0.0, -3.0, vec![link])),
+        Err(FlowError::NonPositiveBytes(b)) if b == -3.0
+    ));
 }
 
-/// Negative latency is rejected.
+/// Negative latency is rejected, carrying the offending value.
 #[test]
-#[should_panic(expected = "flow latency must be non-negative")]
 fn negative_latency_rejected() {
     let mut net = FlowNetwork::new();
     let link = net.add_resource(100.0);
-    net.add_flow(FlowSpec {
-        start: Time::ZERO,
-        bytes: 1.0,
-        path: vec![link],
-        latency: -0.1,
-    });
+    let err = net
+        .try_add_flow(FlowSpec {
+            start: Time::ZERO,
+            bytes: 1.0,
+            path: vec![link],
+            latency: -0.1,
+        })
+        .unwrap_err();
+    assert!(matches!(err, FlowError::NegativeLatency(l) if l == -0.1));
 }
 
-/// Unknown resource ids are rejected.
+/// Unknown resource ids are rejected, naming the bad id.
 #[test]
-#[should_panic(expected = "unknown resource")]
 fn out_of_range_resource_rejected() {
     let mut net = FlowNetwork::new();
     let _ = net.add_resource(100.0);
-    net.add_flow(spec(0.0, 1.0, vec![ResourceId(7)]));
+    assert!(matches!(
+        net.try_add_flow(spec(0.0, 1.0, vec![ResourceId(7)])),
+        Err(FlowError::UnknownResource(ResourceId(7)))
+    ));
+}
+
+/// Non-positive or non-finite capacities are rejected.
+#[test]
+fn bad_capacity_rejected() {
+    let mut net = FlowNetwork::new();
+    assert!(matches!(
+        net.try_add_resource(0.0),
+        Err(FlowError::NonPositiveCapacity(c)) if c == 0.0
+    ));
+    assert!(matches!(
+        net.try_add_resource(f64::INFINITY),
+        Err(FlowError::NonPositiveCapacity(c)) if c.is_infinite()
+    ));
+}
+
+/// The panicking `add_flow` wrapper still fails loudly with the same
+/// message text the error variant renders, so call sites that cannot
+/// recover keep their crash semantics.
+#[test]
+#[should_panic(expected = "flow path must not be empty")]
+fn panicking_wrapper_preserves_message() {
+    let mut net = FlowNetwork::new();
+    let _ = net.add_resource(100.0);
+    net.add_flow(spec(0.0, 1.0, vec![]));
 }

@@ -110,7 +110,8 @@ fn self_transfer_rejected() {
     let node = System::Dawn.node();
     let fabric = NodeFabric::new(&node);
     let s = StackId::new(0, 0);
-    assert!(
-        std::panic::catch_unwind(move || fabric.d2d_path(s, s, RouteVia::Auto)).is_err()
-    );
+    assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        fabric.d2d_path(s, s, RouteVia::Auto)
+    }))
+    .is_err());
 }
