@@ -44,4 +44,36 @@ run cargo run --offline --release -p pvc-report --bin reproduce \
 test -s "$profile_dir/a.json"
 run cmp "$profile_dir/a.json" "$profile_dir/b.json"
 
+# 7. Serving: one-shot queries over three canned requests are
+#    byte-deterministic across processes, the warm round is served from
+#    the cache, and a saturated queue sheds with a typed Overloaded
+#    rejection instead of panicking or blocking.
+serve_dir="$(mktemp -d)"
+trap 'rm -rf "$profile_dir" "$serve_dir"' EXIT
+printf '{"kind":"table","id":2}' > "$serve_dir/r1.json"
+printf '{"kind":"figure","id":3}' > "$serve_dir/r2.json"
+printf '{"kind":"pcie","system":"aurora","modes":["h2d","d2h"]}' > "$serve_dir/r3.json"
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  query "$serve_dir/r1.json" "$serve_dir/r2.json" "$serve_dir/r3.json" \
+  > "$serve_dir/a.out" 2> /dev/null
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  query "$serve_dir/r1.json" "$serve_dir/r2.json" "$serve_dir/r3.json" \
+  > "$serve_dir/b.out" 2> /dev/null
+test -s "$serve_dir/a.out"
+run cmp "$serve_dir/a.out" "$serve_dir/b.out"
+# Warm round: all three answered from the cache (hit counter == 3).
+cargo run --offline --release -p pvc-report --bin reproduce \
+  query --rounds 2 --stats "$serve_dir/r1.json" "$serve_dir/r2.json" "$serve_dir/r3.json" \
+  > /dev/null 2> "$serve_dir/stats.txt"
+run grep -q 'counter serve.cache.hit = 3' "$serve_dir/stats.txt"
+# Overload: queue depth 1 with three distinct requests sheds two, exits 3.
+set +e
+cargo run --offline --release -p pvc-report --bin reproduce \
+  query --queue-depth 1 "$serve_dir/r1.json" "$serve_dir/r2.json" "$serve_dir/r3.json" \
+  > "$serve_dir/overload.out" 2> /dev/null
+overload_rc=$?
+set -e
+test "$overload_rc" -eq 3
+run grep -q '"kind": "overloaded"' "$serve_dir/overload.out"
+
 echo "ci: all gates green"

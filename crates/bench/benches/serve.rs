@@ -1,0 +1,92 @@
+//! Benchmarks of the `pvc-serve` query service: cache-hit vs cache-miss
+//! throughput, single-flight batching, and the sweep coalescing factor.
+//!
+//! Run with `cargo bench -p pvc-bench --bench serve`. The warm/cold
+//! latency table in EXPERIMENTS.md §Serving is produced by this bench.
+
+use pvc_bench::{criterion_group, criterion_main, Criterion};
+use pvc_report::serve::CatalogExecutor;
+use pvc_serve::{ServeConfig, Service};
+use std::hint::black_box;
+
+const TABLE2: &str = r#"{"kind":"table","id":2}"#;
+const SWEEP_A: &str = r#"{"kind":"pcie","system":"aurora","modes":["h2d","d2h"]}"#;
+const SWEEP_B: &str = r#"{"kind":"pcie","system":"aurora","modes":["d2h","bidir"]}"#;
+
+fn fresh() -> Service<CatalogExecutor> {
+    Service::new(CatalogExecutor, ServeConfig::default())
+}
+
+/// Cold path: every iteration starts an empty cache and recomputes the
+/// Table II simulation from scratch.
+fn serve_cache_miss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.bench_function("table2_cold_miss", |b| {
+        b.iter(|| {
+            let s = fresh();
+            black_box(s.handle_lines(&[TABLE2]));
+        })
+    });
+    g.finish();
+}
+
+/// Warm path: one shared service, the request is answered from the LRU
+/// cache. The miss/hit median ratio is the headline speedup of the
+/// serving layer.
+fn serve_cache_hit(c: &mut Criterion) {
+    let s = fresh();
+    s.handle_lines(&[TABLE2]); // warm
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(50);
+    g.bench_function("table2_warm_hit", |b| {
+        b.iter(|| black_box(s.handle_lines(&[TABLE2])))
+    });
+    g.finish();
+    assert!(s.metrics().counter("serve.cache.hit") > 0);
+}
+
+/// Single-flight: a batch of eight identical cold requests costs one
+/// computation, not eight.
+fn serve_singleflight(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.bench_function("table2_batch8_singleflight", |b| {
+        b.iter(|| {
+            let s = fresh();
+            black_box(s.handle_lines(&[TABLE2; 8]));
+        })
+    });
+    g.finish();
+}
+
+/// Overlapping PCIe sweeps: reports the measured coalescing factor
+/// (atoms requested / atoms executed) alongside the timing.
+fn serve_sweep_coalescing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.bench_function("pcie_sweeps_coalesced", |b| {
+        b.iter(|| {
+            let s = fresh();
+            black_box(s.handle_lines(&[SWEEP_A, SWEEP_B]));
+        })
+    });
+    g.finish();
+    let s = fresh();
+    s.handle_lines(&[SWEEP_A, SWEEP_B]);
+    let requested = s.metrics().counter("serve.atoms.requested");
+    let executed = s.metrics().counter("serve.atoms.executed");
+    println!(
+        "serve/pcie_sweeps_coalesced: coalescing factor {requested}/{executed} = {:.2}x",
+        requested as f64 / executed as f64
+    );
+}
+
+criterion_group!(
+    serve_benches,
+    serve_cache_miss,
+    serve_cache_hit,
+    serve_singleflight,
+    serve_sweep_coalescing,
+);
+criterion_main!(serve_benches);

@@ -63,6 +63,68 @@ impl Json {
         out
     }
 
+    /// A recursive copy with every object's keys sorted (stable: equal
+    /// keys keep their relative order). Arrays keep their order —
+    /// position is meaningful there.
+    pub fn sorted(&self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.iter().map(Json::sorted).collect()),
+            Json::Obj(pairs) => {
+                let mut sorted: Vec<(String, Json)> = pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.sorted()))
+                    .collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(sorted)
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Canonical form: sorted keys at every level, 2-space indent.
+    /// Two structurally equal documents always canonicalise to the same
+    /// bytes, which makes this the right input for content hashes.
+    pub fn canonical(&self) -> String {
+        self.sorted().pretty()
+    }
+
+    /// Single-line rendering with no whitespace, for line-delimited
+    /// protocols. Key order is preserved as stored; combine with
+    /// [`Json::sorted`] when canonical bytes are needed.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -486,6 +548,66 @@ mod tests {
         }
         let e = parse("[1,]").unwrap_err();
         assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn canonical_sorts_keys_at_every_level() {
+        let j = Json::obj(vec![
+            ("zeta", Json::obj(vec![("b", Json::Int(2)), ("a", Json::Int(1))])),
+            ("alpha", Json::Int(0)),
+        ]);
+        let expected =
+            "{\n  \"alpha\": 0,\n  \"zeta\": {\n    \"a\": 1,\n    \"b\": 2\n  }\n}";
+        assert_eq!(j.canonical(), expected);
+        // Structural equality ⇒ identical canonical bytes, whatever the
+        // insertion order was.
+        let permuted = Json::obj(vec![
+            ("alpha", Json::Int(0)),
+            ("zeta", Json::obj(vec![("a", Json::Int(1)), ("b", Json::Int(2))])),
+        ]);
+        assert_eq!(j.canonical(), permuted.canonical());
+    }
+
+    #[test]
+    fn canonical_keeps_array_order() {
+        let j = Json::Arr(vec![Json::Int(3), Json::Int(1), Json::Int(2)]);
+        assert_eq!(j.canonical(), "[\n  3,\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let j = Json::obj(vec![
+            ("name", Json::str("Aurora")),
+            ("peaks", Json::Arr(vec![Json::Num(17.5), Json::Int(-3), Json::Null])),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let c = j.compact();
+        assert_eq!(c, r#"{"name":"Aurora","peaks":[17.5,-3,null],"empty":{}}"#);
+        assert!(!c.contains('\n'));
+        assert_eq!(parse(&c).unwrap(), j);
+    }
+
+    #[test]
+    fn escaping_edge_cases_round_trip() {
+        // Quote and backslash must be escaped; forward slash must NOT
+        // be (both plain and escaped forms parse to the same string);
+        // BMP non-ASCII passes through raw (no \u escapes needed).
+        let cases = [
+            ("quote\"backslash\\", "\"quote\\\"backslash\\\\\""),
+            ("a/b", "\"a/b\""),
+            ("dash – é 中", "\"dash – é 中\""),
+            ("bell\u{7}del\u{1f}", "\"bell\\u0007del\\u001f\""),
+        ];
+        for (raw, rendered) in cases {
+            let j = Json::str(raw);
+            assert_eq!(j.compact(), rendered);
+            assert_eq!(parse(&j.pretty()).unwrap(), j, "{raw:?}");
+            assert_eq!(parse(&j.compact()).unwrap(), j, "{raw:?}");
+        }
+        // Escaped solidus from foreign writers is accepted on input.
+        assert_eq!(parse(r#""a\/b""#).unwrap(), Json::str("a/b"));
+        // \u escapes for BMP chars parse to the raw char and re-render raw.
+        assert_eq!(parse("\"\\u2013\"").unwrap().compact(), "\"–\"");
     }
 
     #[test]

@@ -12,20 +12,30 @@
 //!
 //! The worker count defaults to `std::thread::available_parallelism`
 //! and can be pinned with the `PVC_THREADS` environment variable
-//! (`PVC_THREADS=1` forces fully sequential execution).
+//! (`PVC_THREADS=1` forces fully sequential execution; `PVC_THREADS=0`
+//! is treated as 1, never as a zero-worker pool).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads used by the helpers.
 pub fn threads() -> usize {
     if let Ok(v) = std::env::var("PVC_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+        if let Some(n) = parse_thread_override(&v) {
+            return n;
         }
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Interprets a `PVC_THREADS` value. `PVC_THREADS=0` means "no
+/// parallelism", i.e. one worker — never a zero-thread pool that would
+/// spawn zero-chunk work. Unparseable values yield `None` (fall back to
+/// `available_parallelism`).
+fn parse_thread_override(raw: &str) -> Option<usize> {
+    let n = raw.trim().parse::<usize>().ok()?;
+    Some(n.max(1))
 }
 
 /// Deterministic chunk size for `n` items: boundaries depend only on
@@ -255,5 +265,19 @@ mod tests {
     #[test]
     fn threads_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn pvc_threads_zero_means_one_worker() {
+        // Regression: PVC_THREADS=0 must degrade to sequential (1), not
+        // a zero-worker pool that spawns zero-chunk work.
+        assert_eq!(parse_thread_override("0"), Some(1));
+        assert_eq!(parse_thread_override("1"), Some(1));
+        assert_eq!(parse_thread_override("8"), Some(8));
+        assert_eq!(parse_thread_override(" 2 "), Some(2), "whitespace trimmed");
+        // Garbage falls back to the platform default.
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("many"), None);
+        assert_eq!(parse_thread_override("-3"), None);
     }
 }

@@ -178,6 +178,23 @@ impl Metrics {
         self.reg.borrow().names.is_empty()
     }
 
+    /// Insertion-ordered snapshot of every counter whose name starts
+    /// with `prefix` (empty prefix = all counters). Lets a subsystem
+    /// export just its own namespace — the serve frontends print
+    /// `counters("serve.")` for `--stats`.
+    pub fn counters(&self, prefix: &str) -> Vec<(String, u64)> {
+        let r = self.reg.borrow();
+        r.names
+            .iter()
+            .zip(r.instruments.iter())
+            .filter(|(name, _)| name.starts_with(prefix))
+            .filter_map(|(name, inst)| match inst {
+                Instrument::Counter { value } => Some((name.clone(), *value)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Plain-text summary, one line per instrument, registration order.
     pub fn summary(&self) -> String {
         let r = self.reg.borrow();
@@ -311,6 +328,23 @@ mod tests {
         let zi = s.find("z_first").unwrap();
         let ai = s.find("a_second").unwrap();
         assert!(zi < ai, "insertion order, not alphabetical");
+    }
+
+    #[test]
+    fn counters_snapshot_filters_by_prefix_in_order() {
+        let m = Metrics::new();
+        m.count("serve.cache.hit", 2);
+        m.gauge("serve.queue", 1.0); // not a counter: excluded
+        m.count("other.total", 9);
+        m.count("serve.cache.miss", 1);
+        assert_eq!(
+            m.counters("serve."),
+            vec![
+                ("serve.cache.hit".to_string(), 2),
+                ("serve.cache.miss".to_string(), 1),
+            ]
+        );
+        assert_eq!(m.counters("").len(), 3, "empty prefix = every counter");
     }
 
     #[test]

@@ -4,14 +4,28 @@
 //! ```text
 //! reproduce [table1..table6|fig1..fig4|experiments|json|conformance|validate|all]
 //! reproduce profile <workload> [outfile]
+//! reproduce query [--stats] [--rounds N] [--queue-depth N] [--cache-cap N] <request.json>...
+//! reproduce serve [--queue-depth N] [--cache-cap N] [--tcp ADDR]
 //! ```
 //! With no argument, prints everything. `profile` runs one workload
 //! under the deterministic virtual-time tracer and writes a Chrome-trace
 //! JSON file (default `profile-<workload>.json`), then prints the top-N
 //! span table and the metrics summary.
+//!
+//! `query` is the one-shot service frontend: every file is one request
+//! document, all files form one admitted batch, and the canonical
+//! response envelopes print in order (`--rounds 2` replays the batch to
+//! exercise the cache; `--stats` dumps the `serve.*` counters to
+//! stderr). `serve` is the long-running frontend: line-delimited JSON
+//! requests on stdin (or a TCP socket with `--tcp`), one compact JSON
+//! response line per request; a line holding a JSON array is served as
+//! one batch and answered with one array line.
 
 use pvc_memsim::LatsConfig;
+use pvc_report::serve::{CatalogExecutor, CANNED_REQUESTS};
 use pvc_report::{experiments, figdata, tables};
+use pvc_serve::{Request, ServeConfig, Service};
+use std::io::{BufRead, Write};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -140,6 +154,12 @@ fn main() {
             out.push('\n');
             out.push_str(&artifact.summary);
         }
+        "query" => {
+            std::process::exit(run_query(&args[1..]));
+        }
+        "serve" => {
+            std::process::exit(run_serve(&args[1..]));
+        }
         "conformance" => match pvc_report::conformance::verdict() {
             Ok(_) => out.push_str(&pvc_report::conformance::markdown()),
             Err(msg) => {
@@ -174,10 +194,194 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling, profile <workload> or all"
+                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling, profile <workload>, query <request.json>.., serve or all"
             );
             std::process::exit(2);
         }
     }
     print!("{out}");
+}
+
+/// Service knobs shared by the `query` and `serve` frontends.
+struct ServeFlags {
+    cfg: ServeConfig,
+    stats: bool,
+    rounds: usize,
+    tcp: Option<String>,
+    files: Vec<String>,
+}
+
+fn parse_serve_flags(args: &[String]) -> Result<ServeFlags, String> {
+    let mut f = ServeFlags {
+        cfg: ServeConfig::default(),
+        stats: false,
+        rounds: 1,
+        tcp: None,
+        files: Vec::new(),
+    };
+    fn num(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<usize, String> {
+        it.next()
+            .ok_or_else(|| format!("{name} needs a value"))?
+            .parse::<usize>()
+            .map_err(|_| format!("{name} needs an unsigned integer"))
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stats" => f.stats = true,
+            "--rounds" => f.rounds = num(&mut it, "--rounds")?.max(1),
+            "--queue-depth" => f.cfg.queue_depth = num(&mut it, "--queue-depth")?,
+            "--cache-cap" => f.cfg.cache_capacity = num(&mut it, "--cache-cap")?,
+            "--budget" => f.cfg.default_budget = num(&mut it, "--budget")? as u64,
+            "--tcp" => {
+                f.tcp = Some(
+                    it.next().ok_or("--tcp needs an address")?.clone(),
+                )
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'"))
+            }
+            path => f.files.push(path.to_string()),
+        }
+    }
+    Ok(f)
+}
+
+/// `reproduce query`: one-shot batch, canonical envelopes on stdout.
+/// Exit 0 when every envelope carries a result, 3 when any was
+/// rejected or failed, 2 on usage errors.
+fn run_query(args: &[String]) -> i32 {
+    let flags = match parse_serve_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if flags.files.is_empty() {
+        eprintln!("usage: reproduce query [--stats] [--rounds N] [--queue-depth N] [--cache-cap N] <request.json>...");
+        eprintln!("each file holds one JSON request object, for example:");
+        for r in CANNED_REQUESTS {
+            eprintln!("  {r}");
+        }
+        return 2;
+    }
+    let mut texts = Vec::with_capacity(flags.files.len());
+    for path in &flags.files {
+        match std::fs::read_to_string(path) {
+            Ok(t) => texts.push(t),
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return 2;
+            }
+        }
+    }
+    let service = Service::new(CatalogExecutor, flags.cfg);
+    let mut all_ok = true;
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    for _ in 0..flags.rounds {
+        let batch: Vec<_> = texts.iter().map(|t| Request::parse(t)).collect();
+        for envelope in service.handle_batch(batch) {
+            all_ok &= envelope.get("result").is_some();
+            if writeln!(w, "{}", envelope.canonical()).is_err() {
+                return 1;
+            }
+        }
+    }
+    if flags.stats {
+        print_serve_stats(&service);
+    }
+    if all_ok {
+        0
+    } else {
+        3
+    }
+}
+
+/// The `serve.*` counter namespace on stderr (same line format as the
+/// full metrics summary, filtered to this service's instruments).
+fn print_serve_stats(service: &Service<CatalogExecutor>) {
+    for (name, value) in service.metrics().counters("serve.") {
+        eprintln!("counter {name} = {value}");
+    }
+}
+
+/// One line-delimited session: requests in, compact envelopes out. A
+/// line holding a JSON array is served as one batch and answered with
+/// one array line.
+fn serve_session(
+    service: &Service<CatalogExecutor>,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let reply = if line.starts_with('[') {
+            let batch = match pvc_core::json::parse(line) {
+                Ok(pvc_core::Json::Arr(items)) => {
+                    items.into_iter().map(Request::from_json).collect()
+                }
+                Ok(_) => unreachable!("starts with '['"),
+                Err(e) => vec![Err(pvc_serve::ServeError::BadRequest(e.to_string()))],
+            };
+            pvc_core::Json::Arr(service.handle_batch(batch)).compact()
+        } else {
+            service.handle_lines(&[line]).remove(0).compact()
+        };
+        writeln!(writer, "{reply}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// `reproduce serve`: long-running loop on stdin (default) or TCP.
+fn run_serve(args: &[String]) -> i32 {
+    let flags = match parse_serve_flags(args) {
+        Ok(f) if f.files.is_empty() => f,
+        Ok(_) => {
+            eprintln!("serve takes no file arguments; pipe requests to stdin or use --tcp");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let service = Service::new(CatalogExecutor, flags.cfg);
+    let result = match &flags.tcp {
+        None => {
+            let stdin = std::io::stdin();
+            serve_session(&service, stdin.lock(), std::io::stdout().lock())
+        }
+        Some(addr) => serve_tcp(&service, addr),
+    };
+    if flags.stats {
+        print_serve_stats(&service);
+    }
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            1
+        }
+    }
+}
+
+/// Accepts connections sequentially; one session each, shared cache.
+fn serve_tcp(service: &Service<CatalogExecutor>, addr: &str) -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    eprintln!("serving on {}", listener.local_addr()?);
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        if let Err(e) = serve_session(service, reader, stream) {
+            eprintln!("connection ended: {e}");
+        }
+    }
+    Ok(())
 }

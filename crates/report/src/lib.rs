@@ -11,7 +11,9 @@
 //! * [`profile`] — `reproduce profile <workload>`: deterministic
 //!   virtual-time Chrome-trace profiles of the simulated workloads;
 //! * [`conformance`] — the `pvc-validate` golden-expectation run
-//!   rendered as a report section (and the CLI gate's verdict).
+//!   rendered as a report section (and the CLI gate's verdict);
+//! * [`serve`] — the `pvc-serve` catalog executor and request schema
+//!   behind `reproduce serve` / `reproduce query`.
 //!
 //! The `reproduce` binary (in `src/bin`) prints any or all of them.
 
@@ -25,4 +27,5 @@ pub mod figdata;
 pub mod profile;
 pub mod published;
 pub mod render;
+pub mod serve;
 pub mod tables;

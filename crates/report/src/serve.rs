@@ -1,0 +1,412 @@
+//! The paper-catalog executor behind `reproduce serve` / `reproduce
+//! query`: the request schema mapping JSON queries onto the table,
+//! figure, ablation, experiment and profile generators.
+//!
+//! Request kinds (all JSON objects; `budget` is an optional cost budget
+//! on any of them):
+//!
+//! | request | result |
+//! |---|---|
+//! | `{"kind":"table","id":1..6}` | rendered table text |
+//! | `{"kind":"figure","id":1..4}` | figure text (Figure 1 as CSV) |
+//! | `{"kind":"ablation","name":"governor"\|"pcie"\|"congestion"\|"plane"\|"scaling"}` | ablation table text |
+//! | `{"kind":"experiments"}` | the paper-vs-model record, structured |
+//! | `{"kind":"conformance"}` | golden-expectation verdict line |
+//! | `{"kind":"devices"}` | clinfo-style model dump, structured |
+//! | `{"kind":"profile","workload":W,"system":"aurora"\|"dawn"}` | profile top table + metrics summary |
+//! | `{"kind":"pcie","system":S,"modes":["h2d","d2h","bidir"]}` | bandwidth triplets per mode (sweep) |
+//!
+//! The `pcie` kind is the coalescing showcase: each `(system, mode)`
+//! pair is one atom, so overlapping sweeps in a batch simulate each
+//! pair exactly once. Every other kind is a single atom and benefits
+//! from single-flight dedup and the LRU cache.
+
+use crate::{ablations, experiments, figdata, profile, tables};
+use pvc_arch::System;
+use pvc_core::{json, Json};
+use pvc_memsim::LatsConfig;
+use pvc_microbench::pcie::{self, PcieMode};
+use pvc_serve::{Atom, Executor, Request};
+
+/// The executor serving the paper catalog.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CatalogExecutor;
+
+/// Deterministic cost estimates in abstract units (roughly: simulated
+/// passes times their relative weight). Compared against request
+/// budgets at admission.
+fn kind_cost(req: &Request) -> u64 {
+    match req.kind() {
+        "devices" => 1,
+        "table" => 3,
+        "figure" => match req.get("id") {
+            Some(Json::Int(1)) => 5, // Figure 1 runs the lats cache sweep
+            _ => 3,
+        },
+        "ablation" => 4,
+        "profile" => 8,
+        "pcie" => {
+            let modes = req.get("modes").and_then(Json::as_array).map_or(1, <[Json]>::len);
+            2 * modes.max(1) as u64
+        }
+        "experiments" | "conformance" => 12,
+        _ => 1,
+    }
+}
+
+fn system_from(req: &Request) -> Result<System, String> {
+    match req.get("system") {
+        None => Ok(System::Aurora),
+        Some(Json::Str(s)) => match s.as_str() {
+            "aurora" => Ok(System::Aurora),
+            "dawn" => Ok(System::Dawn),
+            other => Err(format!("unknown system '{other}'; expected aurora or dawn")),
+        },
+        Some(other) => Err(format!("system must be a string, got {}", other.compact())),
+    }
+}
+
+fn system_name(sys: System) -> &'static str {
+    match sys {
+        System::Aurora => "aurora",
+        System::Dawn => "dawn",
+        _ => unreachable!("only PVC systems are served"),
+    }
+}
+
+fn mode_from(name: &str) -> Result<PcieMode, String> {
+    match name {
+        "h2d" => Ok(PcieMode::H2d),
+        "d2h" => Ok(PcieMode::D2h),
+        "bidir" => Ok(PcieMode::Bidirectional),
+        other => Err(format!("unknown pcie mode '{other}'; expected h2d, d2h or bidir")),
+    }
+}
+
+fn int_field(req: &Request, field: &str, lo: i64, hi: i64) -> Result<i64, String> {
+    match req.get(field) {
+        Some(Json::Int(n)) if (lo..=hi).contains(n) => Ok(*n),
+        Some(other) => Err(format!(
+            "'{field}' must be an integer in {lo}..={hi}, got {}",
+            other.compact()
+        )),
+        None => Err(format!("missing '{field}' field ({lo}..={hi})")),
+    }
+}
+
+impl Executor for CatalogExecutor {
+    fn cost(&self, req: &Request) -> u64 {
+        kind_cost(req)
+    }
+
+    fn atoms(&self, req: &Request) -> Result<Vec<Atom>, String> {
+        let single = |op: &str, params: Vec<(&str, Json)>| -> Vec<Atom> {
+            let mut pairs = vec![("op", Json::str(op))];
+            pairs.extend(params);
+            let params = Json::obj(pairs);
+            vec![Atom::new(format!("{op}:{}", params.compact()), params)]
+        };
+        match req.kind() {
+            "table" => {
+                let id = int_field(req, "id", 1, 6)?;
+                Ok(single("table", vec![("id", Json::Int(id))]))
+            }
+            "figure" => {
+                let id = int_field(req, "id", 1, 4)?;
+                Ok(single("figure", vec![("id", Json::Int(id))]))
+            }
+            "ablation" => {
+                let name = match req.get("name") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => return Err("ablation needs a string 'name'".into()),
+                };
+                if !["governor", "pcie", "congestion", "plane", "scaling"]
+                    .contains(&name.as_str())
+                {
+                    return Err(format!("unknown ablation '{name}'"));
+                }
+                Ok(single("ablation", vec![("name", Json::str(name))]))
+            }
+            "experiments" => Ok(single("experiments", vec![])),
+            "conformance" => Ok(single("conformance", vec![])),
+            "devices" => Ok(single("devices", vec![])),
+            "profile" => {
+                let sys = system_from(req)?;
+                let workload = match req.get("workload") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => return Err("profile needs a string 'workload'".into()),
+                };
+                if !profile::WORKLOADS.iter().any(|(n, _)| *n == workload) {
+                    return Err(format!(
+                        "unknown profile workload '{workload}'; expected one of: {}",
+                        profile::WORKLOADS
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+                Ok(single(
+                    "profile",
+                    vec![
+                        ("system", Json::str(system_name(sys))),
+                        ("workload", Json::str(workload)),
+                    ],
+                ))
+            }
+            "pcie" => {
+                let sys = system_from(req)?;
+                let Some(modes) = req.get("modes").and_then(Json::as_array) else {
+                    return Err("pcie sweep needs a 'modes' array".into());
+                };
+                if modes.is_empty() {
+                    return Err("pcie sweep needs at least one mode".into());
+                }
+                modes
+                    .iter()
+                    .map(|m| {
+                        let name = m.as_str().ok_or("modes must be strings")?;
+                        mode_from(name)?; // validate early, typed error
+                        let params = Json::obj(vec![
+                            ("op", Json::str("pcie")),
+                            ("system", Json::str(system_name(sys))),
+                            ("mode", Json::str(name)),
+                        ]);
+                        Ok(Atom::new(
+                            format!("pcie:{}:{name}", system_name(sys)),
+                            params,
+                        ))
+                    })
+                    .collect()
+            }
+            other => Err(format!(
+                "unknown request kind '{other}'; expected table, figure, ablation, \
+                 experiments, conformance, devices, profile or pcie"
+            )),
+        }
+    }
+
+    fn execute_atom(&self, atom: &Atom) -> Result<Json, String> {
+        let op = atom
+            .params
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("atom missing op")?;
+        let text = |s: String| Json::obj(vec![("text", Json::Str(s))]);
+        match op {
+            "table" => {
+                let Some(Json::Int(id)) = atom.params.get("id") else {
+                    return Err("table atom missing id".into());
+                };
+                Ok(text(match id {
+                    1 => tables::render_table1(),
+                    2 => tables::render_table2(),
+                    3 => tables::render_table3(),
+                    4 => tables::render_table4(),
+                    5 => tables::render_table5(),
+                    _ => tables::render_table6(),
+                }))
+            }
+            "figure" => {
+                let Some(Json::Int(id)) = atom.params.get("id") else {
+                    return Err("figure atom missing id".into());
+                };
+                Ok(match id {
+                    1 => Json::obj(vec![(
+                        "csv",
+                        Json::Str(figdata::figure1_csv(&LatsConfig::default())),
+                    )]),
+                    2 => text(figdata::render_figure2()),
+                    3 => text(figdata::render_figure3()),
+                    _ => text(figdata::render_figure4()),
+                })
+            }
+            "ablation" => {
+                let Some(name) = atom.params.get("name").and_then(Json::as_str) else {
+                    return Err("ablation atom missing name".into());
+                };
+                Ok(text(match name {
+                    "governor" => ablations::governor_ablation().render(),
+                    "pcie" => ablations::pcie_ablation().render(),
+                    "congestion" => ablations::congestion_ablation().render(),
+                    "plane" => ablations::plane_ablation().render(),
+                    _ => ablations::scaling_report().render(),
+                }))
+            }
+            "experiments" => json::parse(&experiments::json())
+                .map_err(|e| format!("experiments JSON failed to parse: {e}")),
+            "conformance" => {
+                let line = crate::conformance::verdict()?;
+                Ok(Json::obj(vec![("verdict", Json::Str(line.trim_end().to_string()))]))
+            }
+            "devices" => json::parse(&pvc_arch::query::systems_json())
+                .map_err(|e| format!("devices JSON failed to parse: {e}")),
+            "profile" => {
+                let sys = match atom.params.get("system").and_then(Json::as_str) {
+                    Some("dawn") => System::Dawn,
+                    _ => System::Aurora,
+                };
+                let Some(workload) = atom.params.get("workload").and_then(Json::as_str)
+                else {
+                    return Err("profile atom missing workload".into());
+                };
+                let artifact = profile::run(workload, sys)?;
+                let events = artifact.validate()?;
+                Ok(Json::obj(vec![
+                    ("workload", Json::str(workload)),
+                    ("system", Json::str(system_name(sys))),
+                    ("trace_events", Json::Int(events as i64)),
+                    ("top", Json::Str(artifact.top)),
+                    ("summary", Json::Str(artifact.summary)),
+                ]))
+            }
+            "pcie" => {
+                let sys = match atom.params.get("system").and_then(Json::as_str) {
+                    Some("dawn") => System::Dawn,
+                    _ => System::Aurora,
+                };
+                let mode = mode_from(
+                    atom.params.get("mode").and_then(Json::as_str).unwrap_or(""),
+                )?;
+                let bw = pcie::run(sys, mode).bandwidth;
+                Ok(Json::obj(vec![
+                    ("one_stack_gbs", Json::Num(bw.one_stack / 1e9)),
+                    ("one_pvc_gbs", Json::Num(bw.one_pvc / 1e9)),
+                    ("full_node_gbs", Json::Num(bw.full_node / 1e9)),
+                ]))
+            }
+            other => Err(format!("unknown atom op '{other}'")),
+        }
+    }
+
+    fn assemble(&self, req: &Request, mut parts: Vec<Json>) -> Result<Json, String> {
+        if req.kind() == "pcie" {
+            let modes = req
+                .get("modes")
+                .and_then(Json::as_array)
+                .ok_or("pcie request lost its modes")?;
+            let pairs = modes
+                .iter()
+                .zip(parts)
+                .map(|(m, part)| (m.as_str().unwrap_or("?").to_string(), part))
+                .collect();
+            return Ok(Json::obj(vec![
+                (
+                    "system",
+                    Json::str(system_name(system_from(req)?)),
+                ),
+                ("modes", Json::Obj(pairs)),
+            ]));
+        }
+        parts.pop().ok_or_else(|| "empty result".to_string())
+    }
+}
+
+/// The canned request corpus exercised by CI and the benches: one per
+/// kind family, cheap enough to run on every gate.
+pub const CANNED_REQUESTS: &[&str] = &[
+    r#"{"kind":"table","id":2}"#,
+    r#"{"kind":"figure","id":3}"#,
+    r#"{"kind":"pcie","system":"aurora","modes":["h2d","d2h"]}"#,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_serve::{ServeConfig, Service};
+
+    fn service() -> Service<CatalogExecutor> {
+        Service::new(CatalogExecutor, ServeConfig::default())
+    }
+
+    #[test]
+    fn table_request_serves_rendered_table() {
+        let s = service();
+        let r = s.handle_lines(&[r#"{"kind":"table","id":2}"#]).remove(0);
+        let text = r
+            .get("result")
+            .and_then(|b| b.get("text"))
+            .and_then(Json::as_str)
+            .expect("table text");
+        assert!(text.contains("DGEMM"), "{text}");
+    }
+
+    #[test]
+    fn canned_corpus_is_deterministic_and_cacheable() {
+        let s = service();
+        let cold: Vec<String> = s
+            .handle_lines(CANNED_REQUESTS)
+            .iter()
+            .map(Json::canonical)
+            .collect();
+        let warm: Vec<String> = s
+            .handle_lines(CANNED_REQUESTS)
+            .iter()
+            .map(Json::canonical)
+            .collect();
+        assert_eq!(cold, warm, "cache must not perturb response bytes");
+        assert_eq!(s.metrics().counter("serve.cache.hit"), CANNED_REQUESTS.len() as u64);
+        for c in &cold {
+            assert!(!c.contains("\"error\""), "{c}");
+        }
+    }
+
+    #[test]
+    fn pcie_sweeps_coalesce_across_requests() {
+        let s = service();
+        let a = r#"{"kind":"pcie","system":"aurora","modes":["h2d","d2h"]}"#;
+        let b = r#"{"kind":"pcie","system":"aurora","modes":["d2h","bidir"]}"#;
+        let responses = s.handle_lines(&[a, b]);
+        assert_eq!(s.metrics().counter("serve.atoms.requested"), 4);
+        assert_eq!(s.metrics().counter("serve.atoms.executed"), 3, "shared d2h runs once");
+        // The shared atom's bytes are identical in both responses.
+        let d2h = |r: &Json| {
+            r.get("result")
+                .and_then(|b| b.get("modes"))
+                .and_then(|m| m.get("d2h"))
+                .expect("d2h triplet")
+                .canonical()
+        };
+        assert_eq!(d2h(&responses[0]), d2h(&responses[1]));
+    }
+
+    #[test]
+    fn bad_catalog_requests_fail_with_guidance() {
+        let s = service();
+        let cases = [
+            (r#"{"kind":"table","id":9}"#, "1..=6"),
+            (r#"{"kind":"warp"}"#, "unknown request kind"),
+            (r#"{"kind":"profile","workload":"nope"}"#, "unknown profile workload"),
+            (r#"{"kind":"pcie","system":"aurora","modes":["sideways"]}"#, "unknown pcie mode"),
+            (r#"{"kind":"profile","workload":"pcie-h2d","system":"h100"}"#, "unknown system"),
+        ];
+        for (line, needle) in cases {
+            let r = s.handle_lines(&[line]).remove(0);
+            let detail = r
+                .get("error")
+                .and_then(|e| e.get("detail"))
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("{line} should fail: {}", r.pretty()));
+            assert!(detail.contains(needle), "{line}: {detail}");
+        }
+    }
+
+    /// The ISSUE's acceptance property: cached and recomputed responses
+    /// are byte-identical for every workload in the profile catalog.
+    #[test]
+    fn all_catalog_workloads_cache_byte_identically() {
+        let s = service();
+        let lines: Vec<String> = profile::WORKLOADS
+            .iter()
+            .map(|(name, _)| format!(r#"{{"kind":"profile","workload":"{name}"}}"#))
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let cold: Vec<String> = s.handle_lines(&refs).iter().map(Json::canonical).collect();
+        let warm: Vec<String> = s.handle_lines(&refs).iter().map(Json::canonical).collect();
+        assert_eq!(s.metrics().counter("serve.cache.hit"), lines.len() as u64);
+        for ((c, w), (name, _)) in cold.iter().zip(&warm).zip(profile::WORKLOADS) {
+            assert_eq!(c, w, "{name}: cached response differs from computed");
+            assert!(c.contains("\"result\""), "{name}: {c}");
+        }
+    }
+}

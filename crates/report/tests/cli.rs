@@ -118,3 +118,90 @@ fn csv_writes_artifacts_to_requested_dir() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+fn write_request(dir: &std::path::Path, name: &str, body: &str) -> String {
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+#[test]
+fn query_twice_is_byte_identical_and_second_run_hits_cache() {
+    let dir = std::env::temp_dir().join("pvc_cli_query_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let req = write_request(&dir, "t2.json", r#"{"kind":"table","id":2}"#);
+    // Two separate processes: byte-identical canonical envelopes.
+    let (a, _, ok_a) = reproduce(&["query", &req]);
+    let (b, _, ok_b) = reproduce(&["query", &req]);
+    assert!(ok_a && ok_b);
+    assert_eq!(a, b, "one-shot query must be byte-deterministic");
+    assert!(a.contains("\"result\""), "{a}");
+    assert!(a.contains("fnv64:"), "{a}");
+    // Two rounds in one process: round two is served from the cache.
+    let (out, stats, ok) = reproduce(&["query", "--rounds", "2", "--stats", &req]);
+    assert!(ok, "{stats}");
+    assert!(stats.contains("counter serve.cache.hit = 1"), "{stats}");
+    assert!(stats.contains("counter serve.cache.miss = 1"), "{stats}");
+    let half = out.len() / 2;
+    assert_eq!(out[..half], out[half..], "cached round must not perturb bytes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_saturated_queue_returns_typed_overloaded() {
+    let dir = std::env::temp_dir().join("pvc_cli_overload_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let r1 = write_request(&dir, "r1.json", r#"{"kind":"table","id":1}"#);
+    let r2 = write_request(&dir, "r2.json", r#"{"kind":"table","id":4}"#);
+    let r3 = write_request(&dir, "r3.json", r#"{"kind":"table","id":5}"#);
+    let (out, _, ok) = reproduce(&["query", "--queue-depth", "1", &r1, &r2, &r3]);
+    assert!(!ok, "shedding must be reported in the exit code");
+    assert!(out.contains("\"kind\": \"overloaded\""), "{out}");
+    assert!(out.contains("\"queue_depth\": 1"), "{out}");
+    // The admitted request still succeeded alongside the shed ones.
+    assert!(out.contains("\"result\""), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_without_files_prints_usage_and_examples() {
+    let (_, stderr, ok) = reproduce(&["query"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage: reproduce query"));
+    assert!(stderr.contains(r#"{"kind":"table","id":2}"#));
+}
+
+#[test]
+fn serve_stdin_session_answers_line_per_request() {
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(["serve", "--stats"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"{\"kind\":\"devices\"}\n{\"kind\":\"devices\"}\n[{\"kind\":\"table\",\"id\":1},{\"kind\":\"table\",\"id\":1}]\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "one line per request/batch: {stdout}");
+    assert_eq!(lines[0], lines[1], "cache hit must be byte-identical");
+    assert!(lines[2].starts_with('['), "array batch answered as array");
+    let stats = String::from_utf8(out.stderr).unwrap();
+    assert!(stats.contains("counter serve.cache.hit = 1"), "{stats}");
+    assert!(
+        stats.contains("counter serve.singleflight.deduped = 1"),
+        "duplicate inside the array batch is single-flighted: {stats}"
+    );
+}

@@ -1,0 +1,115 @@
+//! Batch planning: atom coalescing across compatible requests.
+//!
+//! The executor decomposes every request into one or more **atoms** —
+//! the indivisible simulation passes it needs. Identical requests are
+//! already collapsed by the service's single-flight dedup; atom
+//! coalescing goes further: two *different* sweep requests that share
+//! atoms (say, both want the Aurora `pcie h2d` pass) cause that pass to
+//! be simulated exactly once per batch. The plan records which atoms
+//! each request consumes so responses can be reassembled afterwards.
+
+use pvc_core::Json;
+
+/// One indivisible simulation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Identity of the pass: equal ids ⇒ identical computation.
+    pub id: String,
+    /// Executor-defined parameters of the pass.
+    pub params: Json,
+}
+
+impl Atom {
+    /// Convenience constructor.
+    pub fn new(id: impl Into<String>, params: Json) -> Atom {
+        Atom { id: id.into(), params }
+    }
+}
+
+/// The coalesced execution plan for one batch of unique requests.
+#[derive(Debug)]
+pub struct BatchPlan {
+    /// Deduplicated atoms, in first-appearance order.
+    pub atoms: Vec<Atom>,
+    /// For each input request (same order as given), the indices into
+    /// [`BatchPlan::atoms`] of its parts, in the request's own order.
+    pub assignments: Vec<Vec<usize>>,
+    /// Total atoms before coalescing; `atoms_requested / atoms.len()`
+    /// is the batch's coalescing factor.
+    pub atoms_requested: usize,
+}
+
+impl BatchPlan {
+    /// Builds a plan from each request's atom decomposition.
+    pub fn build(per_request: Vec<Vec<Atom>>) -> BatchPlan {
+        let mut atoms: Vec<Atom> = Vec::new();
+        let mut assignments = Vec::with_capacity(per_request.len());
+        let mut atoms_requested = 0;
+        for request_atoms in per_request {
+            atoms_requested += request_atoms.len();
+            let mut idxs = Vec::with_capacity(request_atoms.len());
+            for atom in request_atoms {
+                let i = match atoms.iter().position(|a| a.id == atom.id) {
+                    Some(i) => {
+                        debug_assert_eq!(
+                            atoms[i].params, atom.params,
+                            "atom id '{}' reused with different params",
+                            atom.id
+                        );
+                        i
+                    }
+                    None => {
+                        atoms.push(atom);
+                        atoms.len() - 1
+                    }
+                };
+                idxs.push(i);
+            }
+            assignments.push(idxs);
+        }
+        BatchPlan { atoms, assignments, atoms_requested }
+    }
+
+    /// `requested / executed` — 1.0 when nothing coalesced.
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.atoms.is_empty() {
+            return 1.0;
+        }
+        self.atoms_requested as f64 / self.atoms.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(id: &str) -> Atom {
+        Atom::new(id, Json::Null)
+    }
+
+    #[test]
+    fn overlapping_sweeps_share_atoms() {
+        let plan = BatchPlan::build(vec![
+            vec![atom("pcie:aurora:h2d"), atom("pcie:aurora:d2h")],
+            vec![atom("pcie:aurora:d2h"), atom("pcie:aurora:bidir")],
+        ]);
+        assert_eq!(plan.atoms.len(), 3, "d2h computed once");
+        assert_eq!(plan.atoms_requested, 4);
+        assert_eq!(plan.assignments, vec![vec![0, 1], vec![1, 2]]);
+        assert!((plan.coalescing_factor() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_requests_do_not_coalesce() {
+        let plan = BatchPlan::build(vec![vec![atom("a")], vec![atom("b")]]);
+        assert_eq!(plan.atoms.len(), 2);
+        assert_eq!(plan.coalescing_factor(), 1.0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let plan = BatchPlan::build(vec![]);
+        assert!(plan.atoms.is_empty());
+        assert_eq!(plan.coalescing_factor(), 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! # pvc-serve — the simulation-query service core
+//!
+//! Every paper element this repository reproduces (tables, figures,
+//! ablations, profiles) is a **pure deterministic function** of its
+//! request: the same request always produces byte-identical output.
+//! That makes the results perfectly cacheable and batchable, and this
+//! crate is the serving layer exploiting it:
+//!
+//! * [`request`] — the canonical request envelope: a JSON object with a
+//!   `kind` field, normalised to sorted-key canonical bytes and
+//!   content-addressed with an FNV-1a 64-bit hash.
+//! * [`cache`] — an LRU result cache keyed by that hash (with a
+//!   full-text guard against hash collisions).
+//! * [`batch`] — the execution plan for one admitted batch:
+//!   single-flight dedup of identical requests plus **atom
+//!   coalescing** — compatible sweep requests decompose into shared
+//!   atoms, each unique atom simulated once per pass.
+//! * [`service`] — [`Service`](service::Service): admission control
+//!   (bounded queue, typed [`ServeError::Overloaded`] load shedding),
+//!   deterministic per-request cost budgets, parallel atom execution on
+//!   [`pvc_core::par`], and cache integration. Hit/miss/eviction and
+//!   coalescing counters are exported through a [`pvc_obs::Metrics`]
+//!   registry.
+//!
+//! The crate is domain-agnostic: what a request *means* is supplied by
+//! an [`Executor`](service::Executor) implementation (the paper catalog
+//! executor lives in `pvc-report`, which also wires the `reproduce
+//! serve` / `reproduce query` frontends). Because execution is
+//! deterministic, a cached response and a freshly computed one are
+//! byte-identical — the test suites here and in `pvc-report` enforce
+//! that end to end.
+
+pub mod batch;
+pub mod cache;
+pub mod request;
+pub mod service;
+
+pub use batch::{Atom, BatchPlan};
+pub use cache::ResultCache;
+pub use request::{fnv1a64, Request};
+pub use service::{Executor, ServeConfig, Service};
+
+/// Typed service-level rejections. Every variant renders as a JSON
+/// error envelope (never a panic, never an indefinite block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request line was not a well-formed request object.
+    BadRequest(String),
+    /// Admission control shed the request: the bounded queue was full.
+    Overloaded {
+        /// The configured queue depth that was exceeded.
+        depth: usize,
+    },
+    /// The request's deterministic cost estimate exceeded its budget.
+    DeadlineExceeded {
+        /// Estimated cost of the request in abstract cost units.
+        cost: u64,
+        /// The budget it had to fit in.
+        budget: u64,
+    },
+    /// The executor failed while computing the response.
+    Failed(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable discriminant used in error envelopes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::Failed(_) => "failed",
+        }
+    }
+
+    /// The error as a JSON object (the `error` field of an envelope).
+    pub fn to_json(&self) -> pvc_core::Json {
+        use pvc_core::Json;
+        let mut pairs = vec![("kind", Json::str(self.kind()))];
+        match self {
+            ServeError::BadRequest(msg) | ServeError::Failed(msg) => {
+                pairs.push(("detail", Json::str(msg.clone())));
+            }
+            ServeError::Overloaded { depth } => {
+                pairs.push(("queue_depth", Json::Int(*depth as i64)));
+            }
+            ServeError::DeadlineExceeded { cost, budget } => {
+                pairs.push(("cost", Json::Int(*cost as i64)));
+                pairs.push(("budget", Json::Int(*budget as i64)));
+            }
+        }
+        Json::obj(pairs)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Overloaded { depth } => {
+                write!(f, "overloaded: queue depth {depth} exceeded")
+            }
+            ServeError::DeadlineExceeded { cost, budget } => {
+                write!(f, "deadline exceeded: cost {cost} > budget {budget}")
+            }
+            ServeError::Failed(msg) => write!(f, "execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,244 @@
+//! The service: admission control, budgets, single-flight, cache and
+//! parallel atom execution.
+//!
+//! One call to [`Service::handle_batch`] processes one admitted batch
+//! deterministically:
+//!
+//! 1. malformed inputs are answered with `bad_request` envelopes;
+//! 2. the cache is probed — hits are answered immediately and consume
+//!    **no** queue slot, so a warm cache keeps serving under overload;
+//! 3. identical in-flight requests are collapsed (single-flight) onto
+//!    one computation — duplicates consume no queue slot either;
+//! 4. the bounded queue admits at most `queue_depth` unique
+//!    computations; the rest are shed with a typed
+//!    [`ServeError::Overloaded`];
+//! 5. each admitted request's deterministic cost estimate must fit its
+//!    budget (request `budget` field, else the configured default) or
+//!    it is rejected with [`ServeError::DeadlineExceeded`];
+//! 6. admitted requests decompose into atoms, overlapping sweep atoms
+//!    coalesce ([`BatchPlan`]), and the unique atoms execute in
+//!    parallel on [`pvc_core::par`];
+//! 7. responses are assembled, cached (LRU), and fanned out to every
+//!    waiter in input order.
+//!
+//! Because every executor is deterministic, a response served from
+//! cache is byte-identical to one computed fresh — only the
+//! `serve.cache.*` counters can tell them apart.
+
+use crate::batch::{Atom, BatchPlan};
+use crate::cache::ResultCache;
+use crate::request::Request;
+use crate::ServeError;
+use pvc_core::{par, Json};
+use pvc_obs::Metrics;
+use std::cell::RefCell;
+
+/// What a request means: decomposition into simulation passes and
+/// reassembly of their results. Implementations must be deterministic —
+/// equal atoms must always produce byte-identical results.
+pub trait Executor: Sync {
+    /// Deterministic cost estimate in abstract units, compared against
+    /// the request's budget at admission time.
+    fn cost(&self, req: &Request) -> u64;
+
+    /// Decomposes `req` into ≥ 1 atoms. Equal atom ids across requests
+    /// coalesce into one execution per batch.
+    fn atoms(&self, req: &Request) -> Result<Vec<Atom>, String>;
+
+    /// Executes one atom (called from worker threads; must be pure).
+    fn execute_atom(&self, atom: &Atom) -> Result<Json, String>;
+
+    /// Reassembles the response body from the request's atom results,
+    /// in the order [`Executor::atoms`] returned them.
+    fn assemble(&self, req: &Request, parts: Vec<Json>) -> Result<Json, String>;
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum unique computations admitted per batch; the rest shed.
+    pub queue_depth: usize,
+    /// LRU cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Budget applied when a request carries no `budget` field.
+    pub default_budget: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_depth: 32,
+            cache_capacity: 64,
+            default_budget: 64,
+        }
+    }
+}
+
+/// The batching, caching query service around an [`Executor`].
+pub struct Service<E> {
+    cfg: ServeConfig,
+    exec: E,
+    cache: RefCell<ResultCache>,
+    metrics: Metrics,
+}
+
+enum Slot {
+    /// Answered already (error or cache hit).
+    Done(Json),
+    /// Waiting on unique computation `u`.
+    Waiting(usize),
+}
+
+impl<E: Executor> Service<E> {
+    /// A service over `exec` with the given knobs.
+    pub fn new(exec: E, cfg: ServeConfig) -> Self {
+        let cache = RefCell::new(ResultCache::new(cfg.cache_capacity));
+        Service { cfg, exec, cache, metrics: Metrics::new() }
+    }
+
+    /// The service's metrics registry (`serve.*` counters).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Live cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// The executor (for frontends that need catalog introspection).
+    pub fn executor(&self) -> &E {
+        &self.exec
+    }
+
+    /// Parses and serves one line-delimited batch; one response
+    /// envelope per input line, in order.
+    pub fn handle_lines(&self, lines: &[&str]) -> Vec<Json> {
+        self.handle_batch(lines.iter().map(|l| Request::parse(l)).collect())
+    }
+
+    /// Serves one batch of parsed requests (parse failures included, so
+    /// their envelopes stay in position). Never panics, never blocks
+    /// indefinitely: every input gets exactly one envelope.
+    pub fn handle_batch(&self, inputs: Vec<Result<Request, ServeError>>) -> Vec<Json> {
+        self.metrics.count("serve.requests", inputs.len() as u64);
+        let mut slots: Vec<Slot> = Vec::with_capacity(inputs.len());
+        // Unique admitted computations, their waiters, in arrival order.
+        let mut unique: Vec<Request> = Vec::new();
+        let mut cache = self.cache.borrow_mut();
+        for input in &inputs {
+            let req = match input {
+                Ok(r) => r,
+                Err(e) => {
+                    self.metrics.count("serve.rejected.bad_request", 1);
+                    slots.push(Slot::Done(err_envelope(None, e)));
+                    continue;
+                }
+            };
+            if let Some(body) = cache.get(req.key(), req.text()) {
+                self.metrics.count("serve.cache.hit", 1);
+                slots.push(Slot::Done(ok_envelope(req, body)));
+                continue;
+            }
+            if let Some(u) = unique
+                .iter()
+                .position(|p| p.key() == req.key() && p.text() == req.text())
+            {
+                self.metrics.count("serve.singleflight.deduped", 1);
+                slots.push(Slot::Waiting(u));
+                continue;
+            }
+            if unique.len() >= self.cfg.queue_depth {
+                self.metrics.count("serve.rejected.overload", 1);
+                let e = ServeError::Overloaded { depth: self.cfg.queue_depth };
+                slots.push(Slot::Done(err_envelope(Some(req), &e)));
+                continue;
+            }
+            let cost = self.exec.cost(req);
+            let budget = req.budget().unwrap_or(self.cfg.default_budget);
+            if cost > budget {
+                self.metrics.count("serve.rejected.deadline", 1);
+                let e = ServeError::DeadlineExceeded { cost, budget };
+                slots.push(Slot::Done(err_envelope(Some(req), &e)));
+                continue;
+            }
+            self.metrics.count("serve.cache.miss", 1);
+            slots.push(Slot::Waiting(unique.len()));
+            unique.push(req.clone());
+        }
+
+        // Decompose admitted requests into atoms; decomposition errors
+        // resolve that request (and its waiters) to a Failed envelope.
+        let mut decomposed: Vec<Result<Vec<Atom>, String>> = Vec::with_capacity(unique.len());
+        for req in &unique {
+            decomposed.push(self.exec.atoms(req));
+        }
+        let plan = BatchPlan::build(
+            decomposed
+                .iter()
+                .map(|d| d.as_ref().cloned().unwrap_or_default())
+                .collect(),
+        );
+        self.metrics
+            .count("serve.atoms.requested", plan.atoms_requested as u64);
+        self.metrics.count("serve.atoms.executed", plan.atoms.len() as u64);
+
+        // One parallel pass over the unique atoms.
+        let exec = &self.exec;
+        let atoms = &plan.atoms;
+        let atom_results: Vec<Result<Json, String>> =
+            par::map_collect(atoms.len(), |i| exec.execute_atom(&atoms[i]));
+
+        // Assemble one envelope per unique computation.
+        let mut outcomes: Vec<Json> = Vec::with_capacity(unique.len());
+        for (u, req) in unique.iter().enumerate() {
+            let body = match &decomposed[u] {
+                Err(msg) => Err(msg.clone()),
+                Ok(_) => plan.assignments[u]
+                    .iter()
+                    .map(|&a| atom_results[a].clone())
+                    .collect::<Result<Vec<Json>, String>>()
+                    .and_then(|parts| self.exec.assemble(req, parts)),
+            };
+            match body {
+                Ok(body) => {
+                    let evicted = cache.insert(req.key(), req.text(), body.clone());
+                    self.metrics.count("serve.cache.evict", evicted as u64);
+                    outcomes.push(ok_envelope(req, body));
+                }
+                Err(msg) => {
+                    self.metrics.count("serve.failed", 1);
+                    outcomes.push(err_envelope(Some(req), &ServeError::Failed(msg)));
+                }
+            }
+        }
+
+        slots
+            .into_iter()
+            .map(|s| match s {
+                Slot::Done(env) => env,
+                Slot::Waiting(u) => outcomes[u].clone(),
+            })
+            .collect()
+    }
+}
+
+/// Success envelope: content address, normalised request, result body.
+fn ok_envelope(req: &Request, body: Json) -> Json {
+    Json::obj(vec![
+        ("key", Json::str(req.key_hex())),
+        ("request", req.canon().clone()),
+        ("result", body),
+    ])
+}
+
+/// Error envelope; carries the request context when it parsed.
+fn err_envelope(req: Option<&Request>, err: &ServeError) -> Json {
+    let mut pairs = Vec::new();
+    if let Some(req) = req {
+        pairs.push(("key", Json::str(req.key_hex())));
+        pairs.push(("request", req.canon().clone()));
+    }
+    pairs.push(("error", err.to_json()));
+    Json::obj(pairs)
+}

@@ -35,6 +35,7 @@
 //! | [`apps`] | pvc-apps | OpenMC-like transport, CRK-HACC-like N-body |
 //! | [`predict`] | pvc-predict | expected-ratio model (Figures 2–4) |
 //! | [`report`] | pvc-report | table/figure regeneration |
+//! | [`serve`] | pvc-serve | batching/caching query service core |
 //! | [`validate`] | pvc-validate | golden conformance + metamorphic suites |
 
 pub use pvc_apps as apps;
@@ -48,6 +49,7 @@ pub use pvc_microbench as microbench;
 pub use pvc_miniapps as miniapps;
 pub use pvc_predict as predict;
 pub use pvc_report as report;
+pub use pvc_serve as serve;
 pub use pvc_simrt as simrt;
 pub use pvc_validate as validate;
 
