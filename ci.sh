@@ -76,4 +76,18 @@ set -e
 test "$overload_rc" -eq 3
 run grep -q '"kind": "overloaded"' "$serve_dir/overload.out"
 
+# 8. Scenario registry: `reproduce list` enumerates the full grid (61
+#    standard pairs + the figure pipeline on both PVC systems = 63) with
+#    typed units, and `reproduce run` is byte-deterministic.
+run cargo run --offline --release -p pvc-report --bin reproduce list > "$serve_dir/list.out"
+run grep -q '^63 scenarios registered$' "$serve_dir/list.out"
+run grep -q 'stream-triad@aurora' "$serve_dir/list.out"
+run grep -q 'GB/s' "$serve_dir/list.out"
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  run stream-triad aurora > "$serve_dir/run-a.out"
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  run stream-triad aurora > "$serve_dir/run-b.out"
+test -s "$serve_dir/run-a.out"
+run cmp "$serve_dir/run-a.out" "$serve_dir/run-b.out"
+
 echo "ci: all gates green"

@@ -36,4 +36,4 @@ pub use device::{CacheLevel, GpuModel, MemorySpec, Partition, PerPrecision, Vend
 pub use governor::ClockPolicy;
 pub use node::NodeModel;
 pub use precision::Precision;
-pub use systems::System;
+pub use systems::{System, UnknownSystem};

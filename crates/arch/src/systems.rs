@@ -52,6 +52,19 @@ impl System {
         matches!(self, System::Aurora | System::Dawn)
     }
 
+    /// Canonical lower-case CLI/request name (`aurora`, `dawn`, `h100`,
+    /// `mi250`). This is THE machine-readable spelling: `FromStr` parses
+    /// it back, and every frontend (reproduce CLI, serve requests,
+    /// profiles, scenario keys) shares the pair.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            System::Aurora => "aurora",
+            System::Dawn => "dawn",
+            System::JlseH100 => "h100",
+            System::JlseMi250 => "mi250",
+        }
+    }
+
     /// Builds the node model.
     pub fn node(self) -> NodeModel {
         match self {
@@ -60,6 +73,41 @@ impl System {
             System::JlseH100 => jlse_h100(),
             System::JlseMi250 => jlse_mi250(),
         }
+    }
+}
+
+/// A system name that matched none of the four catalog entries. Carries
+/// the offending input so frontends can echo it alongside the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSystem {
+    /// The string that failed to parse.
+    pub got: String,
+}
+
+impl std::fmt::Display for UnknownSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown system '{}'; expected one of: aurora, dawn, h100, mi250",
+            self.got
+        )
+    }
+}
+
+impl std::error::Error for UnknownSystem {}
+
+impl std::str::FromStr for System {
+    type Err = UnknownSystem;
+
+    /// Parses the canonical [`System::cli_name`] spelling,
+    /// case-insensitively. This is the single system-name parser shared
+    /// by the reproduce CLI, serve requests and profile runs.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        System::ALL
+            .into_iter()
+            .find(|sys| sys.cli_name() == lower)
+            .ok_or(UnknownSystem { got: s.to_string() })
     }
 }
 
@@ -574,5 +622,21 @@ mod tests {
         // PCIe".
         let n = System::Aurora.node();
         assert!(n.fabric.remote_uni < n.pcie.per_card_h2d);
+    }
+
+    #[test]
+    fn system_names_round_trip() {
+        for sys in System::ALL {
+            let name = sys.cli_name();
+            assert_eq!(name.parse::<System>().unwrap(), sys);
+            assert_eq!(name.to_uppercase().parse::<System>().unwrap(), sys);
+        }
+        let err = "summit".parse::<System>().unwrap_err();
+        assert_eq!(err.got, "summit");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown system 'summit'"), "{msg}");
+        for name in ["aurora", "dawn", "h100", "mi250"] {
+            assert!(msg.contains(name), "{msg} should list {name}");
+        }
     }
 }

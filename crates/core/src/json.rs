@@ -55,6 +55,15 @@ impl Json {
         }
     }
 
+    /// The numeric payload (`Num` directly, `Int` widened to `f64`).
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
     /// Pretty-prints with 2-space indentation (the `serde_json`
     /// `to_string_pretty` layout).
     pub fn pretty(&self) -> String {

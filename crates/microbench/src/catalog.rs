@@ -9,6 +9,11 @@ pub struct CatalogEntry {
     pub programming_model: &'static str,
     /// Description as printed.
     pub description: &'static str,
+    /// Scenario workload families this row maps to in the registry
+    /// (`pvc_scenario::Workload::family` slugs) — the completeness test
+    /// in `pvc-report` asserts every one resolves to registered
+    /// scenarios and no microbenchmark family is orphaned.
+    pub workloads: &'static [&'static str],
 }
 
 /// The seven rows of Table I, in print order.
@@ -17,36 +22,43 @@ pub const TABLE_I: [CatalogEntry; 7] = [
         name: "Peak Compute",
         programming_model: "OpenMP",
         description: "Chain of FMA to measure FLOPS",
+        workloads: &["peakflops"],
     },
     CatalogEntry {
         name: "Device Memory Bandwidth",
         programming_model: "OpenMP",
         description: "Triad used for HBM bandwidth",
+        workloads: &["stream-triad"],
     },
     CatalogEntry {
         name: "Host to Device Transfer Bandwidth",
         programming_model: "SYCL",
         description: "Compute the Bandwidth of the PCIe datatransfer",
+        workloads: &["pcie"],
     },
     CatalogEntry {
         name: "Device to Device Transfer Bandwidth",
         programming_model: "SYCL",
         description: "Measure the Bandwidth between 2 Ranks (Stacks on the GPU & between GPUs)",
+        workloads: &["p2p"],
     },
     CatalogEntry {
         name: "General Matrix Multiplication (GEMM)",
         programming_model: "SYCL",
         description: "DGEMM, SGEMM, ...",
+        workloads: &["gemm"],
     },
     CatalogEntry {
         name: "Fast Fourier Transform (FFT)",
         programming_model: "SYCL",
         description: "Backward and forward",
+        workloads: &["fft"],
     },
     CatalogEntry {
         name: "Lats",
         programming_model: "SYCL, CUDA, HIP",
         description: "Measure the access latency of different levels of the memory hierarchy",
+        workloads: &["lats"],
     },
 ];
 
@@ -65,5 +77,19 @@ mod tests {
     fn lats_ported_to_three_models() {
         assert!(TABLE_I[6].programming_model.contains("CUDA"));
         assert!(TABLE_I[6].programming_model.contains("HIP"));
+    }
+
+    #[test]
+    fn every_row_binds_at_least_one_workload_family() {
+        for e in &TABLE_I {
+            assert!(!e.workloads.is_empty(), "{} binds no workload", e.name);
+            for w in e.workloads {
+                assert!(
+                    w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                    "{}: slug '{w}' is not kebab-case",
+                    e.name
+                );
+            }
+        }
     }
 }

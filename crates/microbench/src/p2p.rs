@@ -14,7 +14,7 @@ use pvc_fabric::StackId;
 pub const MESSAGE_BYTES: f64 = 500e6;
 
 /// Pair locality.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PairKind {
     /// Both stacks on one card (MDFI).
     LocalStack,

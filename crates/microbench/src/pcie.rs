@@ -18,7 +18,7 @@ use pvc_obs::{Layer, Tracer};
 pub const TRANSFER_BYTES: f64 = 500e6;
 
 /// Direction mix of a PCIe run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PcieMode {
     H2d,
     D2h,

@@ -144,9 +144,9 @@ pub fn plane_ablation() -> TextTable {
     t
 }
 
-/// Scaling-efficiency summary (§IV-B1's percentages), derived live.
+/// Scaling-efficiency summary (§IV-B1's percentages), derived live from
+/// the registry's scaling-triplet details.
 pub fn scaling_report() -> TextTable {
-    use pvc_microbench::{membw, peakflops};
     let mut t = TextTable::new("Scaling efficiencies (§IV-B1)").header(vec![
         "metric".into(),
         "Aurora 2-stack".into(),
@@ -154,15 +154,24 @@ pub fn scaling_report() -> TextTable {
         "Dawn 2-stack".into(),
         "Dawn node".into(),
     ]);
-    let eff = |r: pvc_microbench::ScaleTriplet, n: u32| {
+    let eff = |slug: &str, sys: System, n: u32| {
+        let out = crate::scenarios::registry()
+            .run(slug, sys)
+            .unwrap_or_else(|e| panic!("scaling scenario {slug}: {e}"));
+        let get = |k: &str| out.detail(k).unwrap_or_else(|| panic!("{slug} lacks {k}"));
+        let one_stack = get("one_stack");
         (
-            r.one_pvc / (2.0 * r.one_stack),
-            r.full_node / (n as f64 * r.one_stack),
+            get("one_pvc") / (2.0 * one_stack),
+            get("full_node") / (n as f64 * one_stack),
         )
     };
-    for (label, p) in [("FP64 flops", Precision::Fp64), ("FP32 flops", Precision::Fp32)] {
-        let a = eff(peakflops::run(System::Aurora, p).rates, 12);
-        let d = eff(peakflops::run(System::Dawn, p).rates, 8);
+    for (label, slug) in [
+        ("FP64 flops", "peakflops-fp64"),
+        ("FP32 flops", "peakflops-fp32"),
+        ("Triad bandwidth", "stream-triad"),
+    ] {
+        let a = eff(slug, System::Aurora, 12);
+        let d = eff(slug, System::Dawn, 8);
         t.push_row(vec![
             label.into(),
             format!("{:.0}%", a.0 * 100.0),
@@ -171,15 +180,6 @@ pub fn scaling_report() -> TextTable {
             format!("{:.0}%", d.1 * 100.0),
         ]);
     }
-    let a = eff(membw::run(System::Aurora).bandwidth, 12);
-    let d = eff(membw::run(System::Dawn).bandwidth, 8);
-    t.push_row(vec![
-        "Triad bandwidth".into(),
-        format!("{:.0}%", a.0 * 100.0),
-        format!("{:.0}%", a.1 * 100.0),
-        format!("{:.0}%", d.0 * 100.0),
-        format!("{:.0}%", d.1 * 100.0),
-    ]);
     t
 }
 

@@ -3,10 +3,15 @@
 //! Usage:
 //! ```text
 //! reproduce [table1..table6|fig1..fig4|experiments|json|conformance|validate|all]
+//! reproduce list
+//! reproduce run <workload> <system>
 //! reproduce profile <workload> [outfile]
 //! reproduce query [--stats] [--rounds N] [--queue-depth N] [--cache-cap N] <request.json>...
 //! reproduce serve [--queue-depth N] [--cache-cap N] [--tcp ADDR]
 //! ```
+//! `list` prints the full scenario grid — every registered
+//! workload × system pair with its figure-of-merit unit and paper
+//! citation. `run` executes one scenario and prints its typed outcome.
 //! With no argument, prints everything. `profile` runs one workload
 //! under the deterministic virtual-time tracer and writes a Chrome-trace
 //! JSON file (default `profile-<workload>.json`), then prints the top-N
@@ -116,11 +121,63 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "list" => {
+            let reg = pvc_report::scenarios::registry();
+            out.push_str(&format!(
+                "{:<28} {:<10} {:<5} {}\n",
+                "scenario", "unit", "dir", "citation"
+            ));
+            for s in reg.iter() {
+                let dir = if s.fom_kind().higher_is_better() { "up" } else { "down" };
+                out.push_str(&format!(
+                    "{:<28} {:<10} {:<5} {}\n",
+                    s.id().key(),
+                    s.unit(),
+                    dir,
+                    s.citation()
+                ));
+            }
+            out.push_str(&format!("{} scenarios registered\n", reg.len()));
+        }
+        "run" => {
+            let (Some(workload), Some(system)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: reproduce run <workload> <system>");
+                eprintln!("see `reproduce list` for the registered pairs");
+                std::process::exit(2);
+            };
+            let system: pvc_arch::System = match system.parse() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            let outcome = match pvc_report::scenarios::registry().run(workload, system) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            let scenario = pvc_report::scenarios::registry()
+                .get(workload, system)
+                .expect("scenario just ran");
+            let dir = if scenario.fom_kind().higher_is_better() {
+                "higher is better"
+            } else {
+                "lower is better"
+            };
+            out.push_str(&format!("{}: {} ({dir})\n", outcome.id, outcome.fom));
+            out.push_str(&format!("  citation: {}\n", scenario.citation()));
+            for (key, value) in &outcome.detail {
+                out.push_str(&format!("  {key} = {value}\n"));
+            }
+        }
         "profile" => {
             let Some(workload) = args.get(1) else {
                 eprintln!("usage: reproduce profile <workload> [outfile]");
                 eprintln!("workloads:");
-                for (name, desc) in pvc_report::profile::WORKLOADS {
+                for (name, desc) in pvc_report::profile::workloads(pvc_arch::System::Aurora) {
                     eprintln!("  {name:<12} {desc}");
                 }
                 std::process::exit(2);
@@ -194,7 +251,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling, profile <workload>, query <request.json>.., serve or all"
+                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling, list, run <workload> <system>, profile <workload>, query <request.json>.., serve or all"
             );
             std::process::exit(2);
         }

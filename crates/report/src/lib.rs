@@ -8,6 +8,9 @@
 //! * [`figdata`] — Figure 1 latency series and Figures 2–4 bar data;
 //! * [`experiments`] — the paper-vs-measured record used to generate
 //!   EXPERIMENTS.md;
+//! * [`scenarios`] — the process-wide scenario registry: the standard
+//!   `pvc-scenario` grid plus the figure-render pipeline; every
+//!   frontend below dispatches (workload, system) through it;
 //! * [`profile`] — `reproduce profile <workload>`: deterministic
 //!   virtual-time Chrome-trace profiles of the simulated workloads;
 //! * [`conformance`] — the `pvc-validate` golden-expectation run
@@ -27,5 +30,6 @@ pub mod figdata;
 pub mod profile;
 pub mod published;
 pub mod render;
+pub mod scenarios;
 pub mod serve;
 pub mod tables;

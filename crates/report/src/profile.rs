@@ -1,33 +1,31 @@
 //! `reproduce profile <workload>` — deterministic virtual-time profiles.
 //!
-//! Runs one workload with the [`pvc_obs`] tracer attached and packages
-//! the result as a [`ProfileArtifact`]: a Chrome-trace JSON document
-//! (loadable in Perfetto / `chrome://tracing`), a top-N "where did the
-//! (virtual) time go" table, and a plain-text metrics summary. All
-//! timestamps are virtual simulation time, so two runs of the same
+//! Runs one registered scenario with the [`pvc_obs`] tracer attached and
+//! packages the result as a [`ProfileArtifact`]: a Chrome-trace JSON
+//! document (loadable in Perfetto / `chrome://tracing`), a top-N "where
+//! did the (virtual) time go" table, and a plain-text metrics summary.
+//! All timestamps are virtual simulation time, so two runs of the same
 //! workload produce byte-identical artifacts.
+//!
+//! The workload catalog is no longer a hand-maintained list: it is the
+//! set of scenarios in [`crate::scenarios::registry`] that declare a
+//! profile name.
 
-use pvc_arch::{Precision, System};
-use pvc_fabric::comm::{Comm, Transfer};
-use pvc_fabric::{RouteVia, StackId};
-use pvc_microbench::pcie::{self, PcieMode};
-use pvc_microbench::peakflops;
-use pvc_miniapps::profile as miniprof;
+use crate::scenarios::registry;
+use pvc_arch::System;
 use pvc_obs::{chrome_trace_json, span_totals, top_table, Layer, Metrics, Tracer};
+use pvc_scenario::{Ctx, ScenarioError};
 
-/// Workloads `reproduce profile` accepts, with one-line descriptions.
-pub const WORKLOADS: &[(&str, &str)] = &[
-    ("pcie-h2d", "host-to-device PCIe sweep over the three scaling levels"),
-    ("pcie-d2h", "device-to-host PCIe sweep over the three scaling levels"),
-    ("pcie-bidir", "bidirectional PCIe sweep (1.4x duplex factor)"),
-    ("p2p-local", "MDFI stack-to-stack transfer inside one card"),
-    ("p2p-remote", "Xe-Link stack-to-stack transfer between cards"),
-    ("allreduce", "full-node ring allreduce (reduce-scatter + allgather)"),
-    ("peakflops", "FP64 FMA peak sweep with governor throttle transitions"),
-    ("cloverleaf", "weak-scaled hydro steps: compute + halo + reduction"),
-    ("miniqmc", "DMC steps with H2D/compute/D2H overlap and host congestion"),
-    ("figures", "figure renders, tracing bars with missing FOM sources"),
-];
+/// Workloads `reproduce profile` accepts, with one-line descriptions —
+/// derived from the registry (every scenario with a profile name on
+/// `system`).
+pub fn workloads(system: System) -> Vec<(&'static str, &'static str)> {
+    registry()
+        .profiles(system)
+        .iter()
+        .map(|s| (s.profile_name().expect("profile scenario"), s.description()))
+        .collect()
+}
 
 /// The rendered outputs of one profile run.
 #[derive(Debug, Clone)]
@@ -41,80 +39,12 @@ pub struct ProfileArtifact {
     pub summary: String,
 }
 
-fn workload_names() -> String {
-    WORKLOADS
-        .iter()
-        .map(|(n, _)| *n)
-        .collect::<Vec<_>>()
-        .join(", ")
-}
-
 /// Runs `workload` on `system` under a recording tracer.
-pub fn run(workload: &str, system: System) -> Result<ProfileArtifact, String> {
-    let tracer = Tracer::recording();
-    match workload {
-        "pcie-h2d" => {
-            pcie::run_traced(system, PcieMode::H2d, &tracer);
-        }
-        "pcie-d2h" => {
-            pcie::run_traced(system, PcieMode::D2h, &tracer);
-        }
-        "pcie-bidir" => {
-            pcie::run_traced(system, PcieMode::Bidirectional, &tracer);
-        }
-        "p2p-local" => {
-            let comm = Comm::new(system, 2);
-            comm.run_transfers_traced(
-                &[Transfer::D2d(
-                    StackId::new(0, 0),
-                    StackId::new(0, 1),
-                    RouteVia::Auto,
-                )],
-                500e6,
-                &tracer,
-                0.0,
-            );
-        }
-        "p2p-remote" => {
-            let comm = Comm::new(system, 2);
-            comm.run_transfers_traced(
-                &[Transfer::D2d(
-                    StackId::new(0, 0),
-                    StackId::new(1, 1),
-                    RouteVia::Auto,
-                )],
-                500e6,
-                &tracer,
-                0.0,
-            );
-        }
-        "allreduce" => {
-            let node = system.node();
-            let comm = Comm::new(system, node.partitions());
-            comm.allreduce_time_traced(&comm.all_stacks(), 1e9, &tracer, 0.0);
-        }
-        "peakflops" => {
-            peakflops::run_traced(system, Precision::Fp64, &tracer);
-        }
-        "cloverleaf" => {
-            miniprof::cloverleaf_profile(system, &tracer);
-        }
-        "miniqmc" => {
-            miniprof::miniqmc_profile(system, &tracer);
-        }
-        "figures" => {
-            crate::figdata::render_figure2_traced(&tracer);
-            crate::figdata::render_figure3_traced(&tracer);
-            crate::figdata::render_figure4_traced(&tracer);
-        }
-        other => {
-            return Err(format!(
-                "unknown profile workload '{other}'; expected one of: {}",
-                workload_names()
-            ))
-        }
-    }
-    Ok(package(workload, &tracer))
+pub fn run(workload: &str, system: System) -> Result<ProfileArtifact, ScenarioError> {
+    let scenario = registry().profile(workload, system)?;
+    let mut ctx = Ctx::recording();
+    scenario.run(&mut ctx);
+    Ok(package(workload, &ctx.tracer))
 }
 
 /// Derives the metrics registry from the captured records and renders
@@ -174,7 +104,7 @@ mod tests {
 
     #[test]
     fn every_catalog_workload_runs_and_validates() {
-        for (name, _) in WORKLOADS {
+        for (name, _) in workloads(System::Aurora) {
             let art = run(name, System::Aurora).unwrap_or_else(|e| panic!("{name}: {e}"));
             let n = art.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(n > 0, "{name}: empty trace");
@@ -184,9 +114,17 @@ mod tests {
 
     #[test]
     fn unknown_workload_is_rejected_with_catalog() {
-        let err = run("bogus", System::Aurora).unwrap_err();
+        let err = run("bogus", System::Aurora).unwrap_err().to_string();
         assert!(err.contains("unknown profile workload 'bogus'"));
         assert!(err.contains("pcie-h2d"));
+    }
+
+    #[test]
+    fn off_grid_system_is_rejected_with_alternatives() {
+        let err = run("figures", System::JlseH100).unwrap_err();
+        assert!(matches!(err, ScenarioError::Unregistered { .. }), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("aurora"), "{msg}");
     }
 
     #[test]

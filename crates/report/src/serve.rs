@@ -1,6 +1,6 @@
 //! The paper-catalog executor behind `reproduce serve` / `reproduce
 //! query`: the request schema mapping JSON queries onto the table,
-//! figure, ablation, experiment and profile generators.
+//! figure, ablation, experiment, profile and scenario generators.
 //!
 //! Request kinds (all JSON objects; `budget` is an optional cost budget
 //! on any of them):
@@ -13,19 +13,28 @@
 //! | `{"kind":"experiments"}` | the paper-vs-model record, structured |
 //! | `{"kind":"conformance"}` | golden-expectation verdict line |
 //! | `{"kind":"devices"}` | clinfo-style model dump, structured |
-//! | `{"kind":"profile","workload":W,"system":"aurora"\|"dawn"}` | profile top table + metrics summary |
+//! | `{"kind":"profile","workload":W,"system":S}` | profile top table + metrics summary |
 //! | `{"kind":"pcie","system":S,"modes":["h2d","d2h","bidir"]}` | bandwidth triplets per mode (sweep) |
+//! | `{"kind":"run","workload":W,"system":S}` | one scenario outcome (typed FOM + detail) |
+//! | `{"kind":"list"}` | the full scenario grid with units and citations |
 //!
-//! The `pcie` kind is the coalescing showcase: each `(system, mode)`
-//! pair is one atom, so overlapping sweeps in a batch simulate each
-//! pair exactly once. Every other kind is a single atom and benefits
-//! from single-flight dedup and the LRU cache.
+//! Every scenario-backed atom — the `pcie` sweep's per-mode atoms and
+//! the generic `run` atoms — is keyed on its [`pvc_scenario::ScenarioId`]
+//! (`run:<workload>@<system>`), so overlapping sweeps and single-scenario
+//! runs in one batch coalesce onto the same simulation, across request
+//! kinds. Every other kind is a single atom and benefits from
+//! single-flight dedup and the LRU cache.
+//!
+//! Errors are typed [`ScenarioError`]s end to end inside this module;
+//! they convert to `String` only at the `pvc_serve::Executor` trait
+//! boundary.
 
+use crate::scenarios::registry;
 use crate::{ablations, experiments, figdata, profile, tables};
 use pvc_arch::System;
 use pvc_core::{json, Json};
 use pvc_memsim::LatsConfig;
-use pvc_microbench::pcie::{self, PcieMode};
+use pvc_scenario::{Ctx, ScenarioError};
 use pvc_serve::{Atom, Executor, Request};
 
 /// The executor serving the paper catalog.
@@ -37,13 +46,13 @@ pub struct CatalogExecutor;
 /// budgets at admission.
 fn kind_cost(req: &Request) -> u64 {
     match req.kind() {
-        "devices" => 1,
+        "devices" | "list" => 1,
         "table" => 3,
         "figure" => match req.get("id") {
             Some(Json::Int(1)) => 5, // Figure 1 runs the lats cache sweep
             _ => 3,
         },
-        "ablation" => 4,
+        "ablation" | "run" => 4,
         "profile" => 8,
         "pcie" => {
             let modes = req.get("modes").and_then(Json::as_array).map_or(1, <[Json]>::len);
@@ -54,43 +63,261 @@ fn kind_cost(req: &Request) -> u64 {
     }
 }
 
-fn system_from(req: &Request) -> Result<System, String> {
+/// Parses the request's `system` field through the one shared
+/// [`System::from_str`] parser; absent means Aurora.
+fn system_from(req: &Request) -> Result<System, ScenarioError> {
     match req.get("system") {
         None => Ok(System::Aurora),
-        Some(Json::Str(s)) => match s.as_str() {
-            "aurora" => Ok(System::Aurora),
-            "dawn" => Ok(System::Dawn),
-            other => Err(format!("unknown system '{other}'; expected aurora or dawn")),
-        },
-        Some(other) => Err(format!("system must be a string, got {}", other.compact())),
+        Some(Json::Str(s)) => Ok(s.parse::<System>()?),
+        Some(other) => Err(ScenarioError::bad_request(format!(
+            "system must be a string, got {}",
+            other.compact()
+        ))),
     }
 }
 
-fn system_name(sys: System) -> &'static str {
-    match sys {
-        System::Aurora => "aurora",
-        System::Dawn => "dawn",
-        _ => unreachable!("only PVC systems are served"),
+fn str_field(req: &Request, field: &str, hint: &str) -> Result<String, ScenarioError> {
+    match req.get(field) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        _ => Err(ScenarioError::bad_request(format!("{hint} needs a string '{field}'"))),
     }
 }
 
-fn mode_from(name: &str) -> Result<PcieMode, String> {
-    match name {
-        "h2d" => Ok(PcieMode::H2d),
-        "d2h" => Ok(PcieMode::D2h),
-        "bidir" => Ok(PcieMode::Bidirectional),
-        other => Err(format!("unknown pcie mode '{other}'; expected h2d, d2h or bidir")),
-    }
-}
-
-fn int_field(req: &Request, field: &str, lo: i64, hi: i64) -> Result<i64, String> {
+fn int_field(req: &Request, field: &str, lo: i64, hi: i64) -> Result<i64, ScenarioError> {
     match req.get(field) {
         Some(Json::Int(n)) if (lo..=hi).contains(n) => Ok(*n),
-        Some(other) => Err(format!(
+        Some(other) => Err(ScenarioError::bad_request(format!(
             "'{field}' must be an integer in {lo}..={hi}, got {}",
             other.compact()
-        )),
-        None => Err(format!("missing '{field}' field ({lo}..={hi})")),
+        ))),
+        None => Err(ScenarioError::bad_request(format!(
+            "missing '{field}' field ({lo}..={hi})"
+        ))),
+    }
+}
+
+/// One atom per scenario, keyed on the [`pvc_scenario::ScenarioId`]
+/// grid key so identical scenarios coalesce across request kinds.
+fn scenario_atom(slug: &str, system: System) -> Atom {
+    let params = Json::obj(vec![
+        ("op", Json::str("run")),
+        ("workload", Json::str(slug)),
+        ("system", Json::str(system.cli_name())),
+    ]);
+    Atom::new(format!("run:{slug}@{}", system.cli_name()), params)
+}
+
+fn atoms_typed(req: &Request) -> Result<Vec<Atom>, ScenarioError> {
+    let single = |op: &str, params: Vec<(&str, Json)>| -> Vec<Atom> {
+        let mut pairs = vec![("op", Json::str(op))];
+        pairs.extend(params);
+        let params = Json::obj(pairs);
+        vec![Atom::new(format!("{op}:{}", params.compact()), params)]
+    };
+    match req.kind() {
+        "table" => {
+            let id = int_field(req, "id", 1, 6)?;
+            Ok(single("table", vec![("id", Json::Int(id))]))
+        }
+        "figure" => {
+            let id = int_field(req, "id", 1, 4)?;
+            Ok(single("figure", vec![("id", Json::Int(id))]))
+        }
+        "ablation" => {
+            let name = str_field(req, "name", "ablation")?;
+            if !["governor", "pcie", "congestion", "plane", "scaling"].contains(&name.as_str()) {
+                return Err(ScenarioError::bad_request(format!("unknown ablation '{name}'")));
+            }
+            Ok(single("ablation", vec![("name", Json::str(name))]))
+        }
+        "experiments" => Ok(single("experiments", vec![])),
+        "conformance" => Ok(single("conformance", vec![])),
+        "devices" => Ok(single("devices", vec![])),
+        "list" => Ok(single("list", vec![])),
+        "profile" => {
+            let sys = system_from(req)?;
+            let workload = str_field(req, "workload", "profile")?;
+            // Resolve through the registry: typed unknown-name /
+            // unregistered-pair errors carrying the valid catalog.
+            let scenario = registry().profile(&workload, sys)?;
+            let params = Json::obj(vec![
+                ("op", Json::str("profile")),
+                ("system", Json::str(sys.cli_name())),
+                ("workload", Json::str(workload)),
+            ]);
+            Ok(vec![Atom::new(
+                format!("profile:{}", scenario.id()),
+                params,
+            )])
+        }
+        "run" => {
+            let sys = system_from(req)?;
+            let workload = str_field(req, "workload", "run")?;
+            let scenario = registry().get(&workload, sys)?;
+            Ok(vec![scenario_atom(&scenario.id().slug(), sys)])
+        }
+        "pcie" => {
+            let sys = system_from(req)?;
+            let Some(modes) = req.get("modes").and_then(Json::as_array) else {
+                return Err(ScenarioError::bad_request("pcie sweep needs a 'modes' array"));
+            };
+            if modes.is_empty() {
+                return Err(ScenarioError::bad_request("pcie sweep needs at least one mode"));
+            }
+            modes
+                .iter()
+                .map(|m| {
+                    let name = m
+                        .as_str()
+                        .ok_or_else(|| ScenarioError::bad_request("modes must be strings"))?;
+                    if !["h2d", "d2h", "bidir"].contains(&name) {
+                        return Err(ScenarioError::bad_request(format!(
+                            "unknown pcie mode '{name}'; expected h2d, d2h or bidir"
+                        )));
+                    }
+                    let slug = format!("pcie-{name}");
+                    registry().get(&slug, sys)?; // typed unregistered-pair check
+                    Ok(scenario_atom(&slug, sys))
+                })
+                .collect()
+        }
+        other => Err(ScenarioError::bad_request(format!(
+            "unknown request kind '{other}'; expected table, figure, ablation, experiments, \
+             conformance, devices, profile, pcie, run or list"
+        ))),
+    }
+}
+
+/// Runs one scenario atom and packages the typed outcome.
+fn run_scenario_atom(atom: &Atom) -> Result<Json, ScenarioError> {
+    let slug = atom
+        .params
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ScenarioError::bad_request("run atom missing workload"))?;
+    let sys: System = atom
+        .params
+        .get("system")
+        .and_then(Json::as_str)
+        .unwrap_or("aurora")
+        .parse()?;
+    let scenario = registry().get(slug, sys)?;
+    let out = scenario.run(&mut Ctx::quiet());
+    let detail: Vec<(String, Json)> = out
+        .detail
+        .iter()
+        .map(|(k, v)| (k.to_string(), Json::Num(*v)))
+        .collect();
+    Ok(Json::obj(vec![
+        ("workload", Json::str(slug)),
+        ("system", Json::str(sys.cli_name())),
+        ("value", Json::Num(out.fom.value())),
+        ("unit", Json::str(scenario.unit())),
+        ("higher_is_better", Json::Bool(scenario.fom_kind().higher_is_better())),
+        ("citation", Json::str(scenario.citation())),
+        ("detail", Json::Obj(detail)),
+    ]))
+}
+
+/// Renders the full grid as structured JSON.
+fn list_scenarios() -> Json {
+    let entries: Vec<Json> = registry()
+        .iter()
+        .map(|s| {
+            let id = s.id();
+            Json::obj(vec![
+                ("workload", Json::Str(id.slug())),
+                ("system", Json::str(id.system.cli_name())),
+                ("unit", Json::str(s.unit())),
+                ("higher_is_better", Json::Bool(s.fom_kind().higher_is_better())),
+                ("citation", Json::str(s.citation())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("count", Json::Int(registry().len() as i64)),
+        ("scenarios", Json::Arr(entries)),
+    ])
+}
+
+fn execute_atom_typed(atom: &Atom) -> Result<Json, ScenarioError> {
+    let op = atom
+        .params
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ScenarioError::bad_request("atom missing op"))?;
+    let text = |s: String| Json::obj(vec![("text", Json::Str(s))]);
+    match op {
+        "table" => {
+            let Some(Json::Int(id)) = atom.params.get("id") else {
+                return Err(ScenarioError::bad_request("table atom missing id"));
+            };
+            Ok(text(match id {
+                1 => tables::render_table1(),
+                2 => tables::render_table2(),
+                3 => tables::render_table3(),
+                4 => tables::render_table4(),
+                5 => tables::render_table5(),
+                _ => tables::render_table6(),
+            }))
+        }
+        "figure" => {
+            let Some(Json::Int(id)) = atom.params.get("id") else {
+                return Err(ScenarioError::bad_request("figure atom missing id"));
+            };
+            Ok(match id {
+                1 => Json::obj(vec![(
+                    "csv",
+                    Json::Str(figdata::figure1_csv(&LatsConfig::default())),
+                )]),
+                2 => text(figdata::render_figure2()),
+                3 => text(figdata::render_figure3()),
+                _ => text(figdata::render_figure4()),
+            })
+        }
+        "ablation" => {
+            let Some(name) = atom.params.get("name").and_then(Json::as_str) else {
+                return Err(ScenarioError::bad_request("ablation atom missing name"));
+            };
+            Ok(text(match name {
+                "governor" => ablations::governor_ablation().render(),
+                "pcie" => ablations::pcie_ablation().render(),
+                "congestion" => ablations::congestion_ablation().render(),
+                "plane" => ablations::plane_ablation().render(),
+                _ => ablations::scaling_report().render(),
+            }))
+        }
+        "experiments" => json::parse(&experiments::json())
+            .map_err(|e| ScenarioError::bad_request(format!("experiments JSON failed to parse: {e}"))),
+        "conformance" => {
+            let line = crate::conformance::verdict().map_err(ScenarioError::BadRequest)?;
+            Ok(Json::obj(vec![("verdict", Json::Str(line.trim_end().to_string()))]))
+        }
+        "devices" => json::parse(&pvc_arch::query::systems_json())
+            .map_err(|e| ScenarioError::bad_request(format!("devices JSON failed to parse: {e}"))),
+        "list" => Ok(list_scenarios()),
+        "profile" => {
+            let sys: System = atom
+                .params
+                .get("system")
+                .and_then(Json::as_str)
+                .unwrap_or("aurora")
+                .parse()?;
+            let Some(workload) = atom.params.get("workload").and_then(Json::as_str) else {
+                return Err(ScenarioError::bad_request("profile atom missing workload"));
+            };
+            let artifact = profile::run(workload, sys)?;
+            let events = artifact.validate().map_err(ScenarioError::BadRequest)?;
+            Ok(Json::obj(vec![
+                ("workload", Json::str(workload)),
+                ("system", Json::str(sys.cli_name())),
+                ("trace_events", Json::Int(events as i64)),
+                ("top", Json::Str(artifact.top)),
+                ("summary", Json::Str(artifact.summary)),
+            ]))
+        }
+        "run" => run_scenario_atom(atom),
+        other => Err(ScenarioError::bad_request(format!("unknown atom op '{other}'"))),
     }
 }
 
@@ -100,183 +327,11 @@ impl Executor for CatalogExecutor {
     }
 
     fn atoms(&self, req: &Request) -> Result<Vec<Atom>, String> {
-        let single = |op: &str, params: Vec<(&str, Json)>| -> Vec<Atom> {
-            let mut pairs = vec![("op", Json::str(op))];
-            pairs.extend(params);
-            let params = Json::obj(pairs);
-            vec![Atom::new(format!("{op}:{}", params.compact()), params)]
-        };
-        match req.kind() {
-            "table" => {
-                let id = int_field(req, "id", 1, 6)?;
-                Ok(single("table", vec![("id", Json::Int(id))]))
-            }
-            "figure" => {
-                let id = int_field(req, "id", 1, 4)?;
-                Ok(single("figure", vec![("id", Json::Int(id))]))
-            }
-            "ablation" => {
-                let name = match req.get("name") {
-                    Some(Json::Str(s)) => s.clone(),
-                    _ => return Err("ablation needs a string 'name'".into()),
-                };
-                if !["governor", "pcie", "congestion", "plane", "scaling"]
-                    .contains(&name.as_str())
-                {
-                    return Err(format!("unknown ablation '{name}'"));
-                }
-                Ok(single("ablation", vec![("name", Json::str(name))]))
-            }
-            "experiments" => Ok(single("experiments", vec![])),
-            "conformance" => Ok(single("conformance", vec![])),
-            "devices" => Ok(single("devices", vec![])),
-            "profile" => {
-                let sys = system_from(req)?;
-                let workload = match req.get("workload") {
-                    Some(Json::Str(s)) => s.clone(),
-                    _ => return Err("profile needs a string 'workload'".into()),
-                };
-                if !profile::WORKLOADS.iter().any(|(n, _)| *n == workload) {
-                    return Err(format!(
-                        "unknown profile workload '{workload}'; expected one of: {}",
-                        profile::WORKLOADS
-                            .iter()
-                            .map(|(n, _)| *n)
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    ));
-                }
-                Ok(single(
-                    "profile",
-                    vec![
-                        ("system", Json::str(system_name(sys))),
-                        ("workload", Json::str(workload)),
-                    ],
-                ))
-            }
-            "pcie" => {
-                let sys = system_from(req)?;
-                let Some(modes) = req.get("modes").and_then(Json::as_array) else {
-                    return Err("pcie sweep needs a 'modes' array".into());
-                };
-                if modes.is_empty() {
-                    return Err("pcie sweep needs at least one mode".into());
-                }
-                modes
-                    .iter()
-                    .map(|m| {
-                        let name = m.as_str().ok_or("modes must be strings")?;
-                        mode_from(name)?; // validate early, typed error
-                        let params = Json::obj(vec![
-                            ("op", Json::str("pcie")),
-                            ("system", Json::str(system_name(sys))),
-                            ("mode", Json::str(name)),
-                        ]);
-                        Ok(Atom::new(
-                            format!("pcie:{}:{name}", system_name(sys)),
-                            params,
-                        ))
-                    })
-                    .collect()
-            }
-            other => Err(format!(
-                "unknown request kind '{other}'; expected table, figure, ablation, \
-                 experiments, conformance, devices, profile or pcie"
-            )),
-        }
+        atoms_typed(req).map_err(String::from)
     }
 
     fn execute_atom(&self, atom: &Atom) -> Result<Json, String> {
-        let op = atom
-            .params
-            .get("op")
-            .and_then(Json::as_str)
-            .ok_or("atom missing op")?;
-        let text = |s: String| Json::obj(vec![("text", Json::Str(s))]);
-        match op {
-            "table" => {
-                let Some(Json::Int(id)) = atom.params.get("id") else {
-                    return Err("table atom missing id".into());
-                };
-                Ok(text(match id {
-                    1 => tables::render_table1(),
-                    2 => tables::render_table2(),
-                    3 => tables::render_table3(),
-                    4 => tables::render_table4(),
-                    5 => tables::render_table5(),
-                    _ => tables::render_table6(),
-                }))
-            }
-            "figure" => {
-                let Some(Json::Int(id)) = atom.params.get("id") else {
-                    return Err("figure atom missing id".into());
-                };
-                Ok(match id {
-                    1 => Json::obj(vec![(
-                        "csv",
-                        Json::Str(figdata::figure1_csv(&LatsConfig::default())),
-                    )]),
-                    2 => text(figdata::render_figure2()),
-                    3 => text(figdata::render_figure3()),
-                    _ => text(figdata::render_figure4()),
-                })
-            }
-            "ablation" => {
-                let Some(name) = atom.params.get("name").and_then(Json::as_str) else {
-                    return Err("ablation atom missing name".into());
-                };
-                Ok(text(match name {
-                    "governor" => ablations::governor_ablation().render(),
-                    "pcie" => ablations::pcie_ablation().render(),
-                    "congestion" => ablations::congestion_ablation().render(),
-                    "plane" => ablations::plane_ablation().render(),
-                    _ => ablations::scaling_report().render(),
-                }))
-            }
-            "experiments" => json::parse(&experiments::json())
-                .map_err(|e| format!("experiments JSON failed to parse: {e}")),
-            "conformance" => {
-                let line = crate::conformance::verdict()?;
-                Ok(Json::obj(vec![("verdict", Json::Str(line.trim_end().to_string()))]))
-            }
-            "devices" => json::parse(&pvc_arch::query::systems_json())
-                .map_err(|e| format!("devices JSON failed to parse: {e}")),
-            "profile" => {
-                let sys = match atom.params.get("system").and_then(Json::as_str) {
-                    Some("dawn") => System::Dawn,
-                    _ => System::Aurora,
-                };
-                let Some(workload) = atom.params.get("workload").and_then(Json::as_str)
-                else {
-                    return Err("profile atom missing workload".into());
-                };
-                let artifact = profile::run(workload, sys)?;
-                let events = artifact.validate()?;
-                Ok(Json::obj(vec![
-                    ("workload", Json::str(workload)),
-                    ("system", Json::str(system_name(sys))),
-                    ("trace_events", Json::Int(events as i64)),
-                    ("top", Json::Str(artifact.top)),
-                    ("summary", Json::Str(artifact.summary)),
-                ]))
-            }
-            "pcie" => {
-                let sys = match atom.params.get("system").and_then(Json::as_str) {
-                    Some("dawn") => System::Dawn,
-                    _ => System::Aurora,
-                };
-                let mode = mode_from(
-                    atom.params.get("mode").and_then(Json::as_str).unwrap_or(""),
-                )?;
-                let bw = pcie::run(sys, mode).bandwidth;
-                Ok(Json::obj(vec![
-                    ("one_stack_gbs", Json::Num(bw.one_stack / 1e9)),
-                    ("one_pvc_gbs", Json::Num(bw.one_pvc / 1e9)),
-                    ("full_node_gbs", Json::Num(bw.full_node / 1e9)),
-                ]))
-            }
-            other => Err(format!("unknown atom op '{other}'")),
-        }
+        execute_atom_typed(atom).map_err(String::from)
     }
 
     fn assemble(&self, req: &Request, mut parts: Vec<Json>) -> Result<Json, String> {
@@ -285,15 +340,30 @@ impl Executor for CatalogExecutor {
                 .get("modes")
                 .and_then(Json::as_array)
                 .ok_or("pcie request lost its modes")?;
+            // Project each scenario outcome onto the sweep's historical
+            // triplet shape (GB/s at the three scaling levels).
             let pairs = modes
                 .iter()
                 .zip(parts)
-                .map(|(m, part)| (m.as_str().unwrap_or("?").to_string(), part))
+                .map(|(m, part)| {
+                    let gbs = |key: &str| {
+                        part.get("detail")
+                            .and_then(|d| d.get(key))
+                            .and_then(Json::as_num)
+                            .map_or(Json::Null, |v| Json::Num(v / 1e9))
+                    };
+                    let triplet = Json::obj(vec![
+                        ("one_stack_gbs", gbs("one_stack")),
+                        ("one_pvc_gbs", gbs("one_pvc")),
+                        ("full_node_gbs", gbs("full_node")),
+                    ]);
+                    (m.as_str().unwrap_or("?").to_string(), triplet)
+                })
                 .collect();
             return Ok(Json::obj(vec![
                 (
                     "system",
-                    Json::str(system_name(system_from(req)?)),
+                    Json::str(system_from(req).map_err(String::from)?.cli_name()),
                 ),
                 ("modes", Json::Obj(pairs)),
             ]));
@@ -371,6 +441,68 @@ mod tests {
     }
 
     #[test]
+    fn run_and_pcie_sweep_coalesce_on_scenario_id() {
+        // The generic run kind and the pcie sweep resolve to the SAME
+        // ScenarioId-keyed atom, so the simulation runs once.
+        let s = service();
+        let sweep = r#"{"kind":"pcie","system":"aurora","modes":["h2d"]}"#;
+        let run = r#"{"kind":"run","workload":"pcie-h2d","system":"aurora"}"#;
+        let responses = s.handle_lines(&[sweep, run]);
+        assert_eq!(s.metrics().counter("serve.atoms.requested"), 2);
+        assert_eq!(
+            s.metrics().counter("serve.atoms.executed"),
+            1,
+            "pcie-h2d@aurora must coalesce across request kinds"
+        );
+        let value = responses[1]
+            .get("result")
+            .and_then(|r| r.get("value"))
+            .and_then(Json::as_num)
+            .expect("run value");
+        let swept = responses[0]
+            .get("result")
+            .and_then(|r| r.get("modes"))
+            .and_then(|m| m.get("h2d"))
+            .and_then(|t| t.get("full_node_gbs"))
+            .and_then(Json::as_num)
+            .expect("sweep full-node GB/s");
+        assert!((value - swept).abs() < 1e-9, "{value} vs {swept}");
+    }
+
+    #[test]
+    fn run_responses_carry_typed_units() {
+        let s = service();
+        let r = s
+            .handle_lines(&[r#"{"kind":"run","workload":"stream-triad","system":"dawn"}"#])
+            .remove(0);
+        let result = r.get("result").expect("result");
+        assert_eq!(result.get("unit").and_then(Json::as_str), Some("GB/s"));
+        assert_eq!(
+            result.get("citation").and_then(Json::as_str),
+            Some("Table II, §IV-B3")
+        );
+        assert!(result
+            .get("detail")
+            .and_then(|d| d.get("one_stack"))
+            .and_then(Json::as_num)
+            .is_some());
+    }
+
+    #[test]
+    fn list_reports_the_whole_grid() {
+        let s = service();
+        let r = s.handle_lines(&[r#"{"kind":"list"}"#]).remove(0);
+        let result = r.get("result").expect("result");
+        let count = result.get("count").and_then(|c| match c {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        });
+        assert_eq!(count, Some(registry().len() as i64));
+        let arr = result.get("scenarios").and_then(Json::as_array).expect("scenarios");
+        assert_eq!(arr.len(), registry().len());
+    }
+
+    #[test]
     fn bad_catalog_requests_fail_with_guidance() {
         let s = service();
         let cases = [
@@ -378,7 +510,10 @@ mod tests {
             (r#"{"kind":"warp"}"#, "unknown request kind"),
             (r#"{"kind":"profile","workload":"nope"}"#, "unknown profile workload"),
             (r#"{"kind":"pcie","system":"aurora","modes":["sideways"]}"#, "unknown pcie mode"),
-            (r#"{"kind":"profile","workload":"pcie-h2d","system":"h100"}"#, "unknown system"),
+            (r#"{"kind":"profile","workload":"pcie-h2d","system":"h100"}"#, "not registered"),
+            (r#"{"kind":"profile","workload":"pcie-h2d","system":"summit"}"#, "unknown system"),
+            (r#"{"kind":"run","workload":"warpdrive"}"#, "unknown workload"),
+            (r#"{"kind":"run","workload":"stream-triad","system":"h100"}"#, "not registered"),
         ];
         for (line, needle) in cases {
             let r = s.handle_lines(&[line]).remove(0);
@@ -396,7 +531,8 @@ mod tests {
     #[test]
     fn all_catalog_workloads_cache_byte_identically() {
         let s = service();
-        let lines: Vec<String> = profile::WORKLOADS
+        let catalog = profile::workloads(pvc_arch::System::Aurora);
+        let lines: Vec<String> = catalog
             .iter()
             .map(|(name, _)| format!(r#"{{"kind":"profile","workload":"{name}"}}"#))
             .collect();
@@ -404,7 +540,7 @@ mod tests {
         let cold: Vec<String> = s.handle_lines(&refs).iter().map(Json::canonical).collect();
         let warm: Vec<String> = s.handle_lines(&refs).iter().map(Json::canonical).collect();
         assert_eq!(s.metrics().counter("serve.cache.hit"), lines.len() as u64);
-        for ((c, w), (name, _)) in cold.iter().zip(&warm).zip(profile::WORKLOADS) {
+        for ((c, w), (name, _)) in cold.iter().zip(&warm).zip(catalog) {
             assert_eq!(c, w, "{name}: cached response differs from computed");
             assert!(c.contains("\"result\""), "{name}: {c}");
         }

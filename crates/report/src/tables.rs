@@ -2,12 +2,11 @@
 
 use crate::published;
 use crate::render::{opt, TextTable};
+use crate::scenarios::registry;
 use pvc_arch::{Precision, System};
-use pvc_engine::fft_model::FftDim;
 use pvc_memsim::roofline;
-use pvc_microbench::{fftbench, gemmbench, membw, p2p, pcie, peakflops, ScaleTriplet};
 use pvc_miniapps::ScaleLevel;
-use pvc_predict::{fom, AppKind};
+use pvc_scenario::{precision_tag, Outcome, Workload};
 
 /// A (simulated, published) cell pair; published `None` = printed dash.
 #[derive(Debug, Clone, Copy)]
@@ -38,66 +37,58 @@ pub struct ComparisonRow {
 // Table II
 // ---------------------------------------------------------------------
 
-/// Simulated Table II in SI units: the 14 rows × 6 columns.
-pub fn table2() -> Vec<ComparisonRow> {
-    let mut rows = Vec::new();
-    let tri = |a: ScaleTriplet| [a.one_stack, a.one_pvc, a.full_node];
-
-    let mut push = |label: &str, aurora: [f64; 3], dawn: [f64; 3], idx: usize| {
-        let p = &published::TABLE_II[idx];
-        let cells = aurora
+/// The 14 workload slugs of Table II, row order.
+fn table2_slugs() -> Vec<String> {
+    let mut slugs = vec![
+        "peakflops-fp64".to_string(),
+        "peakflops-fp32".to_string(),
+        "stream-triad".to_string(),
+        "pcie-h2d".to_string(),
+        "pcie-d2h".to_string(),
+        "pcie-bidir".to_string(),
+    ];
+    slugs.extend(
+        Precision::GEMM_ORDER
             .iter()
-            .zip(p.aurora.iter())
-            .chain(dawn.iter().zip(p.dawn.iter()))
-            .map(|(&s, &pv)| CellPair {
-                simulated: Some(s),
-                published: Some(pv * p.scale),
-            })
-            .collect();
-        rows.push(ComparisonRow {
-            label: label.to_string(),
-            cells,
-        });
-    };
+            .map(|p| format!("gemm-{}", precision_tag(*p))),
+    );
+    slugs.push("fft-1d".to_string());
+    slugs.push("fft-2d".to_string());
+    slugs
+}
 
-    // Rows 1-2: peak flops.
-    for (i, prec) in [Precision::Fp64, Precision::Fp32].iter().enumerate() {
-        let a = tri(peakflops::run(System::Aurora, *prec).rates);
-        let d = tri(peakflops::run(System::Dawn, *prec).rates);
-        push(published::TABLE_II[i].label, a, d, i);
-    }
-    // Row 3: triad.
-    {
-        let a = tri(membw::run(System::Aurora).bandwidth);
-        let d = tri(membw::run(System::Dawn).bandwidth);
-        push(published::TABLE_II[2].label, a, d, 2);
-    }
-    // Rows 4-6: PCIe.
-    for (i, mode) in [
-        pcie::PcieMode::H2d,
-        pcie::PcieMode::D2h,
-        pcie::PcieMode::Bidirectional,
-    ]
-    .iter()
-    .enumerate()
-    {
-        let a = tri(pcie::run(System::Aurora, *mode).bandwidth);
-        let d = tri(pcie::run(System::Dawn, *mode).bandwidth);
-        push(published::TABLE_II[3 + i].label, a, d, 3 + i);
-    }
-    // Rows 7-12: GEMM.
-    for (i, prec) in Precision::GEMM_ORDER.iter().enumerate() {
-        let a = tri(gemmbench::run(System::Aurora, *prec).rates);
-        let d = tri(gemmbench::run(System::Dawn, *prec).rates);
-        push(published::TABLE_II[6 + i].label, a, d, 6 + i);
-    }
-    // Rows 13-14: FFT.
-    for (i, dim) in [FftDim::OneD, FftDim::TwoD].iter().enumerate() {
-        let a = tri(fftbench::run(System::Aurora, *dim).rates);
-        let d = tri(fftbench::run(System::Dawn, *dim).rates);
-        push(published::TABLE_II[12 + i].label, a, d, 12 + i);
-    }
-    rows
+/// Simulated Table II in SI units: the 14 rows × 6 columns, every cell
+/// pulled through the scenario registry's scaling-triplet detail.
+pub fn table2() -> Vec<ComparisonRow> {
+    let tri = |slug: &str, sys: System| -> [f64; 3] {
+        let out = registry()
+            .run(slug, sys)
+            .unwrap_or_else(|e| panic!("Table II scenario {slug}: {e}"));
+        ["one_stack", "one_pvc", "full_node"]
+            .map(|k| out.detail(k).unwrap_or_else(|| panic!("{slug} lacks {k}")))
+    };
+    table2_slugs()
+        .iter()
+        .enumerate()
+        .map(|(i, slug)| {
+            let p = &published::TABLE_II[i];
+            let a = tri(slug, System::Aurora);
+            let d = tri(slug, System::Dawn);
+            let cells = a
+                .iter()
+                .zip(p.aurora.iter())
+                .chain(d.iter().zip(p.dawn.iter()))
+                .map(|(&s, &pv)| CellPair {
+                    simulated: Some(s),
+                    published: Some(pv * p.scale),
+                })
+                .collect();
+            ComparisonRow {
+                label: p.label.to_string(),
+                cells,
+            }
+        })
+        .collect()
 }
 
 /// Renders Table II with simulated values in the paper's units.
@@ -136,66 +127,43 @@ pub fn render_table2() -> String {
 // Table III
 // ---------------------------------------------------------------------
 
-/// Simulated Table III (SI units).
+/// Simulated Table III (SI units): the four p2p rows, each read off the
+/// registry outcome of the `p2p-local` / `p2p-remote` scenarios.
 pub fn table3() -> Vec<ComparisonRow> {
-    let a_local = p2p::run(System::Aurora, p2p::PairKind::LocalStack);
-    let a_remote = p2p::run(System::Aurora, p2p::PairKind::RemoteStack);
-    let d_local = p2p::run(System::Dawn, p2p::PairKind::LocalStack);
-    let d_remote = p2p::run(System::Dawn, p2p::PairKind::RemoteStack);
+    let p2p = |slug: &str, sys: System| -> Outcome {
+        registry()
+            .run(slug, sys)
+            .unwrap_or_else(|e| panic!("Table III scenario {slug}: {e}"))
+    };
+    let a_local = p2p("p2p-local", System::Aurora);
+    let a_remote = p2p("p2p-remote", System::Aurora);
+    // Dawn remote rows are dashes in the paper; the model can produce
+    // values but the comparison keeps the dash.
+    let d_local = p2p("p2p-local", System::Dawn);
+    let d_remote = p2p("p2p-remote", System::Dawn);
 
-    let make = |label: &str,
-                a1: Option<f64>,
-                an: Option<f64>,
-                d1: Option<f64>,
-                dn: Option<f64>,
-                idx: usize| {
+    let make = |a: &Outcome, d: &Outcome, key: &str, idx: usize| {
+        let all_key = match key {
+            "one_pair_uni" => "all_pairs_uni",
+            _ => "all_pairs_bidi",
+        };
         let p = &published::TABLE_III[idx];
         ComparisonRow {
-            label: label.to_string(),
+            label: p.label.to_string(),
             cells: vec![
-                CellPair { simulated: a1, published: p.aurora[0].map(|v| v * 1e9) },
-                CellPair { simulated: an, published: p.aurora[1].map(|v| v * 1e9) },
-                CellPair { simulated: d1, published: p.dawn[0].map(|v| v * 1e9) },
-                CellPair { simulated: dn, published: p.dawn[1].map(|v| v * 1e9) },
+                CellPair { simulated: a.detail(key), published: p.aurora[0].map(|v| v * 1e9) },
+                CellPair { simulated: a.detail(all_key), published: p.aurora[1].map(|v| v * 1e9) },
+                CellPair { simulated: d.detail(key), published: p.dawn[0].map(|v| v * 1e9) },
+                CellPair { simulated: d.detail(all_key), published: p.dawn[1].map(|v| v * 1e9) },
             ],
         }
     };
 
     vec![
-        make(
-            published::TABLE_III[0].label,
-            Some(a_local.one_pair_uni),
-            Some(a_local.all_pairs_uni),
-            Some(d_local.one_pair_uni),
-            Some(d_local.all_pairs_uni),
-            0,
-        ),
-        make(
-            published::TABLE_III[1].label,
-            Some(a_local.one_pair_bidi),
-            Some(a_local.all_pairs_bidi),
-            Some(d_local.one_pair_bidi),
-            Some(d_local.all_pairs_bidi),
-            1,
-        ),
-        make(
-            published::TABLE_III[2].label,
-            Some(a_remote.one_pair_uni),
-            Some(a_remote.all_pairs_uni),
-            // Dawn remote rows are dashes in the paper; the model can
-            // produce values but the comparison keeps the dash.
-            Some(d_remote.one_pair_uni),
-            Some(d_remote.all_pairs_uni),
-            2,
-        ),
-        make(
-            published::TABLE_III[3].label,
-            Some(a_remote.one_pair_bidi),
-            Some(a_remote.all_pairs_bidi),
-            Some(d_remote.one_pair_bidi),
-            Some(d_remote.all_pairs_bidi),
-            3,
-        ),
+        make(&a_local, &d_local, "one_pair_uni", 0),
+        make(&a_local, &d_local, "one_pair_bidi", 1),
+        make(&a_remote, &d_remote, "one_pair_uni", 2),
+        make(&a_remote, &d_remote, "one_pair_bidi", 3),
     ]
 }
 
@@ -259,10 +227,32 @@ pub fn render_table4() -> String {
 // Table VI
 // ---------------------------------------------------------------------
 
+/// The six app workload families of Table VI, row order.
+const TABLE6_APPS: [Workload; 6] = [
+    Workload::MiniBude,
+    Workload::CloverLeaf,
+    Workload::MiniQmc,
+    Workload::MiniGamess,
+    Workload::OpenMc,
+    Workload::Hacc,
+];
+
+/// The outcome-detail key holding an app FOM at a scaling level.
+fn level_key(level: ScaleLevel) -> &'static str {
+    match level {
+        ScaleLevel::OneStack => "stack",
+        ScaleLevel::OneGpu => "gpu",
+        ScaleLevel::FullNode => "node",
+    }
+}
+
 /// Simulated Table VI paired with the published FOMs. Ten columns as
-/// printed: Aurora ×3, Dawn ×3, H100 ×2, MI250 ×2.
+/// printed: Aurora ×3, Dawn ×3, H100 ×2, MI250 ×2. Every cell comes
+/// from an app scenario's per-level detail; a missing detail key or an
+/// unregistered pair (mini-GAMESS on MI250) prints as a dash, matching
+/// the paper.
 pub fn table6() -> Vec<ComparisonRow> {
-    AppKind::ALL
+    TABLE6_APPS
         .iter()
         .zip(published::TABLE_VI.iter())
         .map(|(&app, p)| {
@@ -285,9 +275,10 @@ pub fn table6() -> Vec<ComparisonRow> {
                     &p.mi250[..],
                 ),
             ] {
+                let out = registry().run(app.family(), sys).ok();
                 for (level, pv) in levels.iter().zip(pubs.iter()) {
                     cells.push(CellPair {
-                        simulated: fom(app, sys, *level),
+                        simulated: out.as_ref().and_then(|o| o.detail(level_key(*level))),
                         published: *pv,
                     });
                 }

@@ -1,0 +1,115 @@
+//! Registry completeness: the one dispatch layer really covers every
+//! catalog the repo keeps — Table I rows, the 10-workload profile
+//! catalog, and the pvc-validate expectation pins all resolve to
+//! registered scenarios, and no registered workload family is orphaned
+//! from the paper's catalogs in the reverse direction.
+
+use pvc_arch::System;
+use pvc_report::scenarios::registry;
+use pvc_scenario::Workload;
+use std::collections::BTreeSet;
+
+/// Families registered on any system.
+fn registered_families() -> BTreeSet<&'static str> {
+    registry().iter().map(|s| s.id().workload.family()).collect()
+}
+
+#[test]
+fn grid_has_the_expected_size() {
+    // 61 standard scenarios + the figure pipeline on both PVC systems.
+    assert_eq!(registry().len(), 63);
+}
+
+#[test]
+fn every_table1_row_resolves_to_registered_scenarios() {
+    let families = registered_families();
+    for entry in pvc_microbench::catalog::TABLE_I {
+        for slug in entry.workloads {
+            assert!(
+                families.contains(slug),
+                "Table I row '{}' binds workload family '{slug}' with no registered scenario",
+                entry.name
+            );
+            // The family has at least one concrete scenario on Aurora.
+            assert!(
+                registry()
+                    .iter()
+                    .any(|s| s.id().workload.family() == *slug
+                        && s.id().system == System::Aurora),
+                "family '{slug}' has no Aurora scenario"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_profile_name_resolves() {
+    let profiles = pvc_report::profile::workloads(System::Aurora);
+    assert_eq!(profiles.len(), 10, "the profile catalog is 10 workloads");
+    for (name, _) in profiles {
+        registry()
+            .profile(name, System::Aurora)
+            .unwrap_or_else(|e| panic!("profile '{name}': {e}"));
+    }
+}
+
+#[test]
+fn every_expectation_pin_resolves_in_the_report_registry() {
+    // Unlike the standard grid, the report registry also holds the
+    // figure pipeline, so here NO pin is exempt.
+    for e in pvc_validate::catalog() {
+        let Some(id) = e.scenario else { continue };
+        let resolved = registry()
+            .get(&id.slug(), id.system)
+            .unwrap_or_else(|err| panic!("expectation '{}': {err}", e.id));
+        assert_eq!(resolved.id(), id, "expectation '{}' binding drifted", e.id);
+    }
+}
+
+#[test]
+fn no_registered_family_is_orphaned() {
+    // Reverse direction: every registered family is accounted for by a
+    // paper catalog — Table I (microbenchmarks), Table V/VI (apps), the
+    // fabric section, or the figure pipeline.
+    let table1: BTreeSet<&str> = pvc_microbench::catalog::TABLE_I
+        .iter()
+        .flat_map(|e| e.workloads.iter().copied())
+        .collect();
+    let apps: BTreeSet<&str> = [
+        Workload::MiniBude,
+        Workload::CloverLeaf,
+        Workload::MiniQmc,
+        Workload::MiniGamess,
+        Workload::OpenMc,
+        Workload::Hacc,
+    ]
+    .iter()
+    .map(|w| w.family())
+    .collect();
+    for family in registered_families() {
+        let accounted = table1.contains(family)
+            || apps.contains(family)
+            || family == "allreduce" // §IV-A4, fabric model
+            || family == "figures"; // Figures 2-4 pipeline
+        assert!(accounted, "registered family '{family}' maps to no catalog");
+    }
+    // And the full workload enum is exercised: nothing declared in
+    // pvc-scenario is left unregistered.
+    let families = registered_families();
+    for w in Workload::ALL {
+        assert!(families.contains(w.family()), "workload {w:?} never registered");
+    }
+}
+
+#[test]
+fn uncovered_scenario_keys_parse_back_into_the_grid() {
+    let uncovered = pvc_validate::uncovered_scenarios();
+    assert!(!uncovered.is_empty());
+    for key in &uncovered {
+        let (slug, sys) = key.split_once('@').expect("key is slug@system");
+        let system: System = sys.parse().unwrap_or_else(|e| panic!("{key}: {e}"));
+        registry()
+            .get(slug, system)
+            .unwrap_or_else(|e| panic!("uncovered key '{key}' does not resolve: {e}"));
+    }
+}

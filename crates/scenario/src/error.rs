@@ -1,0 +1,117 @@
+//! Typed errors for scenario lookup and execution, mirroring the
+//! `FlowError` precedent in `pvc-simrt`: every "unknown name" variant
+//! carries the valid catalog so frontends can echo it verbatim.
+
+use pvc_arch::UnknownSystem;
+use std::fmt;
+
+/// Why a scenario lookup or a scenario-backed request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The workload slug matched no registered family.
+    UnknownWorkload {
+        /// The slug that failed to resolve.
+        got: String,
+        /// Every registered workload slug, registry order.
+        catalog: Vec<String>,
+    },
+    /// The profile name matched no registered profile workload.
+    UnknownProfile {
+        /// The name that failed to resolve.
+        got: String,
+        /// Every profile workload name, catalog order.
+        catalog: Vec<String>,
+    },
+    /// The system name matched none of the four systems.
+    UnknownSystem(UnknownSystem),
+    /// The workload exists but is not registered on this system (e.g.
+    /// Table II microbenchmarks on the non-PVC comparison nodes).
+    Unregistered {
+        /// The workload slug.
+        workload: String,
+        /// The system it was requested on.
+        system: String,
+        /// Systems the workload IS registered on.
+        available: Vec<&'static str>,
+    },
+    /// A malformed request field outside the scenario namespace (kept
+    /// here so `report::serve` has a single error type end to end).
+    BadRequest(String),
+}
+
+impl ScenarioError {
+    /// Convenience constructor used at serve/CLI boundaries.
+    pub fn bad_request(msg: impl Into<String>) -> Self {
+        ScenarioError::BadRequest(msg.into())
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownWorkload { got, catalog } => write!(
+                f,
+                "unknown workload '{got}'; expected one of: {}",
+                catalog.join(", ")
+            ),
+            ScenarioError::UnknownProfile { got, catalog } => write!(
+                f,
+                "unknown profile workload '{got}'; expected one of: {}",
+                catalog.join(", ")
+            ),
+            ScenarioError::UnknownSystem(e) => write!(f, "{e}"),
+            ScenarioError::Unregistered {
+                workload,
+                system,
+                available,
+            } => write!(
+                f,
+                "workload '{workload}' is not registered on system '{system}'; available on: {}",
+                available.join(", ")
+            ),
+            ScenarioError::BadRequest(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<UnknownSystem> for ScenarioError {
+    fn from(e: UnknownSystem) -> Self {
+        ScenarioError::UnknownSystem(e)
+    }
+}
+
+/// `pvc-serve`'s `Executor` trait speaks `Result<_, String>`; this keeps
+/// the typed enum inside the report/scenario layers and converts once at
+/// that boundary.
+impl From<ScenarioError> for String {
+    fn from(e: ScenarioError) -> Self {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_variants_carry_the_catalog() {
+        let e = ScenarioError::UnknownProfile {
+            got: "bogus".into(),
+            catalog: vec!["pcie-h2d".into(), "allreduce".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("unknown profile workload 'bogus'"));
+        assert!(msg.contains("pcie-h2d"));
+        assert!(msg.contains("allreduce"));
+    }
+
+    #[test]
+    fn system_errors_convert_and_stringify() {
+        let e: ScenarioError = "polaris".parse::<pvc_arch::System>().unwrap_err().into();
+        let s: String = e.into();
+        assert!(s.contains("unknown system 'polaris'"));
+        assert!(s.contains("mi250"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Typed figures of merit.
+//!
+//! Every scenario reports exactly one headline [`Fom`]; the unit, the
+//! display scale and the "which way is better" direction travel with the
+//! value instead of living in each renderer's head.
+
+use std::fmt;
+
+/// The kind of figure of merit a scenario reports, without a value.
+/// Lets `reproduce list` print units and directions without running
+/// anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FomKind {
+    /// Transfer or memory bandwidth, reported in GB/s (SI, ÷1e9).
+    Bandwidth,
+    /// Compute throughput, reported in TFLOP/s (÷1e12). Int8 GEMM
+    /// overrides the printed unit to TIop/s via [`crate::Scenario::unit`].
+    Throughput,
+    /// Access or operation latency, reported in µs; lower is better.
+    Latency,
+    /// Application figure of merit per second (Table VI's unit).
+    FomRate,
+    /// Dimensionless ratio (relative-performance figures).
+    Ratio,
+}
+
+impl FomKind {
+    /// Default unit string for this kind.
+    pub fn unit(self) -> &'static str {
+        match self {
+            FomKind::Bandwidth => "GB/s",
+            FomKind::Throughput => "TFlop/s",
+            FomKind::Latency => "us",
+            FomKind::FomRate => "FOM/s",
+            FomKind::Ratio => "ratio",
+        }
+    }
+
+    /// True when a larger value is the better result (false only for
+    /// latency).
+    pub fn higher_is_better(self) -> bool {
+        !matches!(self, FomKind::Latency)
+    }
+}
+
+/// A figure of merit with its value. Raw values are stored in base SI
+/// units (bytes/s, flop/s, seconds); [`Fom::value`] applies the display
+/// scale the paper's tables use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fom {
+    /// Bandwidth in bytes/s.
+    Bandwidth(f64),
+    /// Throughput in flop/s (or iop/s for integer GEMM).
+    Throughput(f64),
+    /// Latency in seconds.
+    Latency(f64),
+    /// Application FOM per second.
+    FomRate(f64),
+    /// Dimensionless ratio.
+    Ratio(f64),
+}
+
+impl Fom {
+    /// The kind, without the value.
+    pub fn kind(self) -> FomKind {
+        match self {
+            Fom::Bandwidth(_) => FomKind::Bandwidth,
+            Fom::Throughput(_) => FomKind::Throughput,
+            Fom::Latency(_) => FomKind::Latency,
+            Fom::FomRate(_) => FomKind::FomRate,
+            Fom::Ratio(_) => FomKind::Ratio,
+        }
+    }
+
+    /// The raw value in base SI units.
+    pub fn raw(self) -> f64 {
+        match self {
+            Fom::Bandwidth(v)
+            | Fom::Throughput(v)
+            | Fom::Latency(v)
+            | Fom::FomRate(v)
+            | Fom::Ratio(v) => v,
+        }
+    }
+
+    /// The value at the display scale of [`FomKind::unit`]: GB/s,
+    /// TFLOP/s, µs, FOM/s, ratio.
+    pub fn value(self) -> f64 {
+        match self {
+            Fom::Bandwidth(v) => v / 1e9,
+            Fom::Throughput(v) => v / 1e12,
+            Fom::Latency(v) => v * 1e6,
+            Fom::FomRate(v) | Fom::Ratio(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for Fom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} {}", self.value(), self.kind().unit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_scales_match_paper_units() {
+        assert_eq!(Fom::Bandwidth(51.2e9).value(), 51.2);
+        assert_eq!(Fom::Throughput(17.3e12).value(), 17.3);
+        assert!((Fom::Latency(2.5e-6).value() - 2.5).abs() < 1e-12);
+        assert_eq!(Fom::FomRate(319.0).value(), 319.0);
+        assert_eq!(Fom::Bandwidth(51.2e9).to_string(), "51.20 GB/s");
+    }
+
+    #[test]
+    fn only_latency_prefers_lower() {
+        for k in [
+            FomKind::Bandwidth,
+            FomKind::Throughput,
+            FomKind::FomRate,
+            FomKind::Ratio,
+        ] {
+            assert!(k.higher_is_better());
+        }
+        assert!(!FomKind::Latency.higher_is_better());
+    }
+}

@@ -1,0 +1,220 @@
+//! Typed scenario identity: which workload, on which system, with which
+//! parameters. A [`ScenarioId`] is the single key every dispatch layer
+//! (tables, figures, profiles, serving, conformance) agrees on.
+
+use pvc_arch::System;
+use pvc_engine::fft_model::FftDim;
+use pvc_microbench::p2p::PairKind;
+use pvc_microbench::pcie::PcieMode;
+use pvc_miniapps::ScaleLevel;
+use std::fmt;
+
+/// The workload families of the paper's grid: seven microbenchmarks
+/// (Table I), the fabric allreduce, four mini-apps and two applications
+/// (Tables V/VI), plus the Figures 2–4 render pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Workload {
+    /// Chain-of-FMA peak compute (Table I row 1, Table II rows 1–2).
+    PeakFlops,
+    /// STREAM triad HBM bandwidth (Table I row 2, Table II row 3).
+    StreamTriad,
+    /// Host↔device PCIe transfers (Table I row 3, Table II rows 4–6).
+    Pcie,
+    /// Stack-to-stack point-to-point (Table I row 4, Table III).
+    P2p,
+    /// oneMKL GEMM, six precisions (Table I row 5, Table II rows 7–12).
+    Gemm,
+    /// oneMKL FFT 1D/2D (Table I row 6, Table II rows 13–14).
+    Fft,
+    /// `lats` pointer-chase latency (Table I row 7, Figure 1).
+    Lats,
+    /// Full-node ring allreduce over the modelled fabric (§IV-A4).
+    Allreduce,
+    /// miniBUDE molecular docking (Table VI row 1).
+    MiniBude,
+    /// CloverLeaf hydrodynamics (Table VI row 2).
+    CloverLeaf,
+    /// miniQMC diffusion Monte Carlo (Table VI row 3).
+    MiniQmc,
+    /// mini-GAMESS RI-MP2 (Table VI row 4).
+    MiniGamess,
+    /// OpenMC neutron transport (Table VI row 5).
+    OpenMc,
+    /// CRK-HACC cosmology (Table VI row 6).
+    Hacc,
+    /// The Figures 2–4 relative-performance render pipeline (§V-A).
+    Figures,
+}
+
+impl Workload {
+    /// Every workload family, table order.
+    pub const ALL: [Workload; 15] = [
+        Workload::PeakFlops,
+        Workload::StreamTriad,
+        Workload::Pcie,
+        Workload::P2p,
+        Workload::Gemm,
+        Workload::Fft,
+        Workload::Lats,
+        Workload::Allreduce,
+        Workload::MiniBude,
+        Workload::CloverLeaf,
+        Workload::MiniQmc,
+        Workload::MiniGamess,
+        Workload::OpenMc,
+        Workload::Hacc,
+        Workload::Figures,
+    ];
+
+    /// Family name: the slug prefix shared by every parameterisation.
+    pub fn family(self) -> &'static str {
+        match self {
+            Workload::PeakFlops => "peakflops",
+            Workload::StreamTriad => "stream-triad",
+            Workload::Pcie => "pcie",
+            Workload::P2p => "p2p",
+            Workload::Gemm => "gemm",
+            Workload::Fft => "fft",
+            Workload::Lats => "lats",
+            Workload::Allreduce => "allreduce",
+            Workload::MiniBude => "minibude",
+            Workload::CloverLeaf => "cloverleaf",
+            Workload::MiniQmc => "miniqmc",
+            Workload::MiniGamess => "minigamess",
+            Workload::OpenMc => "openmc",
+            Workload::Hacc => "hacc",
+            Workload::Figures => "figures",
+        }
+    }
+}
+
+/// Typed sub-parameters distinguishing scenarios within one family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Params {
+    /// The family has exactly one configuration.
+    #[default]
+    None,
+    /// Numeric precision (peakflops, GEMM).
+    Prec(pvc_arch::Precision),
+    /// PCIe direction mix.
+    Mode(PcieMode),
+    /// FFT dimensionality.
+    Dim(FftDim),
+    /// Point-to-point pair locality.
+    Pair(PairKind),
+    /// App scaling level (the headline Table VI column).
+    Level(ScaleLevel),
+}
+
+/// Canonical tag of a precision inside a slug (`fp64`, `int8`, …).
+pub fn precision_tag(p: pvc_arch::Precision) -> &'static str {
+    use pvc_arch::Precision;
+    match p {
+        Precision::Fp64 => "fp64",
+        Precision::Fp32 => "fp32",
+        Precision::Fp16 => "fp16",
+        Precision::Bf16 => "bf16",
+        Precision::Tf32 => "tf32",
+        Precision::Fp8 => "fp8",
+        Precision::Int8 => "int8",
+    }
+}
+
+impl Params {
+    /// Slug suffix (empty for [`Params::None`] and app levels, which are
+    /// carried by the registration rather than the name).
+    fn tag(self) -> &'static str {
+        match self {
+            Params::None | Params::Level(_) => "",
+            Params::Prec(p) => precision_tag(p),
+            Params::Mode(PcieMode::H2d) => "h2d",
+            Params::Mode(PcieMode::D2h) => "d2h",
+            Params::Mode(PcieMode::Bidirectional) => "bidir",
+            Params::Dim(FftDim::OneD) => "1d",
+            Params::Dim(FftDim::TwoD) => "2d",
+            Params::Pair(PairKind::LocalStack) => "local",
+            Params::Pair(PairKind::RemoteStack) => "remote",
+        }
+    }
+}
+
+/// The typed identity of one scenario: a (workload, params, system)
+/// triple. Two scenarios are the same iff their ids are equal — serve
+/// atoms, profile runs and conformance bindings all key on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScenarioId {
+    /// Workload family.
+    pub workload: Workload,
+    /// Sub-parameters within the family.
+    pub params: Params,
+    /// The system the pair runs on.
+    pub system: System,
+}
+
+impl ScenarioId {
+    /// Builds an id.
+    pub const fn new(workload: Workload, params: Params, system: System) -> Self {
+        ScenarioId {
+            workload,
+            params,
+            system,
+        }
+    }
+
+    /// The workload slug: family plus parameter tag (`pcie-h2d`,
+    /// `gemm-int8`, `stream-triad`). App levels are not part of the slug
+    /// — each app registers exactly one headline scenario per system.
+    pub fn slug(&self) -> String {
+        let tag = self.params.tag();
+        if tag.is_empty() {
+            self.workload.family().to_string()
+        } else {
+            format!("{}-{tag}", self.workload.family())
+        }
+    }
+
+    /// The full grid key: `slug@system` (`stream-triad@aurora`). Used as
+    /// the serve-atom coalescing key and in `reproduce list`.
+    pub fn key(&self) -> String {
+        format!("{}@{}", self.slug(), self.system.cli_name())
+    }
+}
+
+impl fmt::Display for ScenarioId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_arch::Precision;
+
+    #[test]
+    fn slugs_compose_family_and_tag() {
+        let id = ScenarioId::new(Workload::Gemm, Params::Prec(Precision::Int8), System::Aurora);
+        assert_eq!(id.slug(), "gemm-int8");
+        assert_eq!(id.key(), "gemm-int8@aurora");
+        let id = ScenarioId::new(Workload::StreamTriad, Params::None, System::Dawn);
+        assert_eq!(id.key(), "stream-triad@dawn");
+        let id = ScenarioId::new(
+            Workload::CloverLeaf,
+            Params::Level(ScaleLevel::FullNode),
+            System::JlseH100,
+        );
+        assert_eq!(id.key(), "cloverleaf@h100");
+    }
+
+    #[test]
+    fn ids_hash_and_compare_by_value() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        for w in Workload::ALL {
+            for sys in System::ALL {
+                set.insert(ScenarioId::new(w, Params::None, sys));
+            }
+        }
+        assert_eq!(set.len(), Workload::ALL.len() * System::ALL.len());
+    }
+}

@@ -1,0 +1,34 @@
+//! # pvc-scenario — the typed scenario registry
+//!
+//! The paper's whole argument is a *grid*: seven microbenchmarks, four
+//! mini-apps and two applications, each run on up to four systems
+//! (Tables I–III and VI, Figures 1–4). This crate makes that grid a
+//! first-class value instead of five parallel dispatch tables:
+//!
+//! - [`ScenarioId`] — the typed (workload, params, system) identity every
+//!   layer keys on: serve-atom coalescing, profile runs, conformance
+//!   bindings, CLI verbs.
+//! - [`Scenario`] — one runnable grid cell: how to run it, what [`Fom`]
+//!   it reports (with unit and direction), where the paper cites it, and
+//!   whether it answers to a `reproduce profile` name.
+//! - [`Registry`] — the enumeration of every registered pair.
+//!   [`Registry::standard`] builds the paper's grid; higher layers (the
+//!   report crate's figure pipeline) register extensions on top.
+//! - [`ScenarioError`] — typed lookup failures that carry the valid
+//!   catalog, mirroring the `FlowError` precedent.
+//!
+//! Adding a workload or a system is one registration here; tables,
+//! figures, profiles, the query service and the conformance harness pick
+//! it up without edits.
+
+pub mod error;
+pub mod fom;
+pub mod id;
+pub mod registry;
+pub mod scenario;
+
+pub use error::ScenarioError;
+pub use fom::{Fom, FomKind};
+pub use id::{precision_tag, Params, ScenarioId, Workload};
+pub use registry::{app_kind, Registry};
+pub use scenario::{Ctx, Outcome, Scenario};

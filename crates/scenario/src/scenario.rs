@@ -1,0 +1,87 @@
+//! The [`Scenario`] trait: one runnable cell of the paper's grid.
+
+use crate::fom::{Fom, FomKind};
+use crate::id::ScenarioId;
+use pvc_obs::Tracer;
+
+/// Execution context handed to [`Scenario::run`]. Owns the tracer so a
+/// profile run and a quiet run are the same code path — the tracer is a
+/// one-branch no-op when disabled and provably bit-non-perturbing.
+#[derive(Debug)]
+pub struct Ctx {
+    /// The attached tracer (disabled for plain runs, recording for
+    /// `reproduce profile`).
+    pub tracer: Tracer,
+}
+
+impl Ctx {
+    /// A context with tracing off: the normal table/figure/serve path.
+    pub fn quiet() -> Self {
+        Ctx {
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// A context that records every span — the `reproduce profile` path.
+    pub fn recording() -> Self {
+        Ctx {
+            tracer: Tracer::recording(),
+        }
+    }
+}
+
+/// The result of running one scenario.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Which scenario produced this.
+    pub id: ScenarioId,
+    /// The headline figure of merit.
+    pub fom: Fom,
+    /// Secondary values in base SI units, keyed by a stable name (e.g.
+    /// the three scaling levels of a Table II triplet). Renderers pick
+    /// the entries they need; order is stable and deterministic.
+    pub detail: Vec<(&'static str, f64)>,
+}
+
+impl Outcome {
+    /// Looks up one detail entry by key.
+    pub fn detail(&self, key: &str) -> Option<f64> {
+        self.detail.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+}
+
+/// One workload × system cell of the paper's grid. Everything that used
+/// to live in five dispatch tables — how to run it, what it measures,
+/// where the paper reports it — hangs off this trait.
+///
+/// `Send + Sync` so a registry can live in a process-wide static and
+/// serve parallel atom execution.
+pub trait Scenario: Send + Sync {
+    /// The typed identity (workload, params, system).
+    fn id(&self) -> ScenarioId;
+
+    /// The kind of figure of merit this scenario reports.
+    fn fom_kind(&self) -> FomKind;
+
+    /// Unit string; defaults to the kind's unit. Int8 GEMM overrides to
+    /// `TIop/s`.
+    fn unit(&self) -> &'static str {
+        self.fom_kind().unit()
+    }
+
+    /// Where the paper reports this scenario (table/figure/section).
+    fn citation(&self) -> &'static str;
+
+    /// One-line description for `reproduce list` and profile catalogs.
+    fn description(&self) -> &'static str;
+
+    /// The name this scenario answers to in the `reproduce profile`
+    /// catalog, if it is a profile workload.
+    fn profile_name(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Runs the scenario under `ctx`, returning the outcome. Must be
+    /// deterministic: same id, same outcome, byte-identical trace.
+    fn run(&self, ctx: &mut Ctx) -> Outcome;
+}

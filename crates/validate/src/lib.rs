@@ -6,7 +6,10 @@
 //! * [`expectations`] — the golden catalog: every published value we
 //!   pin, as a typed [`expectations::Expectation`] with the printed
 //!   number, a tolerance band, and a citation
-//!   (`"Table II row 3, Aurora 6 PVC"`).
+//!   (`"Table II row 3, Aurora 6 PVC"`). Grid expectations bind to a
+//!   `pvc_scenario::ScenarioId` and recompute through the scenario
+//!   registry, so [`expectations::uncovered_scenarios`] can flag
+//!   registered pairs with no published pin.
 //! * [`conformance`] — the runner: recomputes each expectation from
 //!   `pvc-microbench` / `pvc-miniapps` / `pvc-predict` and groups
 //!   pass/fail per paper element. [`conformance::run`] returns the
@@ -26,4 +29,4 @@ pub mod expectations;
 pub mod metamorphic;
 
 pub use conformance::{run, Conformance, ConformanceReport, ElementReport};
-pub use expectations::{catalog, Expectation};
+pub use expectations::{catalog, uncovered_scenarios, Expectation};

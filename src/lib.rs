@@ -34,6 +34,7 @@
 //! | [`miniapps`] | pvc-miniapps | miniBUDE, CloverLeaf, miniQMC, mini-GAMESS |
 //! | [`apps`] | pvc-apps | OpenMC-like transport, CRK-HACC-like N-body |
 //! | [`predict`] | pvc-predict | expected-ratio model (Figures 2–4) |
+//! | [`scenario`] | pvc-scenario | typed workload × system registry |
 //! | [`report`] | pvc-report | table/figure regeneration |
 //! | [`serve`] | pvc-serve | batching/caching query service core |
 //! | [`validate`] | pvc-validate | golden conformance + metamorphic suites |
@@ -49,6 +50,7 @@ pub use pvc_microbench as microbench;
 pub use pvc_miniapps as miniapps;
 pub use pvc_predict as predict;
 pub use pvc_report as report;
+pub use pvc_scenario as scenario;
 pub use pvc_serve as serve;
 pub use pvc_simrt as simrt;
 pub use pvc_validate as validate;
@@ -61,6 +63,7 @@ pub mod prelude {
     pub use pvc_fabric::{Comm, NodeFabric, StackId};
     pub use pvc_miniapps::ScaleLevel;
     pub use pvc_predict::{fom, AppKind};
+    pub use pvc_scenario::{Fom, Registry, Scenario, ScenarioId, Workload};
     pub use pvc_simrt::{EventSim, FlowNetwork, FlowSpec, Time};
 }
 
@@ -81,5 +84,15 @@ mod tests {
             .find(|b| b.app == AppKind::MiniBude && b.level == ScaleLevel::OneStack)
             .unwrap();
         assert!(bar.measured.is_some() && bar.expected.is_some());
+    }
+
+    #[test]
+    fn facade_exposes_the_scenario_registry() {
+        // The same dispatch layer the tables, profiles, serve executor
+        // and conformance use, reachable from the prelude.
+        let reg = Registry::standard();
+        let out = reg.run("stream-triad", System::Aurora).unwrap();
+        // Table II row 3, Aurora 6 PVC: ~12 TB/s.
+        assert!((out.fom.value() / 1e3 - 12.0).abs() < 1.0, "{}", out.fom);
     }
 }
