@@ -90,4 +90,15 @@ run cargo run --offline --release -p pvc-report --bin reproduce \
 test -s "$serve_dir/run-a.out"
 run cmp "$serve_dir/run-a.out" "$serve_dir/run-b.out"
 
+# 9. Bench smoke: the serving bench runs end to end at minimal sample
+#    count and writes a trajectory file the workspace's own JSON parser
+#    accepts (write_json self-validates by round-tripping through
+#    pvc_core::json before writing; an unparseable file never lands).
+run env PVC_BENCH_SAMPLES=2 cargo bench --offline -p pvc-bench --bench serve \
+  -- --json "$serve_dir/BENCH_serve.json" > /dev/null
+test -s "$serve_dir/BENCH_serve.json"
+run grep -q '"schema": "pvc-bench/v1"' "$serve_dir/BENCH_serve.json"
+run grep -q '"name": "serve/table2_cold_miss"' "$serve_dir/BENCH_serve.json"
+run grep -q '"name": "serve/allocate_1k_flows"' "$serve_dir/BENCH_serve.json"
+
 echo "ci: all gates green"

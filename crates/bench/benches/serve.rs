@@ -60,6 +60,33 @@ fn serve_singleflight(c: &mut Criterion) {
     g.finish();
 }
 
+/// Raw solver throughput: 1000 staggered flows contending on a small
+/// shared-resource mesh, run to quiescence. Exercises the incremental
+/// max–min solver (arrival calendar, component re-solve) directly,
+/// without the serving layer in front.
+fn flow_allocate_1k(c: &mut Criterion) {
+    use pvc_simrt::{FlowNetwork, FlowSpec, Time};
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.bench_function("allocate_1k_flows", |b| {
+        b.iter(|| {
+            let mut net = FlowNetwork::new();
+            let pools: Vec<_> = (0..8).map(|_| net.add_resource(100.0)).collect();
+            let links: Vec<_> = (0..64).map(|_| net.add_resource(50.0)).collect();
+            for i in 0..1000usize {
+                net.add_flow(FlowSpec {
+                    start: Time::from_secs(i as f64 * 0.01),
+                    bytes: 40.0 + (i % 17) as f64,
+                    path: vec![links[i % 64], pools[i % 8]],
+                    latency: 0.0,
+                });
+            }
+            black_box(net.run());
+        })
+    });
+    g.finish();
+}
+
 /// Overlapping PCIe sweeps: reports the measured coalescing factor
 /// (atoms requested / atoms executed) alongside the timing.
 fn serve_sweep_coalescing(c: &mut Criterion) {
@@ -86,6 +113,7 @@ criterion_group!(
     serve_benches,
     serve_cache_miss,
     serve_cache_hit,
+    flow_allocate_1k,
     serve_singleflight,
     serve_sweep_coalescing,
 );

@@ -21,6 +21,7 @@
 //! `sample_size` timed samples after one warm-up call and reports the
 //! median time per iteration plus derived throughput.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Units a benchmark processes per iteration, for derived rates.
@@ -32,6 +33,20 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// One finished benchmark, kept for the `--json` trajectory file.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full name ("group/bench").
+    pub name: String,
+    pub median_ns: u64,
+    pub lo_ns: u64,
+    pub hi_ns: u64,
+    pub samples: usize,
+}
+
+/// Results accumulated by every `run_one` in this process, in run order.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
 /// Top-level harness handle passed to every bench function.
 #[derive(Default)]
 pub struct Criterion {
@@ -41,10 +56,13 @@ pub struct Criterion {
 
 impl Criterion {
     fn sample_size_or_default(&self) -> usize {
-        if self.default_sample_size == 0 {
-            20
-        } else {
-            self.default_sample_size
+        if self.default_sample_size != 0 {
+            return self.default_sample_size;
+        }
+        // CI smoke runs dial every bench down without editing sources.
+        match std::env::var("PVC_BENCH_SAMPLES") {
+            Ok(v) => v.parse::<usize>().map(|n| n.max(2)).unwrap_or(20),
+            Err(_) => 20,
         }
     }
 
@@ -79,9 +97,15 @@ impl BenchmarkGroup<'_> {
         self.throughput = Some(t);
     }
 
-    /// Overrides the number of timed samples.
+    /// Overrides the number of timed samples. A `PVC_BENCH_SAMPLES`
+    /// environment override caps even explicit settings, so smoke runs
+    /// stay fast without editing bench sources.
     pub fn sample_size(&mut self, n: usize) {
-        self.sample_size = n.max(2);
+        let cap = std::env::var("PVC_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(usize::MAX);
+        self.sample_size = n.min(cap).max(2);
     }
 
     /// Times `f` and prints `group/name: median ± spread`.
@@ -145,6 +169,59 @@ fn run_one(
         hi,
         rate.unwrap_or_default()
     );
+    RESULTS.lock().expect("results lock").push(BenchRecord {
+        name: name.to_string(),
+        median_ns: median.as_nanos() as u64,
+        lo_ns: lo.as_nanos() as u64,
+        hi_ns: hi.as_nanos() as u64,
+        samples,
+    });
+}
+
+/// Serializes every recorded result through `pvc_core::json` and writes
+/// it to `path`. The rendered document is parsed back with the same
+/// library before writing — a malformed trajectory file is a bug, not
+/// an artifact.
+pub fn write_json(path: &str) {
+    use pvc_core::json::Json;
+    let recs = RESULTS.lock().expect("results lock");
+    let arr = recs
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("name", Json::str(r.name.clone())),
+                ("median_ns", Json::Int(r.median_ns as i64)),
+                ("lo_ns", Json::Int(r.lo_ns as i64)),
+                ("hi_ns", Json::Int(r.hi_ns as i64)),
+                ("samples", Json::Int(r.samples as i64)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("schema", Json::str("pvc-bench/v1")),
+        ("results", Json::Arr(arr)),
+    ]);
+    let mut text = doc.pretty();
+    text.push('\n');
+    pvc_core::json::parse(&text).expect("bench json must round-trip through pvc_core::json");
+    std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {} bench results to {path}", recs.len());
+}
+
+/// Handles trailing binary arguments: `--json <path>` writes the
+/// trajectory file after all groups ran. Unknown flags (cargo passes
+/// `--bench` to harness-less binaries) are ignored. Called by
+/// [`criterion_main!`].
+pub fn finish_from_args() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let path = args
+                .next()
+                .unwrap_or_else(|| panic!("--json requires a path argument"));
+            write_json(&path);
+        }
+    }
 }
 
 /// Criterion-compatible group macro: defines a function running each
@@ -159,11 +236,16 @@ macro_rules! criterion_group {
     };
 }
 
-/// Criterion-compatible entry-point macro.
+/// Criterion-compatible entry-point macro. After all groups run, the
+/// binary honors a trailing `--json <path>` argument (see
+/// [`finish_from_args`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($g:ident),+ $(,)?) => {
-        fn main() { $( $g(); )+ }
+        fn main() {
+            $( $g(); )+
+            $crate::finish_from_args();
+        }
     };
 }
 

@@ -62,13 +62,24 @@ fn verify_roundtrip_2d(edge: usize) -> f64 {
 
 /// Runs the benchmark. The verification transform uses the real paper 1D
 /// sizes and a reduced 2D edge (the model rate is size-independent).
+/// The round-trips depend only on the dimensionality — fixed inputs,
+/// no system parameters — so each runs once per process and is reused
+/// for every Table II cell.
 pub fn run(system: System, dim: FftDim) -> FftResult {
     let verification_error = match dim {
-        FftDim::OneD => SIZES_1D
-            .iter()
-            .map(|&n| verify_roundtrip_1d(n))
-            .fold(0.0, f64::max),
-        FftDim::TwoD => verify_roundtrip_2d(100),
+        FftDim::OneD => {
+            static ERR_1D: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+            *ERR_1D.get_or_init(|| {
+                SIZES_1D
+                    .iter()
+                    .map(|&n| verify_roundtrip_1d(n))
+                    .fold(0.0, f64::max)
+            })
+        }
+        FftDim::TwoD => {
+            static ERR_2D: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+            *ERR_2D.get_or_init(|| verify_roundtrip_2d(100))
+        }
     };
     let rates = ScaleTriplet::from_rate(system, |active| fft_rate(system, dim, active));
     let points = match dim {

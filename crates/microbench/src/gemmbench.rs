@@ -27,14 +27,25 @@ pub struct GemmResult {
 /// Size of the host verification multiply.
 const VERIFY_N: usize = 96;
 
+/// Host verification checksum, computed once per process: the multiply
+/// is a pure function of fixed seeds (11/13) and `VERIFY_N`, identical
+/// for every system × precision cell, so repeating it 12× per Table II
+/// render only burns time without changing a byte of output.
+fn verification_checksum() -> f64 {
+    static CHECKSUM: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *CHECKSUM.get_or_init(|| {
+        let a = kgemm::test_matrix::<f64>(VERIFY_N, 11);
+        let b = kgemm::test_matrix::<f64>(VERIFY_N, 13);
+        let mut c = vec![0.0f64; VERIFY_N * VERIFY_N];
+        kgemm::gemm(VERIFY_N, &a, &b, &mut c);
+        c.iter().sum()
+    })
+}
+
 /// Runs the benchmark.
 pub fn run(system: System, precision: Precision) -> GemmResult {
     // Real execution at reduced size; checksum pins determinism.
-    let a = kgemm::test_matrix::<f64>(VERIFY_N, 11);
-    let b = kgemm::test_matrix::<f64>(VERIFY_N, 13);
-    let mut c = vec![0.0f64; VERIFY_N * VERIFY_N];
-    kgemm::gemm(VERIFY_N, &a, &b, &mut c);
-    let checksum: f64 = c.iter().sum();
+    let checksum = verification_checksum();
 
     let rates = ScaleTriplet::from_rate(system, |active| gemm_rate(system, precision, active));
     GemmResult {

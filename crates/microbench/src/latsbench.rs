@@ -53,9 +53,11 @@ pub fn run(system: System, cfg: &LatsConfig) -> LatsSeries {
     }
 }
 
-/// All four Figure 1 series (Aurora, Dawn, H100, MI250).
+/// All four Figure 1 series (Aurora, Dawn, H100, MI250). Each system's
+/// sweep is independent, so they fan out over `pvc_core::par`;
+/// `map_collect` keeps the legend order (and so the CSV) unchanged.
 pub fn figure1(cfg: &LatsConfig) -> Vec<LatsSeries> {
-    System::ALL.iter().map(|&s| run(s, cfg)).collect()
+    pvc_core::par::map_collect(System::ALL.len(), |i| run(System::ALL[i], cfg))
 }
 
 #[cfg(test)]

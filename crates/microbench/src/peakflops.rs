@@ -42,10 +42,18 @@ pub fn run_traced(system: System, precision: Precision, tracer: &Tracer) -> Peak
     let engine = Engine::new(system);
     // Host verification: the kernel must complete its dependent chains
     // and produce the analytic fixed point (checked in pvc-kernels
-    // tests; re-verified cheaply here).
-    let verify = match precision {
-        Precision::Fp32 => fma::paper_kernel::<f32>(VERIFY_WORK_ITEMS),
-        _ => fma::paper_kernel::<f64>(VERIFY_WORK_ITEMS),
+    // tests; re-verified here). The chain depends only on the f32/f64
+    // branch — never on the system or clocks — so each variant runs
+    // once per process and is reused across the scenario grid.
+    let verify_checksum = match precision {
+        Precision::Fp32 => {
+            static F32: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+            *F32.get_or_init(|| fma::paper_kernel::<f32>(VERIFY_WORK_ITEMS).checksum)
+        }
+        _ => {
+            static F64: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+            *F64.get_or_init(|| fma::paper_kernel::<f64>(VERIFY_WORK_ITEMS).checksum)
+        }
     };
     let node = system.node();
     let levels = [
@@ -79,7 +87,7 @@ pub fn run_traced(system: System, precision: Precision, tracer: &Tracer) -> Peak
         system,
         precision,
         rates,
-        verification_checksum: verify.checksum,
+        verification_checksum: verify_checksum,
     }
 }
 

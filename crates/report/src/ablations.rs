@@ -165,20 +165,26 @@ pub fn scaling_report() -> TextTable {
             get("full_node") / (n as f64 * one_stack),
         )
     };
-    for (label, slug) in [
+    const METRICS: [(&str, &str); 3] = [
         ("FP64 flops", "peakflops-fp64"),
         ("FP32 flops", "peakflops-fp32"),
         ("Triad bandwidth", "stream-triad"),
-    ] {
+    ];
+    // Independent scenario pairs; merged in metric order.
+    let rows = pvc_core::par::map_collect(METRICS.len(), |i| {
+        let (label, slug) = METRICS[i];
         let a = eff(slug, System::Aurora, 12);
         let d = eff(slug, System::Dawn, 8);
-        t.push_row(vec![
+        vec![
             label.into(),
             format!("{:.0}%", a.0 * 100.0),
             format!("{:.0}%", a.1 * 100.0),
             format!("{:.0}%", d.0 * 100.0),
             format!("{:.0}%", d.1 * 100.0),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push_row(row);
     }
     t
 }

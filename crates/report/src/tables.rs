@@ -59,6 +59,10 @@ fn table2_slugs() -> Vec<String> {
 
 /// Simulated Table II in SI units: the 14 rows × 6 columns, every cell
 /// pulled through the scenario registry's scaling-triplet detail.
+///
+/// Rows are independent deterministic simulations, so they fan out over
+/// [`pvc_core::par`]; `map_collect` merges in index order, keeping the
+/// rendered table byte-identical to a sequential build.
 pub fn table2() -> Vec<ComparisonRow> {
     let tri = |slug: &str, sys: System| -> [f64; 3] {
         let out = registry()
@@ -67,28 +71,26 @@ pub fn table2() -> Vec<ComparisonRow> {
         ["one_stack", "one_pvc", "full_node"]
             .map(|k| out.detail(k).unwrap_or_else(|| panic!("{slug} lacks {k}")))
     };
-    table2_slugs()
-        .iter()
-        .enumerate()
-        .map(|(i, slug)| {
-            let p = &published::TABLE_II[i];
-            let a = tri(slug, System::Aurora);
-            let d = tri(slug, System::Dawn);
-            let cells = a
-                .iter()
-                .zip(p.aurora.iter())
-                .chain(d.iter().zip(p.dawn.iter()))
-                .map(|(&s, &pv)| CellPair {
-                    simulated: Some(s),
-                    published: Some(pv * p.scale),
-                })
-                .collect();
-            ComparisonRow {
-                label: p.label.to_string(),
-                cells,
-            }
-        })
-        .collect()
+    let slugs = table2_slugs();
+    pvc_core::par::map_collect(slugs.len(), |i| {
+        let slug = &slugs[i];
+        let p = &published::TABLE_II[i];
+        let a = tri(slug, System::Aurora);
+        let d = tri(slug, System::Dawn);
+        let cells = a
+            .iter()
+            .zip(p.aurora.iter())
+            .chain(d.iter().zip(p.dawn.iter()))
+            .map(|(&s, &pv)| CellPair {
+                simulated: Some(s),
+                published: Some(pv * p.scale),
+            })
+            .collect();
+        ComparisonRow {
+            label: p.label.to_string(),
+            cells,
+        }
+    })
 }
 
 /// Renders Table II with simulated values in the paper's units.
@@ -135,12 +137,20 @@ pub fn table3() -> Vec<ComparisonRow> {
             .run(slug, sys)
             .unwrap_or_else(|e| panic!("Table III scenario {slug}: {e}"))
     };
-    let a_local = p2p("p2p-local", System::Aurora);
-    let a_remote = p2p("p2p-remote", System::Aurora);
+    // Four independent runs, fanned out and merged in index order.
     // Dawn remote rows are dashes in the paper; the model can produce
     // values but the comparison keeps the dash.
-    let d_local = p2p("p2p-local", System::Dawn);
-    let d_remote = p2p("p2p-remote", System::Dawn);
+    let runs = [
+        ("p2p-local", System::Aurora),
+        ("p2p-remote", System::Aurora),
+        ("p2p-local", System::Dawn),
+        ("p2p-remote", System::Dawn),
+    ];
+    let mut outs = pvc_core::par::map_collect(runs.len(), |i| p2p(runs[i].0, runs[i].1));
+    let d_remote = outs.pop().expect("four p2p outcomes");
+    let d_local = outs.pop().expect("four p2p outcomes");
+    let a_remote = outs.pop().expect("four p2p outcomes");
+    let a_local = outs.pop().expect("four p2p outcomes");
 
     let make = |a: &Outcome, d: &Outcome, key: &str, idx: usize| {
         let all_key = match key {
@@ -252,10 +262,10 @@ fn level_key(level: ScaleLevel) -> &'static str {
 /// unregistered pair (mini-GAMESS on MI250) prints as a dash, matching
 /// the paper.
 pub fn table6() -> Vec<ComparisonRow> {
-    TABLE6_APPS
-        .iter()
-        .zip(published::TABLE_VI.iter())
-        .map(|(&app, p)| {
+    // One row (app family × 4 systems) per worker, merged in index order.
+    pvc_core::par::map_collect(TABLE6_APPS.len(), |i| {
+        let (app, p) = (TABLE6_APPS[i], &published::TABLE_VI[i]);
+        {
             let mut cells = Vec::new();
             for (sys, levels, pubs) in [
                 (
@@ -287,8 +297,8 @@ pub fn table6() -> Vec<ComparisonRow> {
                 label: p.label.to_string(),
                 cells,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Renders Table VI.

@@ -11,12 +11,17 @@
 //! overlap, pipelined mini-app phases, failure injection in tests).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use crate::time::Time;
 use pvc_obs::{Layer, Tracer};
 
 type Handler = Box<dyn FnOnce(&mut EventSim)>;
+
+/// Handle to a scheduled event, returned by the `schedule*` methods and
+/// accepted by [`EventSim::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
 
 struct Scheduled {
     at: Time,
@@ -63,6 +68,11 @@ pub struct EventSim {
     now: Time,
     seq: u64,
     queue: BinaryHeap<Scheduled>,
+    /// Ids scheduled and not yet fired or cancelled.
+    pending: HashSet<u64>,
+    /// Lazily-deleted ids: still in the heap, dropped on pop instead of
+    /// paying an O(n) heap rebuild at cancel time.
+    cancelled: HashSet<u64>,
     processed: u64,
     tracer: Tracer,
 }
@@ -100,37 +110,38 @@ impl EventSim {
         self.processed
     }
 
-    /// Schedules `handler` to run at absolute time `at`.
+    /// Schedules `handler` to run at absolute time `at`; returns a
+    /// handle usable with [`cancel`](Self::cancel).
     ///
     /// # Panics
     /// Panics if `at` is in the simulated past — causality violations are
     /// model bugs and must fail loudly.
-    pub fn schedule<F>(&mut self, at: Time, handler: F)
+    pub fn schedule<F>(&mut self, at: Time, handler: F) -> EventId
     where
         F: FnOnce(&mut EventSim) + 'static,
     {
-        assert!(
-            at >= self.now,
-            "cannot schedule event in the past: {} < {}",
-            at,
-            self.now
-        );
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            label: None,
-            handler: Box::new(handler),
-        });
+        self.push(at, None, Box::new(handler))
     }
 
     /// Like [`schedule`](Self::schedule) with a dispatch label shown in
     /// the trace.
-    pub fn schedule_labeled<F>(&mut self, at: Time, label: &'static str, handler: F)
+    pub fn schedule_labeled<F>(&mut self, at: Time, label: &'static str, handler: F) -> EventId
     where
         F: FnOnce(&mut EventSim) + 'static,
     {
+        self.push(at, Some(label), Box::new(handler))
+    }
+
+    /// Schedules `handler` to run `delay` seconds from now.
+    pub fn schedule_in<F>(&mut self, delay: f64, handler: F) -> EventId
+    where
+        F: FnOnce(&mut EventSim) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule(at, handler)
+    }
+
+    fn push(&mut self, at: Time, label: Option<&'static str>, handler: Handler) -> EventId {
         assert!(
             at >= self.now,
             "cannot schedule event in the past: {} < {}",
@@ -139,21 +150,29 @@ impl EventSim {
         );
         let seq = self.seq;
         self.seq += 1;
+        self.pending.insert(seq);
         self.queue.push(Scheduled {
             at,
             seq,
-            label: Some(label),
-            handler: Box::new(handler),
+            label,
+            handler,
         });
+        EventId(seq)
     }
 
-    /// Schedules `handler` to run `delay` seconds from now.
-    pub fn schedule_in<F>(&mut self, delay: f64, handler: F)
-    where
-        F: FnOnce(&mut EventSim) + 'static,
-    {
-        let at = self.now + delay;
-        self.schedule(at, handler);
+    /// Cancels a pending event: its handler will never run and it does
+    /// not advance the clock. Returns `true` if the event was still
+    /// pending, `false` if it already fired or was already cancelled.
+    ///
+    /// Cancellation is lazy: the entry stays in the heap and is dropped
+    /// when it reaches the front, so cancel is O(1) amortized.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
     }
 
     /// Runs until the event queue is empty, returning the final time.
@@ -165,44 +184,75 @@ impl EventSim {
     /// Runs events with `at <= deadline`, leaving later events queued.
     /// The clock ends at `max(deadline, now)`.
     pub fn run_until(&mut self, deadline: Time) -> Time {
-        while let Some(head) = self.queue.peek() {
-            if head.at > deadline {
-                break;
+        loop {
+            self.drop_cancelled_head();
+            match self.queue.peek() {
+                Some(head) if head.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
             }
-            self.step();
         }
         self.now = self.now.max(deadline);
         self.now
     }
 
-    /// Pops and executes a single event. Returns false when idle.
-    pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
-            Some(ev) => {
-                debug_assert!(ev.at >= self.now);
-                self.now = ev.at;
-                self.processed += 1;
-                if self.tracer.enabled() {
-                    let t = self.now.as_secs();
-                    self.tracer.instant(
-                        Layer::Simrt,
-                        ev.label.unwrap_or("event.dispatch"),
-                        t,
-                        vec![("seq", (ev.seq as i64).into())],
-                    );
-                    self.tracer
-                        .sample(Layer::Simrt, "event_queue_depth", t, self.queue.len() as f64);
+    /// Pops cancelled entries off the front so `peek` sees a live event.
+    fn drop_cancelled_head(&mut self) {
+        while !self.cancelled.is_empty() {
+            match self.queue.peek() {
+                Some(head) if self.cancelled.contains(&head.seq) => {
+                    let ev = self.queue.pop().expect("peeked entry must pop");
+                    self.cancelled.remove(&ev.seq);
                 }
-                (ev.handler)(self);
-                true
+                _ => break,
             }
-            None => false,
         }
     }
 
-    /// True when no events remain.
+    /// Pops and executes a single live event (skipping lazily-cancelled
+    /// entries). Returns false when idle.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(ev) = self.queue.pop() else {
+                return false;
+            };
+            if !self.cancelled.is_empty() && self.cancelled.remove(&ev.seq) {
+                continue; // lazily dropped, no clock advance
+            }
+            self.pending.remove(&ev.seq);
+            debug_assert!(ev.at >= self.now);
+            self.now = ev.at;
+            self.processed += 1;
+            if self.tracer.enabled() {
+                let t = self.now.as_secs();
+                self.tracer.instant(
+                    Layer::Simrt,
+                    ev.label.unwrap_or("event.dispatch"),
+                    t,
+                    vec![("seq", (ev.seq as i64).into())],
+                );
+                self.tracer.sample(
+                    Layer::Simrt,
+                    "event_queue_depth",
+                    t,
+                    (self.queue.len() - self.cancelled.len()) as f64,
+                );
+            }
+            (ev.handler)(self);
+            return true;
+        }
+    }
+
+    /// True when no live events remain (cancelled stragglers in the
+    /// heap do not count).
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty()
+        self.queue.len() == self.cancelled.len()
+    }
+
+    /// Number of live (scheduled, not yet fired or cancelled) events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
     }
 }
 
@@ -294,6 +344,55 @@ mod tests {
             })
             .collect();
         assert_eq!(depths, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn cancelled_event_never_fires() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = EventSim::new();
+        let keep = {
+            let fired = Rc::clone(&fired);
+            sim.schedule(Time::from_secs(1.0), move |_| fired.borrow_mut().push('a'))
+        };
+        let drop_me = {
+            let fired = Rc::clone(&fired);
+            sim.schedule(Time::from_secs(2.0), move |_| fired.borrow_mut().push('b'))
+        };
+        {
+            let fired = Rc::clone(&fired);
+            sim.schedule(Time::from_secs(3.0), move |_| fired.borrow_mut().push('c'));
+        }
+        assert_eq!(sim.pending_events(), 3);
+        assert!(sim.cancel(drop_me));
+        assert!(!sim.cancel(drop_me), "double cancel reports false");
+        assert_eq!(sim.pending_events(), 2);
+        sim.run();
+        assert_eq!(*fired.borrow(), vec!['a', 'c']);
+        // The cancelled event neither counts as processed nor leaves a
+        // 2.0s clock stop: the run ends at the last live event.
+        assert_eq!(sim.events_processed(), 2);
+        assert_eq!(sim.now().as_secs(), 3.0);
+        assert!(!sim.cancel(keep), "already-fired events cannot be cancelled");
+    }
+
+    #[test]
+    fn cancelled_head_does_not_stall_run_until() {
+        let fired = Rc::new(RefCell::new(0u32));
+        let mut sim = EventSim::new();
+        let head = sim.schedule(Time::from_secs(1.0), |_| {});
+        {
+            let fired = Rc::clone(&fired);
+            sim.schedule(Time::from_secs(2.0), move |_| *fired.borrow_mut() += 1);
+        }
+        let tail = sim.schedule(Time::from_secs(5.0), |_| {});
+        sim.cancel(head);
+        sim.run_until(Time::from_secs(3.0));
+        assert_eq!(*fired.borrow(), 1);
+        assert_eq!(sim.now().as_secs(), 3.0);
+        assert!(!sim.is_idle());
+        sim.cancel(tail);
+        assert!(sim.is_idle(), "a queue of only cancelled events is idle");
+        assert_eq!(sim.run().as_secs(), 3.0);
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub mod event;
 pub mod flow;
 pub mod time;
 
-pub use event::EventSim;
-pub use flow::{FlowError, FlowId, FlowNetwork, FlowSpec, RateSegment, ResourceId, TransferOutcome};
+pub use event::{EventId, EventSim};
+pub use flow::{
+    FlowError, FlowId, FlowNetwork, FlowSpec, FlowStats, RateSegment, ResourceId, TransferOutcome,
+};
 pub use time::Time;
