@@ -101,4 +101,26 @@ run grep -q '"schema": "pvc-bench/v1"' "$serve_dir/BENCH_serve.json"
 run grep -q '"name": "serve/table2_cold_miss"' "$serve_dir/BENCH_serve.json"
 run grep -q '"name": "serve/allocate_1k_flows"' "$serve_dir/BENCH_serve.json"
 
+# 10. Chaos lab: the property suite proves fault overlays never improve
+#     a figure of merit (direction-aware, composition included), and the
+#     degraded query path is byte-deterministic end to end — the same
+#     chaos request served by two fresh processes produces identical
+#     bytes, as does the `reproduce chaos` delta report.
+run cargo test --offline --release -q --test chaos_properties
+printf '{"kind":"run","workload":"stream-triad","system":"aurora","chaos":"hbm:0.5"}' \
+  > "$serve_dir/chaos.json"
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  query "$serve_dir/chaos.json" > "$serve_dir/chaos-a.out" 2> /dev/null
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  query "$serve_dir/chaos.json" > "$serve_dir/chaos-b.out" 2> /dev/null
+test -s "$serve_dir/chaos-a.out"
+run cmp "$serve_dir/chaos-a.out" "$serve_dir/chaos-b.out"
+run grep -q '"chaos": "hbm:0.5"' "$serve_dir/chaos-a.out"
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  chaos allreduce aurora xelink:0:0.3 > "$serve_dir/delta-a.out"
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  chaos allreduce aurora xelink:0:0.3 > "$serve_dir/delta-b.out"
+run cmp "$serve_dir/delta-a.out" "$serve_dir/delta-b.out"
+run grep -q 'delta:' "$serve_dir/delta-a.out"
+
 echo "ci: all gates green"

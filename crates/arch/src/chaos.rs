@@ -1,0 +1,654 @@
+//! Typed fault-injection overlays (the "chaos lab").
+//!
+//! A [`ChaosSpec`] is a deterministic degradation applied to a node model
+//! before a scenario runs: derate or kill an Xe-Link plane (§IV-A4's
+//! two-plane topology), downgrade the PCIe link, cap the governor clock,
+//! drop stacks' worth of compute + HBM, or scale device-memory bandwidth.
+//! Specs compose from the calibration primitives the model already has —
+//! capacity scaling, clock caps, resource disabling — so a degraded run
+//! exercises exactly the same code paths as a healthy one.
+//!
+//! Overlays install thread-locally via [`with_overlay`]: every
+//! [`System::node`] call on that thread sees the degraded model, and the
+//! guard restores the baseline on exit (including unwinds). Everything is
+//! validated up front with a typed [`ChaosError`], and every fault is
+//! non-improving by construction: capacities and clocks only ever shrink,
+//! never grow.
+
+use crate::node::NodeModel;
+use crate::systems::System;
+use std::cell::RefCell;
+use std::fmt;
+
+/// One fault. The spec grammar renders each as a compact token; see
+/// [`GRAMMAR`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosFault {
+    /// Derate one Xe-Link plane's links by `factor` (0 kills the plane:
+    /// its links stay in the contention graph but are disabled, so
+    /// crossing transfers strand). Token: `xelink:<plane>:<factor>`.
+    XeLinkPlane { plane: u8, factor: f64 },
+    /// Downgrade the PCIe link to `gen` x `lanes`. Bandwidth scales by
+    /// `(lanes/current) × 2^(gen-current)`; upgrades are rejected.
+    /// Token: `pcie:<gen>x<lanes>`.
+    PcieDowngrade { gen: u8, lanes: u8 },
+    /// Cap the governor clock (max and the FP64 sustained state) at
+    /// `ghz`. Caps above the current clock are no-ops. Token:
+    /// `clock:<ghz>`.
+    ClockCap { ghz: f64 },
+    /// Drop `count` stacks' worth of compute and HBM, modelled as a
+    /// uniform `(n-count)/n` derate across partitions so rank placement
+    /// and fabric paths are unchanged. Token: `stackdown:<count>`.
+    StackDown { count: u32 },
+    /// Scale per-partition device-memory bandwidth by `factor` in
+    /// (0, 1]. Token: `hbm:<factor>`.
+    MemoryDerate { factor: f64 },
+}
+
+/// Typed rejection of a malformed or non-degrading spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosError {
+    /// An empty token between '+' separators (or a bare '+').
+    EmptyFault,
+    /// The fault name matched nothing in the grammar.
+    UnknownFault { got: String },
+    /// The fault's arguments did not parse or are out of range.
+    BadArgs { fault: &'static str, detail: String },
+    /// The spec would *improve* the node (e.g. a PCIe upgrade): chaos
+    /// only degrades, so monotonicity stays provable.
+    NotADegradation { fault: &'static str, detail: String },
+    /// Well-formed, but impossible on this node (e.g. dropping every
+    /// stack).
+    InvalidForSystem {
+        fault: &'static str,
+        system: System,
+        detail: String,
+    },
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::EmptyFault => {
+                write!(f, "empty fault token; a spec is '+'-joined tokens like xelink:0:0.5")
+            }
+            ChaosError::UnknownFault { got } => write!(
+                f,
+                "unknown fault '{got}'; expected one of: xelink, pcie, clock, stackdown, hbm"
+            ),
+            ChaosError::BadArgs { fault, detail } => {
+                write!(f, "bad arguments for '{fault}': {detail}")
+            }
+            ChaosError::NotADegradation { fault, detail } => {
+                write!(f, "'{fault}' is not a degradation: {detail}")
+            }
+            ChaosError::InvalidForSystem { fault, system, detail } => {
+                write!(f, "'{fault}' is invalid on {}: {detail}", system.cli_name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+/// One line per fault kind: token shape and meaning. Rendered by
+/// `reproduce list`, the chaos verb usage text, and the docs, so the
+/// advertised grammar can never drift from the parser.
+pub const GRAMMAR: [&str; 5] = [
+    "xelink:<plane>:<factor>  derate one Xe-Link plane (factor in [0,1]; 0 kills it)",
+    "pcie:<gen>x<lanes>       downgrade the PCIe link (e.g. pcie:4x8; upgrades rejected)",
+    "clock:<ghz>              cap the governor clock (max and FP64 sustained states)",
+    "stackdown:<count>        drop <count> stacks' worth of compute + HBM bandwidth",
+    "hbm:<factor>             scale device-memory bandwidth (factor in (0,1])",
+];
+
+impl ChaosFault {
+    /// Grammar name of the fault kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ChaosFault::XeLinkPlane { .. } => "xelink",
+            ChaosFault::PcieDowngrade { .. } => "pcie",
+            ChaosFault::ClockCap { .. } => "clock",
+            ChaosFault::StackDown { .. } => "stackdown",
+            ChaosFault::MemoryDerate { .. } => "hbm",
+        }
+    }
+
+    fn parse(token: &str) -> Result<ChaosFault, ChaosError> {
+        let (kind, args) = match token.split_once(':') {
+            Some((k, a)) => (k, a),
+            None => (token, ""),
+        };
+        match kind {
+            "" => Err(ChaosError::EmptyFault),
+            "xelink" => {
+                let (p, f) = args.split_once(':').ok_or_else(|| ChaosError::BadArgs {
+                    fault: "xelink",
+                    detail: format!("expected xelink:<plane>:<factor>, got '{token}'"),
+                })?;
+                let plane: u8 = p.parse().map_err(|_| ChaosError::BadArgs {
+                    fault: "xelink",
+                    detail: format!("plane '{p}' is not an integer"),
+                })?;
+                if plane > 1 {
+                    return Err(ChaosError::BadArgs {
+                        fault: "xelink",
+                        detail: format!("plane {plane} out of range; §IV-A4 has planes 0 and 1"),
+                    });
+                }
+                let factor = parse_num("xelink", "factor", f)?;
+                if factor > 1.0 {
+                    return Err(ChaosError::NotADegradation {
+                        fault: "xelink",
+                        detail: format!("factor {factor} would speed the plane up"),
+                    });
+                }
+                if factor < 0.0 {
+                    return Err(ChaosError::BadArgs {
+                        fault: "xelink",
+                        detail: format!("factor {factor} is negative"),
+                    });
+                }
+                Ok(ChaosFault::XeLinkPlane { plane, factor })
+            }
+            "pcie" => {
+                let (g, l) = args.split_once('x').ok_or_else(|| ChaosError::BadArgs {
+                    fault: "pcie",
+                    detail: format!("expected pcie:<gen>x<lanes>, got '{token}'"),
+                })?;
+                let gen: u8 = g.parse().map_err(|_| ChaosError::BadArgs {
+                    fault: "pcie",
+                    detail: format!("generation '{g}' is not an integer"),
+                })?;
+                let lanes: u8 = l.parse().map_err(|_| ChaosError::BadArgs {
+                    fault: "pcie",
+                    detail: format!("lane count '{l}' is not an integer"),
+                })?;
+                if !(1..=6).contains(&gen) {
+                    return Err(ChaosError::BadArgs {
+                        fault: "pcie",
+                        detail: format!("generation {gen} out of range 1..=6"),
+                    });
+                }
+                if !(1..=16).contains(&lanes) {
+                    return Err(ChaosError::BadArgs {
+                        fault: "pcie",
+                        detail: format!("lane count {lanes} out of range 1..=16"),
+                    });
+                }
+                Ok(ChaosFault::PcieDowngrade { gen, lanes })
+            }
+            "clock" => {
+                let ghz = parse_num("clock", "cap", args)?;
+                if ghz <= 0.0 {
+                    return Err(ChaosError::BadArgs {
+                        fault: "clock",
+                        detail: format!("cap {ghz} GHz is not positive"),
+                    });
+                }
+                Ok(ChaosFault::ClockCap { ghz })
+            }
+            "stackdown" => {
+                let count: u32 = args.parse().map_err(|_| ChaosError::BadArgs {
+                    fault: "stackdown",
+                    detail: format!("count '{args}' is not an integer"),
+                })?;
+                if count == 0 {
+                    return Err(ChaosError::BadArgs {
+                        fault: "stackdown",
+                        detail: "count must be at least 1".into(),
+                    });
+                }
+                Ok(ChaosFault::StackDown { count })
+            }
+            "hbm" => {
+                let factor = parse_num("hbm", "factor", args)?;
+                if factor > 1.0 {
+                    return Err(ChaosError::NotADegradation {
+                        fault: "hbm",
+                        detail: format!("factor {factor} would speed HBM up"),
+                    });
+                }
+                if factor <= 0.0 {
+                    return Err(ChaosError::BadArgs {
+                        fault: "hbm",
+                        detail: format!("factor {factor} outside (0, 1]"),
+                    });
+                }
+                Ok(ChaosFault::MemoryDerate { factor })
+            }
+            other => Err(ChaosError::UnknownFault { got: other.to_string() }),
+        }
+    }
+
+    /// Applies the fault to `node`, shrinking capacities/clocks in place.
+    fn apply(&self, node: &mut NodeModel) -> Result<(), ChaosError> {
+        match *self {
+            ChaosFault::XeLinkPlane { plane, factor } => {
+                node.fabric.plane_derate[plane as usize] *= factor;
+            }
+            ChaosFault::PcieDowngrade { gen, lanes } => {
+                let ratio = (lanes as f64 / node.pcie.lanes as f64)
+                    * 2f64.powi(gen as i32 - node.pcie.gen as i32);
+                if ratio > 1.0 {
+                    return Err(ChaosError::NotADegradation {
+                        fault: "pcie",
+                        detail: format!(
+                            "gen{gen} x{lanes} is {ratio:.2}x the node's gen{} x{}",
+                            node.pcie.gen, node.pcie.lanes
+                        ),
+                    });
+                }
+                node.pcie.gen = gen;
+                node.pcie.lanes = lanes;
+                node.pcie.raw_per_dir *= ratio;
+                node.pcie.per_card_h2d *= ratio;
+                node.pcie.per_card_d2h *= ratio;
+                node.pcie.per_card_duplex *= ratio;
+            }
+            ChaosFault::ClockCap { ghz } => {
+                let clock = &mut node.gpu.clock;
+                clock.max_ghz = clock.max_ghz.min(ghz);
+                clock.fp64_vector_ghz = clock.fp64_vector_ghz.min(ghz);
+            }
+            ChaosFault::StackDown { count } => {
+                let n = node.partitions();
+                if count >= n {
+                    return Err(ChaosError::InvalidForSystem {
+                        fault: "stackdown",
+                        system: node.system,
+                        detail: format!("dropping {count} of {n} stacks leaves nothing to run"),
+                    });
+                }
+                let keep = (n - count) as f64 / n as f64;
+                let part = &mut node.gpu.partition;
+                scale_per_precision(&mut part.vector_ops_per_engine_clock, keep);
+                scale_per_precision(&mut part.matrix_ops_per_engine_clock, keep);
+                part.memory.spec_bandwidth *= keep;
+                part.memory.random_concurrency *= keep;
+            }
+            ChaosFault::MemoryDerate { factor } => {
+                node.gpu.partition.memory.spec_bandwidth *= factor;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn scale_per_precision(pp: &mut crate::device::PerPrecision, k: f64) {
+    pp.fp64 *= k;
+    pp.fp32 *= k;
+    pp.fp16 *= k;
+    pp.bf16 *= k;
+    pp.tf32 *= k;
+    pp.fp8 *= k;
+    pp.int8 *= k;
+}
+
+fn parse_num(fault: &'static str, what: &str, s: &str) -> Result<f64, ChaosError> {
+    let v: f64 = s.parse().map_err(|_| ChaosError::BadArgs {
+        fault,
+        detail: format!("{what} '{s}' is not a number"),
+    })?;
+    if !v.is_finite() {
+        return Err(ChaosError::BadArgs {
+            fault,
+            detail: format!("{what} '{s}' is not finite"),
+        });
+    }
+    Ok(v)
+}
+
+impl fmt::Display for ChaosFault {
+    /// The canonical token: parsing it back yields an equal fault.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosFault::XeLinkPlane { plane, factor } => write!(f, "xelink:{plane}:{factor}"),
+            ChaosFault::PcieDowngrade { gen, lanes } => write!(f, "pcie:{gen}x{lanes}"),
+            ChaosFault::ClockCap { ghz } => write!(f, "clock:{ghz}"),
+            ChaosFault::StackDown { count } => write!(f, "stackdown:{count}"),
+            ChaosFault::MemoryDerate { factor } => write!(f, "hbm:{factor}"),
+        }
+    }
+}
+
+/// An ordered list of faults, applied left to right. The empty spec is
+/// the identity.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosSpec {
+    faults: Vec<ChaosFault>,
+}
+
+impl ChaosSpec {
+    /// The identity overlay.
+    pub fn empty() -> ChaosSpec {
+        ChaosSpec::default()
+    }
+
+    /// A single-fault spec.
+    pub fn single(fault: ChaosFault) -> ChaosSpec {
+        ChaosSpec { faults: vec![fault] }
+    }
+
+    /// Parses a '+'-joined fault-token list ([`GRAMMAR`]). Whitespace
+    /// around tokens is ignored; the empty string is the empty spec.
+    pub fn parse(s: &str) -> Result<ChaosSpec, ChaosError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(ChaosSpec::empty());
+        }
+        let faults = s
+            .split('+')
+            .map(|tok| ChaosFault::parse(tok.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ChaosSpec { faults })
+    }
+
+    /// True for the identity overlay.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The faults in application order.
+    pub fn faults(&self) -> &[ChaosFault] {
+        &self.faults
+    }
+
+    /// This spec followed by `other` (left-to-right application).
+    pub fn then(&self, other: &ChaosSpec) -> ChaosSpec {
+        let mut faults = self.faults.clone();
+        faults.extend_from_slice(&other.faults);
+        ChaosSpec { faults }
+    }
+
+    /// The canonical spelling: numbers re-rendered through f64 `Display`,
+    /// tokens '+'-joined. Parsing it back yields an equal spec, so equal
+    /// specs — however spelled — share one canonical atom key.
+    pub fn canonical(&self) -> String {
+        self.faults
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Applies every fault to `node` in order. Errors leave no partial
+    /// observable state (the partially-modified clone is dropped by the
+    /// caller).
+    pub fn apply(&self, mut node: NodeModel) -> Result<NodeModel, ChaosError> {
+        for fault in &self.faults {
+            fault.apply(&mut node)?;
+        }
+        Ok(node)
+    }
+}
+
+impl fmt::Display for ChaosSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+impl std::str::FromStr for ChaosSpec {
+    type Err = ChaosError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ChaosSpec::parse(s)
+    }
+}
+
+thread_local! {
+    /// The per-thread overlay stack: every `System::node()` call folds
+    /// the matching entries over the baseline in push order.
+    static OVERLAYS: RefCell<Vec<(System, ChaosSpec)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Folds this thread's active overlays (for `system`) over `base`.
+/// Called by [`System::node`]; a no-op when no overlay is installed.
+pub(crate) fn overlaid(system: System, base: NodeModel) -> NodeModel {
+    OVERLAYS.with(|o| {
+        let stack = o.borrow();
+        if stack.is_empty() {
+            return base;
+        }
+        let mut node = base;
+        for (sys, spec) in stack.iter() {
+            if *sys == system {
+                node = spec.apply(node).unwrap_or_else(|e| {
+                    panic!("chaos overlay validated at install no longer applies: {e}")
+                });
+            }
+        }
+        node
+    })
+}
+
+struct OverlayGuard;
+
+impl Drop for OverlayGuard {
+    fn drop(&mut self) {
+        OVERLAYS.with(|o| {
+            o.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` with `spec` overlaid on `system` for the current thread: any
+/// `System::node()` call inside `f` (on this thread) sees the degraded
+/// model. The overlay is validated against the node as currently
+/// composed before installation — so nesting works and an installed
+/// overlay can never fail to re-apply — and is popped when `f` returns
+/// or unwinds.
+pub fn with_overlay<R>(
+    system: System,
+    spec: &ChaosSpec,
+    f: impl FnOnce() -> R,
+) -> Result<R, ChaosError> {
+    if spec.is_empty() {
+        return Ok(f());
+    }
+    spec.apply(system.node())?;
+    OVERLAYS.with(|o| o.borrow_mut().push((system, spec.clone())));
+    let _guard = OverlayGuard;
+    Ok(f())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_canonical() {
+        for s in [
+            "",
+            "xelink:0:0.5",
+            "xelink:1:0",
+            "pcie:4x8",
+            "clock:1.2",
+            "stackdown:2",
+            "hbm:0.25",
+            "xelink:0:0+pcie:3x16+clock:0.8+stackdown:1+hbm:0.5",
+        ] {
+            let spec = ChaosSpec::parse(s).unwrap_or_else(|e| panic!("'{s}': {e}"));
+            assert_eq!(spec.canonical(), s, "canonical spelling is stable");
+            let again = ChaosSpec::parse(&spec.canonical()).unwrap();
+            assert_eq!(again, spec, "round trip through canonical");
+        }
+    }
+
+    #[test]
+    fn non_canonical_spellings_normalise() {
+        let a = ChaosSpec::parse("hbm:0.50").unwrap();
+        let b = ChaosSpec::parse(" hbm:0.5 ").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.canonical(), "hbm:0.5");
+    }
+
+    #[test]
+    fn rejections_are_typed() {
+        use ChaosError as E;
+        type Want = fn(&E) -> bool;
+        let cases: [(&str, Want); 8] = [
+            ("+hbm:0.5", |e| matches!(e, E::EmptyFault)),
+            ("gremlin:3", |e| matches!(e, E::UnknownFault { got } if got == "gremlin")),
+            ("xelink:7:0.5", |e| matches!(e, E::BadArgs { fault: "xelink", .. })),
+            ("xelink:0:NaN", |e| matches!(e, E::BadArgs { fault: "xelink", .. })),
+            ("xelink:0:1.5", |e| matches!(e, E::NotADegradation { fault: "xelink", .. })),
+            ("pcie:9x16", |e| matches!(e, E::BadArgs { fault: "pcie", .. })),
+            ("clock:-1", |e| matches!(e, E::BadArgs { fault: "clock", .. })),
+            ("hbm:0", |e| matches!(e, E::BadArgs { fault: "hbm", .. })),
+        ];
+        for (s, want) in cases {
+            let err = ChaosSpec::parse(s).unwrap_err();
+            assert!(want(&err), "'{s}' gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn pcie_upgrades_rejected_at_apply_time() {
+        // Gen6 x16 would be 2x Aurora's Gen5 x16.
+        let spec = ChaosSpec::parse("pcie:6x16").unwrap();
+        let err = spec.apply(System::Aurora.node()).unwrap_err();
+        assert!(matches!(err, ChaosError::NotADegradation { fault: "pcie", .. }), "{err:?}");
+        // Same gen, same lanes, is an allowed no-op.
+        let same = ChaosSpec::parse("pcie:5x16").unwrap();
+        assert_eq!(same.apply(System::Aurora.node()).unwrap(), System::Aurora.node());
+    }
+
+    #[test]
+    fn stackdown_all_stacks_is_invalid_for_system() {
+        let spec = ChaosSpec::parse("stackdown:12").unwrap();
+        let err = spec.apply(System::Aurora.node()).unwrap_err();
+        assert!(
+            matches!(err, ChaosError::InvalidForSystem { fault: "stackdown", system: System::Aurora, .. }),
+            "{err:?}"
+        );
+        // 11 of 12 is extreme but legal.
+        assert!(ChaosSpec::parse("stackdown:11").unwrap().apply(System::Aurora.node()).is_ok());
+    }
+
+    #[test]
+    fn empty_spec_is_the_identity() {
+        for sys in System::ALL {
+            assert_eq!(ChaosSpec::empty().apply(sys.node()).unwrap(), sys.node());
+        }
+    }
+
+    #[test]
+    fn faults_shrink_exactly_their_targets() {
+        let base = System::Aurora.node();
+
+        let hbm = ChaosSpec::parse("hbm:0.5").unwrap().apply(base.clone()).unwrap();
+        assert_eq!(
+            hbm.gpu.partition.memory.spec_bandwidth,
+            base.gpu.partition.memory.spec_bandwidth * 0.5
+        );
+        assert_eq!(hbm.pcie, base.pcie);
+
+        let clock = ChaosSpec::parse("clock:1.0").unwrap().apply(base.clone()).unwrap();
+        assert_eq!(clock.gpu.clock.max_ghz, 1.0);
+        assert_eq!(clock.gpu.clock.fp64_vector_ghz, 1.0);
+        // A cap above the current clocks is a no-op.
+        let lax = ChaosSpec::parse("clock:99").unwrap().apply(base.clone()).unwrap();
+        assert_eq!(lax, base);
+
+        let pcie = ChaosSpec::parse("pcie:4x8").unwrap().apply(base.clone()).unwrap();
+        // Gen5→4 halves, x16→x8 halves again.
+        assert_eq!(pcie.pcie.per_card_h2d, base.pcie.per_card_h2d * 0.25);
+        assert_eq!(pcie.pcie.gen, 4);
+        assert_eq!(pcie.pcie.lanes, 8);
+
+        let xel = ChaosSpec::parse("xelink:1:0.5").unwrap().apply(base.clone()).unwrap();
+        assert_eq!(xel.fabric.plane_derate, [1.0, 0.5]);
+        assert_eq!(xel.fabric.remote_uni, base.fabric.remote_uni);
+
+        let down = ChaosSpec::parse("stackdown:3").unwrap().apply(base.clone()).unwrap();
+        let keep = 9.0 / 12.0;
+        assert_eq!(
+            down.gpu.partition.vector_ops_per_engine_clock.fp64,
+            base.gpu.partition.vector_ops_per_engine_clock.fp64 * keep
+        );
+        assert_eq!(
+            down.gpu.partition.memory.spec_bandwidth,
+            base.gpu.partition.memory.spec_bandwidth * keep
+        );
+        assert_eq!(down.partitions(), base.partitions(), "topology unchanged");
+    }
+
+    #[test]
+    fn overlay_scopes_to_the_closure_and_system() {
+        let base = System::Aurora.node();
+        let dawn = System::Dawn.node();
+        let spec = ChaosSpec::parse("hbm:0.5").unwrap();
+        let inside = with_overlay(System::Aurora, &spec, || {
+            assert_eq!(System::Dawn.node(), dawn, "other systems untouched");
+            System::Aurora.node()
+        })
+        .unwrap();
+        assert_eq!(
+            inside.gpu.partition.memory.spec_bandwidth,
+            base.gpu.partition.memory.spec_bandwidth * 0.5
+        );
+        assert_eq!(System::Aurora.node(), base, "baseline restored on exit");
+    }
+
+    #[test]
+    fn overlays_nest_and_compose() {
+        let base = System::Dawn.node();
+        let half = ChaosSpec::parse("hbm:0.5").unwrap();
+        with_overlay(System::Dawn, &half, || {
+            with_overlay(System::Dawn, &half, || {
+                assert_eq!(
+                    System::Dawn.node().gpu.partition.memory.spec_bandwidth,
+                    base.gpu.partition.memory.spec_bandwidth * 0.25
+                );
+            })
+            .unwrap();
+            assert_eq!(
+                System::Dawn.node().gpu.partition.memory.spec_bandwidth,
+                base.gpu.partition.memory.spec_bandwidth * 0.5
+            );
+        })
+        .unwrap();
+        assert_eq!(System::Dawn.node(), base);
+    }
+
+    #[test]
+    fn invalid_overlay_never_runs_the_closure() {
+        let spec = ChaosSpec::parse("stackdown:8").unwrap(); // Dawn has 8
+        let mut ran = false;
+        let err = with_overlay(System::Dawn, &spec, || ran = true).unwrap_err();
+        assert!(matches!(err, ChaosError::InvalidForSystem { .. }));
+        assert!(!ran);
+        assert_eq!(System::Dawn.node(), System::Dawn.node());
+    }
+
+    #[test]
+    fn overlay_pops_on_unwind() {
+        let base = System::Aurora.node();
+        let spec = ChaosSpec::parse("clock:0.5").unwrap();
+        let _ = std::panic::catch_unwind(|| {
+            let _ = with_overlay(System::Aurora, &spec, || panic!("boom"));
+        });
+        assert_eq!(System::Aurora.node(), base, "guard restored on unwind");
+    }
+
+    #[test]
+    fn grammar_covers_every_fault_kind() {
+        let faults = [
+            ChaosFault::XeLinkPlane { plane: 0, factor: 0.5 },
+            ChaosFault::PcieDowngrade { gen: 4, lanes: 8 },
+            ChaosFault::ClockCap { ghz: 1.0 },
+            ChaosFault::StackDown { count: 1 },
+            ChaosFault::MemoryDerate { factor: 0.5 },
+        ];
+        assert_eq!(faults.len(), GRAMMAR.len());
+        for fault in faults {
+            assert!(
+                GRAMMAR.iter().any(|line| line.starts_with(fault.kind())),
+                "GRAMMAR has no line for '{}'",
+                fault.kind()
+            );
+        }
+    }
+}

@@ -129,6 +129,7 @@ pub fn frontier_node() -> NodeModel {
             remote_uni: gb_s(37.0),
             remote_duplex: gb_s(55.0),
             latency: 8e-6,
+            plane_derate: [1.0, 1.0],
         },
     }
 }

@@ -19,6 +19,7 @@
 //! per Xe-Stack; 2 Xe-Stacks per PVC card. H100 GPUs are modelled as a
 //! single partition (no stacks); MI250 GPUs as two GCD partitions.
 
+pub mod chaos;
 pub mod cpu;
 pub mod device;
 pub mod frontier;
@@ -31,6 +32,7 @@ pub mod reference;
 pub mod systems;
 pub mod units;
 
+pub use chaos::{ChaosError, ChaosFault, ChaosSpec};
 pub use cpu::CpuModel;
 pub use device::{CacheLevel, GpuModel, MemorySpec, Partition, PerPrecision, Vendor};
 pub use governor::ClockPolicy;

@@ -50,6 +50,11 @@ pub struct FabricSpec {
     pub remote_duplex: f64,
     /// Message-launch latency, seconds.
     pub latency: f64,
+    /// Per-plane health factor for the remote links (§IV-A4's two
+    /// Xe-Link planes). 1.0 on a healthy node; chaos overlays shrink it
+    /// towards 0, and exactly 0 marks the plane dead (its links are
+    /// built disabled, so crossing transfers strand).
+    pub plane_derate: [f64; 2],
 }
 
 /// A complete single node of one of the four systems.

@@ -65,14 +65,19 @@ impl System {
         }
     }
 
-    /// Builds the node model.
+    /// Builds the node model. Any chaos overlay installed on the current
+    /// thread ([`crate::chaos::with_overlay`]) is folded over the
+    /// baseline here, so every consumer — engines, fabric graphs,
+    /// scenario runners — sees the degraded node through the one code
+    /// path it already uses.
     pub fn node(self) -> NodeModel {
-        match self {
+        let base = match self {
             System::Aurora => aurora(),
             System::Dawn => dawn(),
             System::JlseH100 => jlse_h100(),
             System::JlseMi250 => jlse_mi250(),
-        }
+        };
+        crate::chaos::overlaid(self, base)
     }
 }
 
@@ -215,6 +220,7 @@ fn pvc_fabric(aggregate_derate: ScaleCurve) -> FabricSpec {
         remote_uni: gb_s(15.0),
         remote_duplex: gb_s(23.0),
         latency: 8e-6,
+        plane_derate: [1.0, 1.0],
     }
 }
 
@@ -447,6 +453,7 @@ fn jlse_h100() -> NodeModel {
             remote_uni: gb_s(450.0),
             remote_duplex: gb_s(800.0),
             latency: 5e-6,
+            plane_derate: [1.0, 1.0],
         },
     }
 }
@@ -479,6 +486,7 @@ fn jlse_mi250() -> NodeModel {
             remote_uni: gb_s(37.0),
             remote_duplex: gb_s(55.0),
             latency: 8e-6,
+            plane_derate: [1.0, 1.0],
         },
     }
 }

@@ -129,23 +129,37 @@ impl Comm {
             })
             .collect();
         let done = net.run();
-        let per_flow: Vec<f64> = ids.iter().map(|id| done[id].bandwidth()).collect();
-        let wall_time = ids
-            .iter()
-            .map(|id| done[id].finished.as_secs())
-            .fold(0.0f64, f64::max);
+        // DNF semantics: if any flow crossed a disabled (chaos-killed)
+        // link it stranded, and an MPI round with a dead participant
+        // never completes — the whole round reports zero per-flow
+        // bandwidth and infinite wall time rather than quietly improving
+        // by dropping the slow transfer.
+        let stranded = ids.iter().any(|id| !done.contains_key(id));
+        let per_flow: Vec<f64> = if stranded {
+            vec![0.0; ids.len()]
+        } else {
+            ids.iter().map(|id| done[id].bandwidth()).collect()
+        };
+        let wall_time = if stranded {
+            f64::INFINITY
+        } else {
+            ids.iter()
+                .map(|id| done[id].finished.as_secs())
+                .fold(0.0f64, f64::max)
+        };
         if tracer.enabled() {
-            tracer.span(
-                Layer::Fabric,
-                "comm.transfers",
-                epoch,
-                epoch + wall_time,
-                vec![
-                    ("flows", transfers.len().into()),
-                    ("bytes_each", bytes.into()),
-                    ("active_partitions", (self.active as i64).into()),
-                ],
-            );
+            let attrs = vec![
+                ("flows", transfers.len().into()),
+                ("bytes_each", bytes.into()),
+                ("active_partitions", (self.active as i64).into()),
+            ];
+            if wall_time.is_finite() {
+                tracer.span(Layer::Fabric, "comm.transfers", epoch, epoch + wall_time, attrs);
+            } else {
+                // A stalled round has no completed interval to record;
+                // mark the stall instead of emitting an infinite span.
+                tracer.instant(Layer::Fabric, "comm.stalled", epoch, attrs);
+            }
         }
         P2pResult {
             per_flow,
@@ -214,7 +228,14 @@ impl Comm {
         let steps = 2 * (n - 1);
         let total = 2.0 * (n as f64 - 1.0) / n as f64 * bytes / min_bw
             + steps as f64 * self.node.fabric.latency;
-        if tracer.enabled() {
+        if tracer.enabled() && !total.is_finite() {
+            tracer.instant(
+                Layer::Fabric,
+                "allreduce.stalled",
+                epoch,
+                vec![("ranks", n.into()), ("bytes", bytes.into())],
+            );
+        } else if tracer.enabled() {
             // Ring allreduce splits symmetrically: both phases rotate
             // (n-1)/n of the payload through the same bottleneck link.
             let half = total / 2.0;

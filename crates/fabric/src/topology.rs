@@ -160,24 +160,32 @@ impl NodeFabric {
                 for &v in &stacks[i + 1..] {
                     if u.gpu != v.gpu && same_plane(node.system, u, v) {
                         let p = plane_of(node.system, u);
-                        f.xel_dir.insert(
-                            (u, v),
-                            net.add_resource_labeled(
-                                node.fabric.remote_uni,
-                                format!("xel.p{p}[{u}->{v}]"),
-                            ),
+                        // Chaos plane health: links on a derated plane
+                        // shrink; a dead plane (derate exactly 0) keeps
+                        // its links in the graph at full capacity but
+                        // disabled, so crossing flows strand instead of
+                        // dividing by zero.
+                        let pd = node.fabric.plane_derate[p as usize];
+                        let scale = if pd > 0.0 { pd } else { 1.0 };
+                        let fwd = net.add_resource_labeled(
+                            node.fabric.remote_uni * scale,
+                            format!("xel.p{p}[{u}->{v}]"),
                         );
-                        f.xel_dir.insert(
-                            (v, u),
-                            net.add_resource_labeled(
-                                node.fabric.remote_uni,
-                                format!("xel.p{p}[{v}->{u}]"),
-                            ),
+                        let bwd = net.add_resource_labeled(
+                            node.fabric.remote_uni * scale,
+                            format!("xel.p{p}[{v}->{u}]"),
                         );
                         let pool = net.add_resource_labeled(
-                            node.fabric.remote_duplex,
+                            node.fabric.remote_duplex * scale,
                             format!("xel.p{p}.duplex[{u}<->{v}]"),
                         );
+                        if pd <= 0.0 {
+                            net.disable_resource(fwd);
+                            net.disable_resource(bwd);
+                            net.disable_resource(pool);
+                        }
+                        f.xel_dir.insert((u, v), fwd);
+                        f.xel_dir.insert((v, u), bwd);
                         f.xel_duplex.insert((u, v), pool);
                         f.xel_duplex.insert((v, u), pool);
                     }
@@ -308,6 +316,8 @@ impl NodeFabric {
             latency: 0.0,
         });
         let done = net.run();
-        done[&id].bandwidth()
+        // A path crossing a disabled (chaos-killed) link never completes:
+        // its isolated bandwidth is zero, not a panic.
+        done.get(&id).map_or(0.0, |o| o.bandwidth())
     }
 }

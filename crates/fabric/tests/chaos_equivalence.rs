@@ -1,0 +1,167 @@
+//! Chaos overlays must not break solver equivalence: a fabric built
+//! under a fault overlay — derated planes, a plane killed outright, a
+//! PCIe downgrade — still produces **bit-identical** outcome maps and
+//! rate schedules from the incremental `run()` and the from-scratch
+//! `run_reference()`. The overlay changes the *network*, never the
+//! solver contract.
+
+use pvc_arch::chaos::{with_overlay, ChaosSpec};
+use pvc_arch::System;
+use pvc_core::check::{check, Gen};
+use pvc_fabric::{NodeFabric, RouteVia, StackId};
+use pvc_simrt::{FlowNetwork, FlowSpec, RateSegment, ResourceId, Time, TransferOutcome};
+use std::collections::HashMap;
+
+/// A fabric-relevant fault spec: mostly Xe-Link derates (half of them
+/// outright kills — the stranded-flow path is the interesting one),
+/// sometimes a PCIe downgrade or a composition.
+fn fabric_spec(g: &mut Gen) -> ChaosSpec {
+    let mut tokens = Vec::new();
+    let n = g.usize_in(1..3);
+    for _ in 0..n {
+        tokens.push(match g.usize_in(0..4) {
+            0 | 1 => {
+                let plane = g.usize_in(0..2);
+                let factor = if g.bool() { 0.0 } else { g.f64_in(0.1..0.9) };
+                format!("xelink:{plane}:{factor}")
+            }
+            2 => format!("pcie:{}x{}", g.usize_in(2..5), *g.choose(&[4usize, 8, 16])),
+            _ => format!("hbm:{}", g.f64_in(0.3..0.9)),
+        });
+    }
+    ChaosSpec::parse(&tokens.join("+")).expect("generated tokens are grammatical")
+}
+
+/// Random device-to-device flows over the degraded fabric. Paths are
+/// resolved while the overlay is installed, then replayed into two
+/// fresh clones of the degraded resource set.
+fn degraded_flows(
+    g: &mut Gen,
+    system: System,
+    spec: &ChaosSpec,
+) -> (FlowNetwork, Vec<(f64, Vec<ResourceId>, f64)>) {
+    with_overlay(system, spec, || {
+        let node = system.node();
+        let fabric = NodeFabric::new(&node);
+        let nflows = g.usize_in(1..8);
+        let flows = (0..nflows)
+            .map(|_| {
+                let from = StackId::new(
+                    g.usize_in(0..node.gpus as usize) as u32,
+                    g.usize_in(0..node.gpu.partitions as usize) as u32,
+                );
+                let mut to = from;
+                while to == from {
+                    to = StackId::new(
+                        g.usize_in(0..node.gpus as usize) as u32,
+                        g.usize_in(0..node.gpu.partitions as usize) as u32,
+                    );
+                }
+                let bytes = g.f64_in(1e3..1e9);
+                let start = g.f64_in(0.0..1e-3);
+                (bytes, fabric.d2d_path(from, to, RouteVia::Auto), start)
+            })
+            .collect();
+        (fabric.net.clone_resources(), flows)
+    })
+    .expect("fabric specs apply on PVC systems")
+}
+
+fn populate(net: &FlowNetwork, flows: &[(f64, Vec<ResourceId>, f64)]) -> FlowNetwork {
+    let mut net = net.clone_resources();
+    for (bytes, path, start) in flows {
+        net.add_flow(FlowSpec {
+            start: Time::from_secs(*start),
+            bytes: *bytes,
+            path: path.clone(),
+            latency: 0.0,
+        });
+    }
+    net
+}
+
+/// Bit-exact comparison of outcome maps and rate schedules.
+fn diff(
+    inc: &(HashMap<pvc_simrt::FlowId, TransferOutcome>, Vec<RateSegment>),
+    refr: &(HashMap<pvc_simrt::FlowId, TransferOutcome>, Vec<RateSegment>),
+) -> Result<(), String> {
+    let (io, is) = inc;
+    let (ro, rs) = refr;
+    if io.len() != ro.len() {
+        return Err(format!(
+            "outcome counts differ: {} vs {}",
+            io.len(),
+            ro.len()
+        ));
+    }
+    for (id, a) in io {
+        let b = ro
+            .get(id)
+            .ok_or_else(|| format!("flow {id:?} finished incrementally but not in reference"))?;
+        for (what, x, y) in [
+            ("began", a.began.as_secs(), b.began.as_secs()),
+            ("finished", a.finished.as_secs(), b.finished.as_secs()),
+            ("bytes", a.bytes, b.bytes),
+        ] {
+            if x.to_bits() != y.to_bits() {
+                return Err(format!("flow {id:?} {what}: {x} vs {y}"));
+            }
+        }
+    }
+    if is.len() != rs.len() {
+        return Err(format!("segment counts differ: {} vs {}", is.len(), rs.len()));
+    }
+    for (a, b) in is.iter().zip(rs) {
+        if a.flow != b.flow
+            || a.from.as_secs().to_bits() != b.from.as_secs().to_bits()
+            || a.rate.to_bits() != b.rate.to_bits()
+        {
+            return Err(format!("rate segments diverge: {a:?} vs {b:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn degraded_fabrics_keep_solver_equivalence() {
+    check("degraded_fabrics_keep_solver_equivalence", 64, |g| {
+        let system = *g.choose(&[System::Aurora, System::Dawn]);
+        let spec = fabric_spec(g);
+        let (net, flows) = degraded_flows(g, system, &spec);
+        let inc = populate(&net, &flows).run_traced();
+        let refr = populate(&net, &flows).run_reference_traced();
+        diff(&inc, &refr).map_err(|e| format!("{system:?} under '{spec}': {e}"))
+    });
+}
+
+/// A killed plane built through the overlay behaves exactly like a
+/// hand-disabled resource: crossing flows strand in both solvers, and
+/// the survivors agree bit for bit.
+#[test]
+fn killed_plane_strands_identically_in_both_solvers() {
+    let spec = ChaosSpec::parse("xelink:0:0").unwrap();
+    let (net, flows) = with_overlay(System::Aurora, &spec, || {
+        let node = System::Aurora.node();
+        let fabric = NodeFabric::new(&node);
+        // One same-plane transfer per plane between two unswapped cards
+        // (cards 1 and 5 have inverted plane parity on Aurora), so each
+        // takes the direct Xe-Link on its own plane.
+        let flows: Vec<(f64, Vec<ResourceId>, f64)> = (0..2)
+            .map(|s| {
+                let path =
+                    fabric.d2d_path(StackId::new(0, s), StackId::new(2, s), RouteVia::Auto);
+                (1e8, path, 0.0)
+            })
+            .collect();
+        (fabric.net.clone_resources(), flows)
+    })
+    .unwrap();
+    let (inc, _) = populate(&net, &flows).run_traced();
+    let (refr, _) = populate(&net, &flows).run_reference_traced();
+    assert_eq!(inc.len(), refr.len(), "same survivor set");
+    assert_eq!(inc.len(), 1, "exactly one plane's transfer survives");
+    for (id, a) in &inc {
+        let b = &refr[id];
+        assert_eq!(a.finished.as_secs().to_bits(), b.finished.as_secs().to_bits());
+    }
+}

@@ -5,6 +5,7 @@
 //! reproduce [table1..table6|fig1..fig4|experiments|json|conformance|validate|all]
 //! reproduce list
 //! reproduce run <workload> <system>
+//! reproduce chaos <workload> <system> <spec>
 //! reproduce profile <workload> [outfile]
 //! reproduce query [--stats] [--rounds N] [--queue-depth N] [--cache-cap N] <request.json>...
 //! reproduce serve [--queue-depth N] [--cache-cap N] [--tcp ADDR]
@@ -12,7 +13,10 @@
 //! `list` prints the full scenario grid — every registered
 //! workload × system pair with its figure-of-merit unit and paper
 //! citation. `run` executes one scenario and prints its typed outcome.
-//! With no argument, prints everything. `profile` runs one workload
+//! `chaos` runs one scenario twice — healthy and under a '+'-joined
+//! fault-spec overlay (e.g. `xelink:0:0`, `pcie:3x8+clock:1.0`) — and
+//! prints the FOM delta plus which resource was the bottleneck of each
+//! run. With no argument, prints everything. `profile` runs one workload
 //! under the deterministic virtual-time tracer and writes a Chrome-trace
 //! JSON file (default `profile-<workload>.json`), then prints the top-N
 //! span table and the metrics summary.
@@ -138,6 +142,13 @@ fn main() {
                 ));
             }
             out.push_str(&format!("{} scenarios registered\n", reg.len()));
+            out.push_str(
+                "\nevery scenario accepts a chaos overlay: `reproduce chaos <workload> <system> <spec>`\n",
+            );
+            out.push_str("spec grammar ('+'-joined fault tokens):\n");
+            for line in pvc_arch::chaos::GRAMMAR {
+                out.push_str(&format!("  {line}\n"));
+            }
         }
         "run" => {
             let (Some(workload), Some(system)) = (args.get(1), args.get(2)) else {
@@ -171,6 +182,80 @@ fn main() {
             out.push_str(&format!("  citation: {}\n", scenario.citation()));
             for (key, value) in &outcome.detail {
                 out.push_str(&format!("  {key} = {value}\n"));
+            }
+        }
+        "chaos" => {
+            let (Some(workload), Some(system), Some(spec)) =
+                (args.get(1), args.get(2), args.get(3))
+            else {
+                eprintln!("usage: reproduce chaos <workload> <system> <spec>");
+                eprintln!("spec grammar ('+'-joined fault tokens):");
+                for line in pvc_arch::chaos::GRAMMAR {
+                    eprintln!("  {line}");
+                }
+                std::process::exit(2);
+            };
+            let system: pvc_arch::System = match system.parse() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            let spec = match spec.parse::<pvc_scenario::ChaosSpec>() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("invalid chaos spec '{spec}': {e}");
+                    eprintln!("spec grammar ('+'-joined fault tokens):");
+                    for line in pvc_arch::chaos::GRAMMAR {
+                        eprintln!("  {line}");
+                    }
+                    std::process::exit(2);
+                }
+            };
+            let reg = pvc_report::scenarios::registry();
+            let run = match pvc_scenario::run_with_chaos(reg, workload, system, &spec) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            let dir = if run.baseline.fom.kind().higher_is_better() {
+                "higher is better"
+            } else {
+                "lower is better"
+            };
+            out.push_str(&format!(
+                "chaos report: {} under '{}'\n",
+                run.baseline.id,
+                run.spec.canonical()
+            ));
+            let side = |label: &str, o: &pvc_scenario::Outcome, b: &Option<String>| {
+                let bn = b.as_deref().unwrap_or("none traced");
+                format!("  {label:<9} {} ({dir})  [bottleneck: {bn}]\n", o.fom)
+            };
+            out.push_str(&side("baseline:", &run.baseline, &run.baseline_bottleneck));
+            out.push_str(&side("degraded:", &run.degraded, &run.degraded_bottleneck));
+            match run.delta_fraction() {
+                Some(d) => out.push_str(&format!("  delta:    {:+.1}%\n", d * 100.0)),
+                None => out.push_str(
+                    "  delta:    n/a (zero or non-finite endpoint — e.g. stranded transfers)\n",
+                ),
+            }
+            if run.baseline_bottleneck != run.degraded_bottleneck {
+                out.push_str(&format!(
+                    "  bottleneck shifted: {} -> {}\n",
+                    run.baseline_bottleneck.as_deref().unwrap_or("none"),
+                    run.degraded_bottleneck.as_deref().unwrap_or("none")
+                ));
+            } else {
+                out.push_str("  bottleneck unchanged\n");
+            }
+            if !run.degraded_no_better() {
+                eprintln!("chaos invariant violated: degraded FOM beats baseline");
+                print!("{out}");
+                std::process::exit(1);
             }
         }
         "profile" => {
@@ -251,7 +336,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling, list, run <workload> <system>, profile <workload>, query <request.json>.., serve or all"
+                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling, list, run <workload> <system>, chaos <workload> <system> <spec>, profile <workload>, query <request.json>.., serve or all"
             );
             std::process::exit(2);
         }

@@ -16,7 +16,15 @@
 //! | `{"kind":"profile","workload":W,"system":S}` | profile top table + metrics summary |
 //! | `{"kind":"pcie","system":S,"modes":["h2d","d2h","bidir"]}` | bandwidth triplets per mode (sweep) |
 //! | `{"kind":"run","workload":W,"system":S}` | one scenario outcome (typed FOM + detail) |
+//! | `{"kind":"run","workload":W,"system":S,"chaos":SPEC}` | the same cell under a fault overlay |
 //! | `{"kind":"list"}` | the full scenario grid with units and citations |
+//!
+//! `SPEC` is a '+'-joined chaos fault-token string (see
+//! [`pvc_arch::chaos::GRAMMAR`], e.g. `"xelink:0:0+clock:1.0"`). The
+//! spec's canonical spelling is part of the atom key, so degraded
+//! variants are first-class atoms: the LRU cache, single-flight dedup
+//! and coalescing all treat `{request}` and `{request, chaos}` as
+//! distinct, while two spellings of the same spec coalesce.
 //!
 //! Every scenario-backed atom — the `pcie` sweep's per-mode atoms and
 //! the generic `run` atoms — is keyed on its [`pvc_scenario::ScenarioId`]
@@ -34,7 +42,7 @@ use crate::{ablations, experiments, figdata, profile, tables};
 use pvc_arch::System;
 use pvc_core::{json, Json};
 use pvc_memsim::LatsConfig;
-use pvc_scenario::{Ctx, ScenarioError};
+use pvc_scenario::{ChaosSpec, Ctx, ScenarioError};
 use pvc_serve::{Atom, Executor, Request};
 
 /// The executor serving the paper catalog.
@@ -96,15 +104,44 @@ fn int_field(req: &Request, field: &str, lo: i64, hi: i64) -> Result<i64, Scenar
     }
 }
 
+/// Parses and validates the optional `chaos` field: a fault-spec string
+/// per the [`pvc_arch::chaos::GRAMMAR`]. An empty spec is the baseline
+/// (no overlay), so `"chaos": ""` produces the same atom as no field.
+fn chaos_from(req: &Request) -> Result<Option<ChaosSpec>, ScenarioError> {
+    match req.get("chaos") {
+        None => Ok(None),
+        Some(Json::Str(s)) => {
+            let spec = ChaosSpec::parse(s).map_err(|e| {
+                ScenarioError::bad_request(format!("invalid chaos spec '{s}': {e}"))
+            })?;
+            Ok((!spec.is_empty()).then_some(spec))
+        }
+        Some(other) => Err(ScenarioError::bad_request(format!(
+            "chaos must be a fault-spec string, got {}",
+            other.compact()
+        ))),
+    }
+}
+
 /// One atom per scenario, keyed on the [`pvc_scenario::ScenarioId`]
-/// grid key so identical scenarios coalesce across request kinds.
-fn scenario_atom(slug: &str, system: System) -> Atom {
-    let params = Json::obj(vec![
+/// grid key so identical scenarios coalesce across request kinds. A
+/// chaos overlay joins the key in canonical spelling
+/// (`run:<slug>@<system>+chaos:<spec>`): degraded variants never
+/// coalesce with the baseline or with differently-degraded atoms.
+fn scenario_atom(slug: &str, system: System, chaos: Option<&ChaosSpec>) -> Atom {
+    let mut pairs = vec![
         ("op", Json::str("run")),
         ("workload", Json::str(slug)),
         ("system", Json::str(system.cli_name())),
-    ]);
-    Atom::new(format!("run:{slug}@{}", system.cli_name()), params)
+    ];
+    let mut id = format!("run:{slug}@{}", system.cli_name());
+    if let Some(spec) = chaos {
+        let canon = spec.canonical();
+        id.push_str("+chaos:");
+        id.push_str(&canon);
+        pairs.push(("chaos", Json::Str(canon)));
+    }
+    Atom::new(id, Json::obj(pairs))
 }
 
 fn atoms_typed(req: &Request) -> Result<Vec<Atom>, ScenarioError> {
@@ -114,6 +151,14 @@ fn atoms_typed(req: &Request) -> Result<Vec<Atom>, ScenarioError> {
         let params = Json::obj(pairs);
         vec![Atom::new(format!("{op}:{}", params.compact()), params)]
     };
+    // Chaos overlays only make sense on scenario runs; a stray field on
+    // any other kind is a typed rejection, not a silent ignore.
+    if req.get("chaos").is_some() && req.kind() != "run" {
+        return Err(ScenarioError::bad_request(format!(
+            "'chaos' is only supported on run requests, not '{}'",
+            req.kind()
+        )));
+    }
     match req.kind() {
         "table" => {
             let id = int_field(req, "id", 1, 6)?;
@@ -154,7 +199,19 @@ fn atoms_typed(req: &Request) -> Result<Vec<Atom>, ScenarioError> {
             let sys = system_from(req)?;
             let workload = str_field(req, "workload", "run")?;
             let scenario = registry().get(&workload, sys)?;
-            Ok(vec![scenario_atom(&scenario.id().slug(), sys)])
+            let chaos = chaos_from(req)?;
+            if let Some(spec) = &chaos {
+                // Shed invalid specs at admission with the typed error;
+                // an atom that reaches execution can always apply.
+                spec.apply(sys.node()).map_err(|e| {
+                    ScenarioError::bad_request(format!(
+                        "chaos spec '{}' rejected for {}: {e}",
+                        spec.canonical(),
+                        sys.cli_name()
+                    ))
+                })?;
+            }
+            Ok(vec![scenario_atom(&scenario.id().slug(), sys, chaos.as_ref())])
         }
         "pcie" => {
             let sys = system_from(req)?;
@@ -177,7 +234,7 @@ fn atoms_typed(req: &Request) -> Result<Vec<Atom>, ScenarioError> {
                     }
                     let slug = format!("pcie-{name}");
                     registry().get(&slug, sys)?; // typed unregistered-pair check
-                    Ok(scenario_atom(&slug, sys))
+                    Ok(scenario_atom(&slug, sys, None))
                 })
                 .collect()
         }
@@ -202,13 +259,25 @@ fn run_scenario_atom(atom: &Atom) -> Result<Json, ScenarioError> {
         .unwrap_or("aurora")
         .parse()?;
     let scenario = registry().get(slug, sys)?;
-    let out = scenario.run(&mut Ctx::quiet());
+    // The overlay installs here, inside atom execution, because atoms
+    // run on `pvc_core::par` worker threads — a thread-local overlay
+    // set at admission would never reach them.
+    let chaos = match atom.params.get("chaos").and_then(Json::as_str) {
+        Some(s) => Some(ChaosSpec::parse(s).map_err(|e| {
+            ScenarioError::bad_request(format!("chaos atom spec '{s}': {e}"))
+        })?),
+        None => None,
+    };
+    let out = match &chaos {
+        Some(spec) => pvc_scenario::run_overlaid(registry(), slug, sys, spec)?,
+        None => scenario.run(&mut Ctx::quiet()),
+    };
     let detail: Vec<(String, Json)> = out
         .detail
         .iter()
         .map(|(k, v)| (k.to_string(), Json::Num(*v)))
         .collect();
-    Ok(Json::obj(vec![
+    let mut fields = vec![
         ("workload", Json::str(slug)),
         ("system", Json::str(sys.cli_name())),
         ("value", Json::Num(out.fom.value())),
@@ -216,7 +285,11 @@ fn run_scenario_atom(atom: &Atom) -> Result<Json, ScenarioError> {
         ("higher_is_better", Json::Bool(scenario.fom_kind().higher_is_better())),
         ("citation", Json::str(scenario.citation())),
         ("detail", Json::Obj(detail)),
-    ]))
+    ];
+    if let Some(spec) = &chaos {
+        fields.push(("chaos", Json::Str(spec.canonical())));
+    }
+    Ok(Json::obj(fields))
 }
 
 /// Renders the full grid as structured JSON.
@@ -378,6 +451,7 @@ pub const CANNED_REQUESTS: &[&str] = &[
     r#"{"kind":"table","id":2}"#,
     r#"{"kind":"figure","id":3}"#,
     r#"{"kind":"pcie","system":"aurora","modes":["h2d","d2h"]}"#,
+    r#"{"kind":"run","workload":"stream-triad","system":"aurora","chaos":"hbm:0.5"}"#,
 ];
 
 #[cfg(test)]

@@ -205,3 +205,60 @@ fn serve_stdin_session_answers_line_per_request() {
         "duplicate inside the array batch is single-flighted: {stats}"
     );
 }
+
+#[test]
+fn list_advertises_chaos_after_the_count_line() {
+    let (stdout, _, ok) = reproduce(&["list"]);
+    assert!(ok);
+    // The machine-read count line keeps its own line (ci greps it).
+    let count_at = stdout
+        .find("63 scenarios registered\n")
+        .expect("count line present");
+    let tail = &stdout[count_at..];
+    assert!(
+        tail.contains("reproduce chaos <workload> <system> <spec>"),
+        "list advertises the chaos verb after the count: {tail}"
+    );
+    for line in pvc_arch::chaos::GRAMMAR {
+        assert!(tail.contains(line), "grammar line missing from list: {line}");
+    }
+}
+
+#[test]
+fn chaos_verb_reports_direction_aware_delta() {
+    let (stdout, _, ok) = reproduce(&["chaos", "stream-triad", "aurora", "hbm:0.5"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("chaos report: stream-triad@aurora under 'hbm:0.5'"), "{stdout}");
+    assert!(stdout.contains("baseline:"), "{stdout}");
+    assert!(stdout.contains("degraded:"), "{stdout}");
+    assert!(stdout.contains("delta:    -50.0%"), "{stdout}");
+
+    // Two processes, byte-identical report: the delta path is as
+    // deterministic as the scenarios it wraps.
+    let (again, _, ok) = reproduce(&["chaos", "stream-triad", "aurora", "hbm:0.5"]);
+    assert!(ok);
+    assert_eq!(stdout, again);
+}
+
+#[test]
+fn chaos_verb_attributes_the_bottleneck() {
+    let (stdout, _, ok) = reproduce(&["chaos", "pcie-h2d", "aurora", "pcie:3x8"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("[bottleneck: "), "{stdout}");
+}
+
+#[test]
+fn chaos_verb_rejects_garbage_with_usage_and_grammar() {
+    let (_, stderr, ok) = reproduce(&["chaos", "stream-triad", "aurora", "warp:9"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown fault"), "{stderr}");
+    assert!(stderr.contains("xelink:<plane>:<factor>"), "typed grammar echo: {stderr}");
+
+    let (_, stderr, ok) = reproduce(&["chaos", "stream-triad", "aurora"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage: reproduce chaos"), "{stderr}");
+
+    let (_, stderr, ok) = reproduce(&["chaos", "stream-triad", "aurora", "stackdown:12"]);
+    assert!(!ok);
+    assert!(stderr.contains("stackdown"), "apply-time typed rejection: {stderr}");
+}

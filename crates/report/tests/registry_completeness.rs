@@ -113,3 +113,57 @@ fn uncovered_scenario_keys_parse_back_into_the_grid() {
             .unwrap_or_else(|e| panic!("uncovered key '{key}' does not resolve: {e}"));
     }
 }
+
+/// No orphaned chaos dimensions: every fault kind in the published
+/// grammar (a) is advertised by a `GRAMMAR` line, and (b) either
+/// applies cleanly to, or is typed-rejected by, every system in the
+/// registered grid — there is no fault that panics or that no
+/// registered scenario could ever exercise.
+#[test]
+fn every_chaos_dimension_reaches_the_registered_grid() {
+    use pvc_arch::chaos::{ChaosSpec, GRAMMAR};
+
+    // One representative spec per fault kind, valid grammar on any PVC
+    // node (pcie:1x1 is a downgrade from every real link).
+    let representatives = [
+        ("xelink", "xelink:0:0.5"),
+        ("pcie", "pcie:1x1"),
+        ("clock", "clock:0.1"),
+        ("stackdown", "stackdown:1"),
+        ("hbm", "hbm:0.5"),
+    ];
+    let mut systems: Vec<System> = Vec::new();
+    for s in registry().iter() {
+        if !systems.contains(&s.id().system) {
+            systems.push(s.id().system);
+        }
+    }
+    assert!(!systems.is_empty());
+    for (kind, token) in representatives {
+        assert!(
+            GRAMMAR.iter().any(|line| line.starts_with(kind)),
+            "fault kind '{kind}' missing from the advertised grammar"
+        );
+        let spec = ChaosSpec::parse(token).expect("representative spec parses");
+        assert_eq!(spec.faults().len(), 1);
+        assert_eq!(spec.faults()[0].kind(), kind);
+        let mut applies_somewhere = false;
+        for &system in &systems {
+            // Ok or typed rejection; a panic here fails the test.
+            applies_somewhere |= spec.apply(system.node()).is_ok();
+        }
+        assert!(
+            applies_somewhere,
+            "fault kind '{kind}' applies to no registered system — orphaned dimension"
+        );
+    }
+    // And the reverse direction: the grammar advertises nothing the
+    // parser does not recognise.
+    for line in GRAMMAR {
+        let kind = line.split(':').next().unwrap();
+        assert!(
+            representatives.iter().any(|(k, _)| *k == kind),
+            "grammar line '{line}' names unknown fault kind '{kind}'"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Chaos overlays through the query service: degraded variants are
+//! first-class atoms. The cache keys `{request}` and `{request, chaos}`
+//! apart, coalescing merges only equal specs (however spelled), invalid
+//! specs shed at admission with typed errors, and responses are
+//! byte-deterministic across runs — the property the ci double-run
+//! gate checks end to end.
+
+use pvc_core::Json;
+use pvc_report::serve::CatalogExecutor;
+use pvc_serve::{ServeConfig, Service};
+
+fn service() -> Service<CatalogExecutor> {
+    Service::new(CatalogExecutor, ServeConfig::default())
+}
+
+fn detail_of(r: &Json) -> &str {
+    r.get("error")
+        .and_then(|e| e.get("detail"))
+        .and_then(Json::as_str)
+        .expect("error detail")
+}
+
+const BASE: &str = r#"{"kind":"run","workload":"stream-triad","system":"aurora"}"#;
+const DEGRADED: &str =
+    r#"{"kind":"run","workload":"stream-triad","system":"aurora","chaos":"hbm:0.5"}"#;
+
+/// The cache never conflates a run with its degraded variant: four
+/// lines, two distinct cache entries, two hits.
+#[test]
+fn cache_keys_baseline_and_degraded_apart() {
+    let s = service();
+    let mut responses = s.handle_lines(&[BASE, DEGRADED]);
+    responses.extend(s.handle_lines(&[BASE, DEGRADED]));
+    assert_eq!(s.metrics().counter("serve.cache.hit"), 2);
+    assert_eq!(s.metrics().counter("serve.atoms.executed"), 2);
+    let value = |r: &Json| {
+        r.get("result")
+            .and_then(|b| b.get("value"))
+            .and_then(Json::as_num)
+            .expect("run value")
+    };
+    let (base, deg) = (value(&responses[0]), value(&responses[1]));
+    assert!(deg < base, "hbm:0.5 halves triad: {deg} vs {base}");
+    assert_eq!(value(&responses[2]), base);
+    assert_eq!(value(&responses[3]), deg);
+    // The degraded response carries its canonical spec; the baseline
+    // carries none.
+    assert!(responses[0].get("result").unwrap().get("chaos").is_none());
+    assert_eq!(
+        responses[1]
+            .get("result")
+            .and_then(|b| b.get("chaos"))
+            .and_then(Json::as_str),
+        Some("hbm:0.5")
+    );
+}
+
+/// Atoms with different specs never merge; two spellings of the same
+/// spec coalesce onto one canonical atom.
+#[test]
+fn coalescing_follows_canonical_spec_not_spelling() {
+    let s = service();
+    let respelled =
+        r#"{"kind":"run","workload":"stream-triad","system":"aurora","chaos":"hbm:0.50"}"#;
+    let other = r#"{"kind":"run","workload":"stream-triad","system":"aurora","chaos":"hbm:0.25"}"#;
+    let responses = s.handle_lines(&[DEGRADED, respelled, other]);
+    // Three requests (all distinct cache keys), but hbm:0.5 and
+    // hbm:0.50 are one canonical atom — so only two executions.
+    assert_eq!(s.metrics().counter("serve.atoms.requested"), 3);
+    assert_eq!(s.metrics().counter("serve.atoms.executed"), 2);
+    let body = |r: &Json| r.get("result").expect("result").canonical();
+    assert_eq!(body(&responses[0]), body(&responses[1]));
+    assert_ne!(body(&responses[0]), body(&responses[2]));
+}
+
+/// An empty chaos spec is the baseline: same atom, same bytes.
+#[test]
+fn empty_spec_coalesces_with_baseline() {
+    let s = service();
+    let empty = r#"{"kind":"run","workload":"stream-triad","system":"aurora","chaos":""}"#;
+    let responses = s.handle_lines(&[BASE, empty]);
+    assert_eq!(s.metrics().counter("serve.atoms.executed"), 1);
+    assert_eq!(
+        responses[0].get("result").unwrap().canonical(),
+        responses[1].get("result").unwrap().canonical()
+    );
+}
+
+/// Invalid specs shed at admission with a typed error: bad grammar,
+/// wrong type, invalid for the system, or chaos on a non-run kind.
+#[test]
+fn invalid_specs_shed_with_typed_errors() {
+    let s = service();
+    let garbage = r#"{"kind":"run","workload":"gemm-fp64","system":"aurora","chaos":"warp:9"}"#;
+    let r = s.handle_lines(&[garbage]).remove(0);
+    assert!(detail_of(&r).contains("unknown fault"), "{r:?}");
+
+    let not_a_string = r#"{"kind":"run","workload":"gemm-fp64","system":"aurora","chaos":7}"#;
+    let r = s.handle_lines(&[not_a_string]).remove(0);
+    assert!(detail_of(&r).contains("fault-spec string"), "{r:?}");
+
+    let wrong_system =
+        r#"{"kind":"run","workload":"gemm-fp64","system":"aurora","chaos":"stackdown:12"}"#;
+    let r = s.handle_lines(&[wrong_system]).remove(0);
+    assert!(detail_of(&r).contains("stackdown"), "{r:?}");
+
+    let wrong_kind = r#"{"kind":"table","id":2,"chaos":"hbm:0.5"}"#;
+    let r = s.handle_lines(&[wrong_kind]).remove(0);
+    assert!(
+        detail_of(&r).contains("only supported on run requests"),
+        "{r:?}"
+    );
+    // Nothing executed: every rejection happened before atom expansion.
+    assert_eq!(s.metrics().counter("serve.atoms.executed"), 0);
+}
+
+/// Double-run byte identity: the exact invariant the ci gate `cmp`s.
+#[test]
+fn degraded_responses_are_byte_identical_across_services() {
+    let lines = [DEGRADED, BASE];
+    let first: Vec<String> = service().handle_lines(&lines).iter().map(Json::canonical).collect();
+    let second: Vec<String> = service().handle_lines(&lines).iter().map(Json::canonical).collect();
+    assert_eq!(first, second);
+}

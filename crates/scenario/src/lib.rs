@@ -21,13 +21,16 @@
 //! figures, profiles, the query service and the conformance harness pick
 //! it up without edits.
 
+pub mod chaos;
 pub mod error;
 pub mod fom;
 pub mod id;
 pub mod registry;
 pub mod scenario;
 
+pub use chaos::{run_overlaid, run_with_chaos, ChaosRun};
 pub use error::ScenarioError;
+pub use pvc_arch::chaos::{ChaosError, ChaosFault, ChaosSpec};
 pub use fom::{Fom, FomKind};
 pub use id::{precision_tag, Params, ScenarioId, Workload};
 pub use registry::{app_kind, Registry};

@@ -1,0 +1,229 @@
+//! Chaos property suite: for random (scenario × fault-spec) samples,
+//! degradation is monotone — a fault overlay can never *improve* a
+//! figure of merit — and the overlay machinery itself is exact
+//! (empty spec is the identity, repeated runs are bit-identical, and
+//! composed overlays are no better than the worse single overlay).
+//!
+//! Companion to `flow_equivalence`: that suite proves the solver is
+//! exact against a reference implementation; this one proves the fault
+//! model sits on the right side of every FOM's direction. Runs under
+//! the deterministic [`pvc_core::check`] harness — failures print a
+//! replayable seed, and `PVC_CHECK_CASES` scales the sample count.
+
+use pvc_core::check::{check, Gen};
+use pvc_report::scenarios::registry;
+use pvc_scenario::{run_overlaid, ChaosSpec, Fom, FomKind, Outcome, ScenarioError};
+use std::collections::HashMap;
+
+/// One grid cell eligible for fault injection: every registered
+/// scenario whose FOM has a direction. The figure pipelines report
+/// [`Fom::Ratio`] (model/published agreement), which a fault overlay
+/// legitimately moves in either direction, so they are property-exempt
+/// (but still covered by the identity test below).
+fn directed_cells() -> Vec<(String, pvc_arch::System)> {
+    registry()
+        .iter()
+        .filter(|s| !matches!(s.fom_kind(), FomKind::Ratio))
+        .map(|s| (s.id().slug(), s.id().system))
+        .collect()
+}
+
+/// All cells, Ratio included.
+fn all_cells() -> Vec<(String, pvc_arch::System)> {
+    registry()
+        .iter()
+        .map(|s| (s.id().slug(), s.id().system))
+        .collect()
+}
+
+/// One random fault token in the published grammar. Roughly half the
+/// Xe-Link samples kill the plane outright (factor 0) — the stranded
+/// path is where monotonicity is easiest to get wrong.
+fn fault_token(g: &mut Gen) -> String {
+    match g.usize_in(0..5) {
+        0 => {
+            let plane = g.usize_in(0..2);
+            let factor = if g.bool() { 0.0 } else { g.f64_in(0.2..0.95) };
+            format!("xelink:{plane}:{factor}")
+        }
+        1 => {
+            let gen = *g.choose(&[2u8, 3, 4]);
+            let lanes = *g.choose(&[2u8, 4, 8, 16]);
+            format!("pcie:{gen}x{lanes}")
+        }
+        2 => format!("clock:{}", g.f64_in(0.4..1.5)),
+        3 => format!("stackdown:{}", g.usize_in(1..3)),
+        _ => format!("hbm:{}", g.f64_in(0.2..0.95)),
+    }
+}
+
+/// A random non-empty spec of one or two faults.
+fn spec(g: &mut Gen) -> ChaosSpec {
+    let n = g.usize_in(1..3);
+    let tokens: Vec<String> = (0..n).map(|_| fault_token(g)).collect();
+    ChaosSpec::parse(&tokens.join("+")).expect("generated tokens are grammatical")
+}
+
+/// Direction-aware "no better", with a relative tolerance for float
+/// noise. Infinities fall out naturally: a stranded transfer drives a
+/// latency to +inf, which is `>=` any finite baseline.
+fn no_better(kind: FomKind, baseline: f64, degraded: f64) -> bool {
+    let tol = 1e-12 * baseline.abs().max(1.0);
+    if kind.higher_is_better() {
+        degraded <= baseline + tol
+    } else {
+        degraded >= baseline - tol
+    }
+}
+
+fn fom_raw(fom: &Fom) -> f64 {
+    fom.raw()
+}
+
+/// Baseline outcomes, computed once per cell across all samples.
+struct Baselines {
+    cache: HashMap<(String, pvc_arch::System), Outcome>,
+}
+
+impl Baselines {
+    fn new() -> Self {
+        Baselines {
+            cache: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, slug: &str, system: pvc_arch::System) -> &Outcome {
+        self.cache
+            .entry((slug.to_string(), system))
+            .or_insert_with(|| registry().run(slug, system).expect("registered cell"))
+    }
+}
+
+/// A degraded run, or `None` when the spec was (correctly) rejected
+/// with a typed error for this system — e.g. a PCIe "downgrade" that
+/// would be an upgrade, or dropping more stacks than the part has.
+/// Any other error is a property failure.
+fn degraded(
+    slug: &str,
+    system: pvc_arch::System,
+    spec: &ChaosSpec,
+) -> Result<Option<Outcome>, String> {
+    match run_overlaid(registry(), slug, system, spec) {
+        Ok(out) => Ok(Some(out)),
+        Err(ScenarioError::BadRequest(_)) => Ok(None),
+        Err(e) => Err(format!("unexpected error for {slug}@{system:?}: {e}")),
+    }
+}
+
+/// THE headline property: across random (scenario × spec) samples, a
+/// fault overlay never improves the figure of merit, in the FOM's own
+/// direction (bandwidths may only drop, latencies may only rise).
+#[test]
+fn chaos_degradation_never_improves() {
+    let cells = directed_cells();
+    let mut baselines = Baselines::new();
+    check("chaos_degradation_never_improves", 200, |g| {
+        let (slug, system) = g.choose(&cells).clone();
+        let spec = spec(g);
+        let Some(deg) = degraded(&slug, system, &spec)? else {
+            return Ok(()); // typed rejection is a valid outcome
+        };
+        let base = baselines.get(&slug, system);
+        let kind = base.fom.kind();
+        let (b, d) = (fom_raw(&base.fom), fom_raw(&deg.fom));
+        if !no_better(kind, b, d) {
+            return Err(format!(
+                "{slug}@{system:?} under '{spec}': degraded {d} beats baseline {b} ({kind:?})"
+            ));
+        }
+        Ok(())
+    });
+}
+
+/// Composition is monotone too: overlay `a+b` is no better than the
+/// worse of `a` alone and `b` alone. (If the composition is rejected —
+/// e.g. the second PCIe token would re-upgrade the first — the typed
+/// rejection is the correct outcome.)
+#[test]
+fn chaos_composition_no_better_than_worse_single() {
+    let cells = directed_cells();
+    check("chaos_composition_no_better_than_worse_single", 64, |g| {
+        let (slug, system) = g.choose(&cells).clone();
+        let a = spec(g);
+        let b = spec(g);
+        let (Some(da), Some(db)) = (degraded(&slug, system, &a)?, degraded(&slug, system, &b)?)
+        else {
+            return Ok(());
+        };
+        let Some(dab) = degraded(&slug, system, &a.then(&b))? else {
+            return Ok(());
+        };
+        let kind = da.fom.kind();
+        let (ra, rb, rab) = (fom_raw(&da.fom), fom_raw(&db.fom), fom_raw(&dab.fom));
+        // The worse of the two singles, in the FOM's own direction.
+        let worse = if kind.higher_is_better() {
+            ra.min(rb)
+        } else {
+            ra.max(rb)
+        };
+        if !no_better(kind, worse, rab) {
+            return Err(format!(
+                "{slug}@{system:?}: '{a}'+'{b}' gives {rab}, better than worse single {worse}"
+            ));
+        }
+        Ok(())
+    });
+}
+
+/// The empty spec is the identity: bit-identical FOM and detail vector
+/// against a plain registry run, on every cell including the Ratio
+/// figure pipelines.
+#[test]
+fn chaos_empty_spec_is_identity() {
+    let cells = all_cells();
+    let mut baselines = Baselines::new();
+    check("chaos_empty_spec_is_identity", 32, |g| {
+        let (slug, system) = g.choose(&cells).clone();
+        let overlaid = run_overlaid(registry(), &slug, system, &ChaosSpec::empty())
+            .map_err(|e| e.to_string())?;
+        let base = baselines.get(&slug, system);
+        if base.fom.raw().to_bits() != overlaid.fom.raw().to_bits() {
+            return Err(format!(
+                "{slug}@{system:?}: empty overlay changed the FOM ({} -> {})",
+                base.fom, overlaid.fom
+            ));
+        }
+        if base.detail != overlaid.detail {
+            return Err(format!(
+                "{slug}@{system:?}: empty overlay changed the detail vector"
+            ));
+        }
+        Ok(())
+    });
+}
+
+/// Degraded runs are deterministic: the same (cell, spec) twice gives
+/// bit-identical FOM and detail — the invariant the serve layer's
+/// response cache and the ci double-run gate lean on.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let cells = directed_cells();
+    check("chaos_runs_are_deterministic", 32, |g| {
+        let (slug, system) = g.choose(&cells).clone();
+        let spec = spec(g);
+        let (Some(first), Some(second)) = (
+            degraded(&slug, system, &spec)?,
+            degraded(&slug, system, &spec)?,
+        ) else {
+            return Ok(());
+        };
+        if first.fom.raw().to_bits() != second.fom.raw().to_bits() || first.detail != second.detail
+        {
+            return Err(format!(
+                "{slug}@{system:?} under '{spec}': two runs disagree ({} vs {})",
+                first.fom, second.fom
+            ));
+        }
+        Ok(())
+    });
+}

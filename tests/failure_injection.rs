@@ -2,12 +2,12 @@
 //! simulation substrate must fail loudly or degrade gracefully, never
 //! silently corrupt results.
 
-use pvc_arch::System;
+use pvc_arch::{ChaosError, ChaosSpec, System};
 use pvc_fabric::{NodeFabric, RouteVia, StackId};
 use pvc_kernels::fft::{fft, Complex, Direction};
 use pvc_kernels::gemm::{gemm, test_matrix};
 use pvc_memsim::cache::CacheSim;
-use pvc_simrt::{FlowNetwork, FlowSpec, Time};
+use pvc_simrt::{FlowError, FlowNetwork, FlowSpec, Time};
 
 /// A dead Xe-Link leaves same-card traffic unharmed but strands the
 /// remote pair.
@@ -38,26 +38,145 @@ fn dead_link_strands_only_its_flows() {
     assert!(!done.contains_key(&remote), "remote flow stranded");
 }
 
-/// Degenerate flow-network inputs are rejected loudly.
+/// Degenerate flow-network inputs come back as typed [`FlowError`]s —
+/// the caller sees *which* argument was garbage, not a panic message.
 #[test]
-fn flow_network_rejects_garbage() {
-    use std::panic::catch_unwind;
-    assert!(catch_unwind(|| {
-        let mut net = FlowNetwork::new();
-        net.add_resource(f64::NAN);
-    })
-    .is_err());
-    assert!(catch_unwind(|| {
-        let mut net = FlowNetwork::new();
-        let r = net.add_resource(1.0);
-        net.add_flow(FlowSpec {
+fn flow_network_rejects_garbage_with_typed_errors() {
+    let mut net = FlowNetwork::new();
+    assert!(matches!(
+        net.try_add_resource(f64::NAN),
+        Err(FlowError::NonPositiveCapacity(c)) if c.is_nan()
+    ));
+    assert!(matches!(
+        net.try_add_resource(0.0),
+        Err(FlowError::NonPositiveCapacity(c)) if c == 0.0
+    ));
+    let r = net.try_add_resource(1.0).expect("positive capacity admits");
+    assert!(matches!(
+        net.try_add_flow(FlowSpec {
             start: Time::ZERO,
             bytes: -5.0,
             path: vec![r],
             latency: 0.0,
+        }),
+        Err(FlowError::NonPositiveBytes(b)) if b == -5.0
+    ));
+    assert!(matches!(
+        net.try_add_flow(FlowSpec {
+            start: Time::ZERO,
+            bytes: 1.0,
+            path: Vec::new(),
+            latency: 0.0,
+        }),
+        Err(FlowError::EmptyPath)
+    ));
+    assert!(matches!(
+        net.try_add_flow(FlowSpec {
+            start: Time::ZERO,
+            bytes: 1.0,
+            path: vec![r],
+            latency: -1.0,
+        }),
+        Err(FlowError::NegativeLatency(l)) if l == -1.0
+    ));
+    // Rejected inputs leave the network usable.
+    let ok = net.try_add_flow(FlowSpec {
+        start: Time::ZERO,
+        bytes: 8.0,
+        path: vec![r],
+        latency: 0.0,
+    });
+    assert!(ok.is_ok());
+    assert!(net.run().contains_key(&ok.unwrap()));
+}
+
+/// Malformed chaos specs are typed [`ChaosError`]s, never NaN FOMs or
+/// panics: the grammar rejects them before any overlay is installed.
+#[test]
+fn chaos_specs_reject_garbage_with_typed_errors() {
+    assert!(matches!(
+        ChaosSpec::parse("xelink:0:"),
+        Err(ChaosError::BadArgs { fault: "xelink", .. })
+    ));
+    assert!(matches!(
+        ChaosSpec::parse("xelink:0:1.5"),
+        Err(ChaosError::NotADegradation { fault: "xelink", .. })
+    ));
+    assert!(matches!(
+        ChaosSpec::parse("hbm:0"),
+        Err(ChaosError::BadArgs { fault: "hbm", .. })
+    ));
+    assert!(matches!(
+        ChaosSpec::parse("hbm:1.5"),
+        Err(ChaosError::NotADegradation { fault: "hbm", .. })
+    ));
+    assert!(matches!(
+        ChaosSpec::parse("hbm:NaN"),
+        Err(ChaosError::BadArgs { fault: "hbm", .. })
+    ));
+    assert!(matches!(
+        ChaosSpec::parse("warp-core:0.5"),
+        Err(ChaosError::UnknownFault { .. })
+    ));
+    assert!(matches!(
+        ChaosSpec::parse("hbm:0.5++hbm:0.5"),
+        Err(ChaosError::EmptyFault)
+    ));
+    // Valid-grammar specs can still be invalid for a concrete part:
+    // Aurora's PVC has two stacks per GPU, so dropping twelve is typed.
+    let spec = ChaosSpec::parse("stackdown:12").expect("grammatical");
+    assert!(matches!(
+        spec.apply(System::Aurora.node()),
+        Err(ChaosError::InvalidForSystem { fault: "stackdown", .. })
+    ));
+}
+
+/// Disabling a resource *after* flows were admitted strands exactly the
+/// flows whose path crosses it — mid-simulation failure, not admission
+/// rejection — and the incremental solver agrees with the reference
+/// implementation bit for bit.
+#[test]
+fn late_resource_failure_strands_admitted_flows() {
+    let build = || {
+        let mut net = FlowNetwork::new();
+        let healthy = net.add_resource(100.0);
+        let doomed = net.add_resource(50.0);
+        let survivor = net.add_flow(FlowSpec {
+            start: Time::ZERO,
+            bytes: 1e6,
+            path: vec![healthy],
+            latency: 0.0,
         });
-    })
-    .is_err());
+        let stranded = net.add_flow(FlowSpec {
+            start: Time::ZERO,
+            bytes: 1e6,
+            path: vec![healthy, doomed],
+            latency: 0.0,
+        });
+        // Both flows are admitted; the failure happens afterwards.
+        net.disable_resource(doomed);
+        (net, survivor, stranded)
+    };
+
+    let (mut net, survivor, stranded) = build();
+    let done = net.run();
+    assert!(done.contains_key(&survivor), "survivor completes");
+    assert!(!done.contains_key(&stranded), "stranded flow never finishes");
+    // With the stranded flow gone, the survivor owns the full capacity.
+    let t = done[&survivor].finished.as_secs() - done[&survivor].began.as_secs();
+    assert!((t - 1e6 / 100.0).abs() < 1e-9, "survivor unaffected: {t}");
+
+    let (mut reference, _, _) = build();
+    let ref_done = reference.run_reference();
+    assert_eq!(done.len(), ref_done.len());
+    for (id, out) in &done {
+        let r = &ref_done[id];
+        assert_eq!(out.began.as_secs().to_bits(), r.began.as_secs().to_bits());
+        assert_eq!(
+            out.finished.as_secs().to_bits(),
+            r.finished.as_secs().to_bits()
+        );
+    }
 }
 
 /// Tiny caches and single-line working sets behave sensibly.
