@@ -123,4 +123,37 @@ run cargo run --offline --release -p pvc-report --bin reproduce \
 run cmp "$serve_dir/delta-a.out" "$serve_dir/delta-b.out"
 run grep -q 'delta:' "$serve_dir/delta-a.out"
 
+# 11. Telemetry: a serve session answers the reserved `stats` kind with
+#     the live registry, the structured access log and the stats
+#     rendering are byte-deterministic across fresh processes, and
+#     `reproduce stats` re-renders the same registry as Prometheus
+#     exposition text with `serve.requests` matching the batch size.
+printf '[{"kind":"table","id":2},{"kind":"figure","id":3},{"kind":"pcie","system":"aurora","modes":["h2d","d2h"]}]\n{"kind":"stats"}\n' \
+  > "$serve_dir/session.txt"
+cargo run --offline --release -p pvc-report --bin reproduce \
+  serve --access-log "$serve_dir/tele-a.log" \
+  < "$serve_dir/session.txt" > "$serve_dir/tele-a.out" 2> /dev/null
+cargo run --offline --release -p pvc-report --bin reproduce \
+  serve --access-log "$serve_dir/tele-b.log" \
+  < "$serve_dir/session.txt" > "$serve_dir/tele-b.out" 2> /dev/null
+test -s "$serve_dir/tele-a.out"
+test -s "$serve_dir/tele-a.log"
+run cmp "$serve_dir/tele-a.out" "$serve_dir/tele-b.out"
+run cmp "$serve_dir/tele-a.log" "$serve_dir/tele-b.log"
+# The live stats body counts the whole session (3 batched + stats = 4).
+run grep -q '"serve.requests":4' "$serve_dir/tele-a.out"
+run grep -q '"outcome":"stats"' "$serve_dir/tele-a.log"
+run grep -q '"outcome":"miss"' "$serve_dir/tele-a.log"
+# Offline rendering: canned batch (4 requests), double-run identical.
+cargo run --offline --release -p pvc-report --bin reproduce \
+  stats > "$serve_dir/stats-a.out" 2> /dev/null
+cargo run --offline --release -p pvc-report --bin reproduce \
+  stats > "$serve_dir/stats-b.out" 2> /dev/null
+test -s "$serve_dir/stats-a.out"
+run cmp "$serve_dir/stats-a.out" "$serve_dir/stats-b.out"
+run grep -q '^serve_requests 4$' "$serve_dir/stats-a.out"
+run grep -q 'serve_cost_run_bucket{le="+Inf"} 1' "$serve_dir/stats-a.out"
+run grep -q '^simrt_flow_runs ' "$serve_dir/stats-a.out"
+run grep -q '^serve.cost.table ' "$serve_dir/stats-a.out"
+
 echo "ci: all gates green"

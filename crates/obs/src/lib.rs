@@ -13,8 +13,12 @@
 //!   The default tracer is a **no-op sink**: every hook collapses to a
 //!   single branch on an `Option`, so instrumented hot paths cost
 //!   nothing when tracing is off.
-//! * [`Metrics`] — an insertion-ordered registry of counters (saturating
-//!   at `u64::MAX`), gauges, and fixed-bucket histograms.
+//! * [`Metrics`] — a registry of counters (saturating at `u64::MAX`),
+//!   gauges, and fixed-bucket histograms with quantile estimation,
+//!   deterministic name-sorted snapshots/deltas, and a
+//!   Prometheus-style text exposition ([`Metrics::expose_text`]).
+//!   A thread-local **ambient sink** ([`Metrics::install_ambient`])
+//!   lets low layers export work counters without API plumbing.
 //! * [`export`] — Chrome `trace_event` JSON (loadable in
 //!   `chrome://tracing` / Perfetto) and a plain-text summary, built on
 //!   the in-tree `pvc-core` JSON writer.
@@ -26,5 +30,5 @@ pub mod metrics;
 pub mod trace;
 
 pub use export::{chrome_trace, chrome_trace_json, span_totals, top_table, SpanTotal};
-pub use metrics::Metrics;
+pub use metrics::{AmbientGuard, GaugeState, InstrumentSnapshot, Metrics, MetricsSnapshot};
 pub use trace::{AttrValue, Layer, SpanHandle, Tracer};

@@ -1,9 +1,24 @@
-//! Metrics registry: counters, gauges, fixed-bucket histograms.
+//! Metrics registry: counters, gauges, fixed-bucket histograms — plus
+//! quantile estimation, deterministic snapshot/delta semantics and a
+//! Prometheus-style text exposition.
 //!
-//! Insertion-ordered (never hash-ordered) so every rendering of the
-//! registry is deterministic. Like [`crate::Tracer`], the registry is a
-//! cheap cloneable handle sharing one buffer; a disabled registry is
-//! not needed — an unused `Metrics` simply stays empty.
+//! Every rendered output (summary, JSON, exposition, snapshots) is
+//! **sorted by metric name** using plain byte order — never hash order,
+//! never locale-dependent collation — so two registries that saw the
+//! same updates render byte-identical text regardless of registration
+//! order. Like [`crate::Tracer`], the registry is a cheap cloneable
+//! handle sharing one buffer; a disabled registry is not needed — an
+//! unused `Metrics` simply stays empty.
+//!
+//! ## Ambient sink
+//!
+//! Low layers (the `pvc-simrt` flow solver and event queue) export
+//! their work counters without any API plumbing through a thread-local
+//! **ambient sink** stack: a caller that wants the counters installs
+//! its registry with [`Metrics::install_ambient`] (RAII guard) and
+//! every export inside the guard's scope lands in it. With no sink
+//! installed the export is a single thread-local check — the disabled
+//! path stays bit-non-perturbing.
 
 use pvc_core::Json;
 use std::cell::RefCell;
@@ -41,6 +56,53 @@ impl Registry {
             }
         }
     }
+
+    /// Indices sorted by metric name, byte order (locale-independent).
+    fn sorted_indices(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.names.len()).collect();
+        idx.sort_by(|&a, &b| self.names[a].as_bytes().cmp(self.names[b].as_bytes()));
+        idx
+    }
+}
+
+/// Typed gauge observation: distinguishes a gauge nobody ever set from
+/// one explicitly set to NaN (both answer `None`-ish through float
+/// plumbing, but mean different things to a dashboard).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GaugeState {
+    /// No value was ever recorded under this name.
+    Unset,
+    /// The gauge was set; the payload may be NaN.
+    Set(f64),
+}
+
+impl GaugeState {
+    /// True when a value (including NaN) was recorded.
+    pub fn is_set(&self) -> bool {
+        matches!(self, GaugeState::Set(_))
+    }
+}
+
+thread_local! {
+    /// The ambient sink stack (see module docs). A stack, not a slot,
+    /// so nested observed scopes (chaos delta runs inside a serve atom)
+    /// each receive the counters exported inside them.
+    static AMBIENT: RefCell<Vec<Metrics>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard from [`Metrics::install_ambient`]; uninstalls the sink
+/// when dropped. Not `Send` — the sink is thread-local by design.
+#[must_use = "the ambient sink is uninstalled when the guard drops"]
+pub struct AmbientGuard {
+    _thread_local: std::marker::PhantomData<Rc<()>>,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
 }
 
 /// The metrics registry handle.
@@ -53,6 +115,31 @@ impl Metrics {
     /// A fresh empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs this registry as the innermost ambient sink on the
+    /// current thread until the returned guard drops.
+    pub fn install_ambient(&self) -> AmbientGuard {
+        AMBIENT.with(|s| s.borrow_mut().push(self.clone()));
+        AmbientGuard {
+            _thread_local: std::marker::PhantomData,
+        }
+    }
+
+    /// Calls `f` once per installed ambient sink (outermost first).
+    /// `f` must not install or uninstall sinks. No sink, no calls —
+    /// the disabled path is one thread-local borrow.
+    pub fn with_ambient(mut f: impl FnMut(&Metrics)) {
+        AMBIENT.with(|s| {
+            for m in s.borrow().iter() {
+                f(m);
+            }
+        });
+    }
+
+    /// True when at least one ambient sink is installed on this thread.
+    pub fn ambient_installed() -> bool {
+        AMBIENT.with(|s| !s.borrow().is_empty())
     }
 
     /// Adds `n` to counter `name` (created at 0 on first use),
@@ -79,9 +166,11 @@ impl Metrics {
         }
     }
 
-    /// Sets gauge `name` to `v`, tracking the observed min/max.
+    /// Sets gauge `name` to `v`, tracking the observed min/max. NaN is
+    /// a legal observation (recorded, excluded from the range); ±∞ is
+    /// rejected — an infinite gauge is always a model bug.
     pub fn gauge(&self, name: &str, v: f64) {
-        assert!(v.is_finite(), "gauge '{name}' set to non-finite {v}");
+        assert!(!v.is_infinite(), "gauge '{name}' set to infinite {v}");
         let mut r = self.reg.borrow_mut();
         let i = r.index(name, || Instrument::Gauge {
             value: 0.0,
@@ -91,30 +180,54 @@ impl Metrics {
         });
         if let Instrument::Gauge { value, min, max, set } = &mut r.instruments[i] {
             *value = v;
-            *min = min.min(v);
-            *max = max.max(v);
+            if !v.is_nan() {
+                *min = min.min(v);
+                *max = max.max(v);
+            }
             *set = true;
         } else {
             panic!("metric '{name}' is not a gauge");
         }
     }
 
-    /// Last-set value of gauge `name`.
+    /// Last-set value of gauge `name`; `None` when never set. A gauge
+    /// set to NaN answers `Some(NaN)` — use [`gauge_state`] when the
+    /// distinction must be typed rather than smuggled through a float.
+    ///
+    /// [`gauge_state`]: Self::gauge_state
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.gauge_state(name) {
+            GaugeState::Set(v) => Some(v),
+            GaugeState::Unset => None,
+        }
+    }
+
+    /// Typed gauge observation: [`GaugeState::Unset`] when nothing was
+    /// ever recorded, [`GaugeState::Set`] (possibly NaN) otherwise.
+    pub fn gauge_state(&self, name: &str) -> GaugeState {
         let r = self.reg.borrow();
-        let i = r.names.iter().position(|n| n == name)?;
+        let Some(i) = r.names.iter().position(|n| n == name) else {
+            return GaugeState::Unset;
+        };
         match &r.instruments[i] {
-            Instrument::Gauge { value, set, .. } => set.then_some(*value),
+            Instrument::Gauge { value, set, .. } => {
+                if *set {
+                    GaugeState::Set(*value)
+                } else {
+                    GaugeState::Unset
+                }
+            }
             _ => panic!("metric '{name}' is not a gauge"),
         }
     }
 
     /// Declares histogram `name` with the given ascending bucket upper
     /// bounds (an implicit overflow bucket catches everything above the
-    /// last bound). Declaring twice with different bounds panics.
+    /// last bound). Declaring twice with the same bounds is a no-op.
     ///
     /// # Panics
-    /// Panics if `bounds` is empty or not strictly ascending.
+    /// Panics if `bounds` is empty, not strictly ascending, or the
+    /// name was already declared with different bounds.
     pub fn declare_histogram(&self, name: &str, bounds: &[f64]) {
         assert!(!bounds.is_empty(), "histogram '{name}' needs buckets");
         for w in bounds.windows(2) {
@@ -134,6 +247,15 @@ impl Metrics {
             assert_eq!(b, bounds, "histogram '{name}' re-declared with different bounds");
         } else {
             panic!("metric '{name}' is not a histogram");
+        }
+    }
+
+    /// True when histogram `name` is declared.
+    pub fn has_histogram(&self, name: &str) -> bool {
+        let r = self.reg.borrow();
+        match r.names.iter().position(|n| n == name) {
+            Some(i) => matches!(&r.instruments[i], Instrument::Histogram { .. }),
+            None => false,
         }
     }
 
@@ -173,34 +295,84 @@ impl Metrics {
         }
     }
 
+    /// Estimated `q`-quantile (`0.0..=1.0`) of histogram `name` by
+    /// linear interpolation inside the covering bucket, the same
+    /// estimator as Prometheus' `histogram_quantile`. `None` when the
+    /// histogram is undeclared or empty. Values in the overflow bucket
+    /// clamp to the last finite bound. Monotone in `q` by construction:
+    /// p50 ≤ p90 ≤ p99 always holds.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let (counts, count, _) = self.histogram(name)?;
+        let r = self.reg.borrow();
+        let i = r.names.iter().position(|n| n == name)?;
+        let Instrument::Histogram { bounds, .. } = &r.instruments[i] else {
+            unreachable!("histogram() checked the kind");
+        };
+        bucket_quantile(bounds, &counts, count, q)
+    }
+
     /// True when nothing has been registered.
     pub fn is_empty(&self) -> bool {
         self.reg.borrow().names.is_empty()
     }
 
-    /// Insertion-ordered snapshot of every counter whose name starts
-    /// with `prefix` (empty prefix = all counters). Lets a subsystem
-    /// export just its own namespace — the serve frontends print
+    /// Name-sorted snapshot of every counter whose name starts with
+    /// `prefix` (empty prefix = all counters). Lets a subsystem export
+    /// just its own namespace — the serve frontends print
     /// `counters("serve.")` for `--stats`.
     pub fn counters(&self, prefix: &str) -> Vec<(String, u64)> {
         let r = self.reg.borrow();
-        r.names
-            .iter()
-            .zip(r.instruments.iter())
-            .filter(|(name, _)| name.starts_with(prefix))
-            .filter_map(|(name, inst)| match inst {
-                Instrument::Counter { value } => Some((name.clone(), *value)),
-                _ => None,
-            })
-            .collect()
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for i in r.sorted_indices() {
+            if !r.names[i].starts_with(prefix) {
+                continue;
+            }
+            if let Instrument::Counter { value } = &r.instruments[i] {
+                out.push((r.names[i].clone(), *value));
+            }
+        }
+        out
     }
 
-    /// Plain-text summary, one line per instrument, registration order.
+    /// Name-sorted `(name, last value)` of every **set** gauge whose
+    /// name starts with `prefix`.
+    pub fn gauges(&self, prefix: &str) -> Vec<(String, f64)> {
+        let r = self.reg.borrow();
+        let mut out: Vec<(String, f64)> = Vec::new();
+        for i in r.sorted_indices() {
+            if !r.names[i].starts_with(prefix) {
+                continue;
+            }
+            if let Instrument::Gauge { value, set: true, .. } = &r.instruments[i] {
+                out.push((r.names[i].clone(), *value));
+            }
+        }
+        out
+    }
+
+    /// Name-sorted names of every declared histogram whose name starts
+    /// with `prefix`.
+    pub fn histogram_names(&self, prefix: &str) -> Vec<String> {
+        let r = self.reg.borrow();
+        let mut out: Vec<String> = Vec::new();
+        for i in r.sorted_indices() {
+            if !r.names[i].starts_with(prefix) {
+                continue;
+            }
+            if matches!(&r.instruments[i], Instrument::Histogram { .. }) {
+                out.push(r.names[i].clone());
+            }
+        }
+        out
+    }
+
+    /// Plain-text summary, one line per instrument, name-sorted.
     pub fn summary(&self) -> String {
         let r = self.reg.borrow();
         let mut out = String::new();
-        for (name, inst) in r.names.iter().zip(r.instruments.iter()) {
-            match inst {
+        for i in r.sorted_indices() {
+            let name = &r.names[i];
+            match &r.instruments[i] {
                 Instrument::Counter { value } => {
                     out.push_str(&format!("counter {name} = {value}\n"));
                 }
@@ -233,12 +405,12 @@ impl Metrics {
         out
     }
 
-    /// The registry as a JSON object, registration order.
+    /// The registry as a JSON object, name-sorted.
     pub fn to_json(&self) -> Json {
         let r = self.reg.borrow();
         let mut pairs = Vec::new();
-        for (name, inst) in r.names.iter().zip(r.instruments.iter()) {
-            let v = match inst {
+        for i in r.sorted_indices() {
+            let v = match &r.instruments[i] {
                 Instrument::Counter { value } => Json::Int(*value as i64),
                 Instrument::Gauge { value, min, max, set } => {
                     if !*set {
@@ -260,10 +432,283 @@ impl Metrics {
                     ("sum", Json::Num(*sum)),
                 ]),
             };
-            pairs.push((name.clone(), v));
+            pairs.push((r.names[i].clone(), v));
         }
         Json::Obj(pairs)
     }
+
+    /// A deterministic point-in-time copy of every instrument,
+    /// name-sorted. Snapshots support [`MetricsSnapshot::delta`] for
+    /// "what changed during this request" attribution.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let r = self.reg.borrow();
+        let mut entries = Vec::new();
+        for i in r.sorted_indices() {
+            let inst = match &r.instruments[i] {
+                Instrument::Counter { value } => InstrumentSnapshot::Counter(*value),
+                Instrument::Gauge { value, min, max, set } => {
+                    if !*set {
+                        continue;
+                    }
+                    InstrumentSnapshot::Gauge {
+                        value: *value,
+                        min: *min,
+                        max: *max,
+                    }
+                }
+                Instrument::Histogram { bounds, counts, count, sum } => {
+                    InstrumentSnapshot::Histogram {
+                        bounds: bounds.clone(),
+                        counts: counts.clone(),
+                        count: *count,
+                        sum: *sum,
+                    }
+                }
+            };
+            entries.push((r.names[i].clone(), inst));
+        }
+        MetricsSnapshot { entries }
+    }
+
+    /// Prometheus-style text exposition of the current state; see
+    /// [`MetricsSnapshot::expose_text`].
+    pub fn expose_text(&self) -> String {
+        self.snapshot().expose_text()
+    }
+}
+
+/// One instrument inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstrumentSnapshot {
+    /// Counter value at snapshot time.
+    Counter(u64),
+    /// Set gauge (unset gauges are omitted from snapshots).
+    Gauge {
+        /// Last-set value (may be NaN).
+        value: f64,
+        /// Smallest non-NaN observation.
+        min: f64,
+        /// Largest non-NaN observation.
+        max: f64,
+    },
+    /// Histogram state at snapshot time.
+    Histogram {
+        /// Declared ascending bucket upper bounds.
+        bounds: Vec<f64>,
+        /// Per-bucket counts, overflow bucket last.
+        counts: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+    },
+}
+
+/// A name-sorted, point-in-time copy of a [`Metrics`] registry. Two
+/// snapshots of registries that saw the same updates are equal and
+/// render byte-identical text, regardless of registration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, instrument)` pairs, sorted by name (byte order).
+    pub entries: Vec<(String, InstrumentSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up one instrument by name.
+    pub fn get(&self, name: &str) -> Option<&InstrumentSnapshot> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, i)| i)
+    }
+
+    /// The change from `baseline` to `self`: counters and histogram
+    /// buckets subtract (saturating at 0 — a restarted registry never
+    /// yields negative deltas), gauges keep `self`'s last observation,
+    /// instruments absent from `baseline` pass through unchanged, and
+    /// instruments only in `baseline` are dropped. The result is
+    /// name-sorted like every snapshot.
+    pub fn delta(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, inst)| {
+                let d = match (inst, baseline.get(name)) {
+                    (
+                        InstrumentSnapshot::Counter(v),
+                        Some(InstrumentSnapshot::Counter(b)),
+                    ) => InstrumentSnapshot::Counter(v.saturating_sub(*b)),
+                    (
+                        InstrumentSnapshot::Histogram { bounds, counts, count, sum },
+                        Some(InstrumentSnapshot::Histogram {
+                            bounds: bb,
+                            counts: bc,
+                            count: bn,
+                            sum: bs,
+                        }),
+                    ) if bounds == bb => InstrumentSnapshot::Histogram {
+                        bounds: bounds.clone(),
+                        counts: counts
+                            .iter()
+                            .zip(bc)
+                            .map(|(c, b)| c.saturating_sub(*b))
+                            .collect(),
+                        count: count.saturating_sub(*bn),
+                        sum: sum - bs,
+                    },
+                    // Gauges, new instruments, or kind/bounds mismatches
+                    // (a re-purposed name): keep the later observation.
+                    (inst, _) => inst.clone(),
+                };
+                (name.clone(), d)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+
+    /// Estimated `q`-quantile of histogram `name`, same estimator as
+    /// [`Metrics::quantile`].
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        match self.get(name)? {
+            InstrumentSnapshot::Histogram { bounds, counts, count, .. } => {
+                bucket_quantile(bounds, counts, *count, q)
+            }
+            _ => None,
+        }
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` comment per metric,
+    /// cumulative `_bucket{le="…"}` series plus `_sum`/`_count` for
+    /// histograms, one sample line per counter/gauge. Metric names are
+    /// sanitised to `[a-zA-Z0-9_:]` (every other byte becomes `_`), and
+    /// lines are emitted in snapshot (name-sorted) order, so the text
+    /// is stable across runs and platforms.
+    pub fn expose_text(&self) -> String {
+        let mut out = String::new();
+        for (name, inst) in &self.entries {
+            let n = prom_name(name);
+            match inst {
+                InstrumentSnapshot::Counter(v) => {
+                    out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+                }
+                InstrumentSnapshot::Gauge { value, .. } => {
+                    out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", prom_num(*value)));
+                }
+                InstrumentSnapshot::Histogram { bounds, counts, count, sum } => {
+                    out.push_str(&format!("# TYPE {n} histogram\n"));
+                    let mut cum = 0u64;
+                    for (b, c) in bounds.iter().zip(counts) {
+                        cum += c;
+                        out.push_str(&format!(
+                            "{n}_bucket{{le=\"{}\"}} {cum}\n",
+                            prom_num(*b)
+                        ));
+                    }
+                    out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {count}\n"));
+                    out.push_str(&format!("{n}_sum {}\n", prom_num(*sum)));
+                    out.push_str(&format!("{n}_count {count}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// The snapshot as a JSON object, same shape as
+    /// [`Metrics::to_json`].
+    pub fn to_json(&self) -> Json {
+        let pairs = self
+            .entries
+            .iter()
+            .map(|(name, inst)| {
+                let v = match inst {
+                    InstrumentSnapshot::Counter(v) => Json::Int(*v as i64),
+                    InstrumentSnapshot::Gauge { value, min, max } => Json::obj(vec![
+                        ("value", Json::Num(*value)),
+                        ("min", Json::Num(*min)),
+                        ("max", Json::Num(*max)),
+                    ]),
+                    InstrumentSnapshot::Histogram { bounds, counts, count, sum } => {
+                        Json::obj(vec![
+                            (
+                                "bounds",
+                                Json::Arr(bounds.iter().map(|&b| Json::Num(b)).collect()),
+                            ),
+                            (
+                                "counts",
+                                Json::Arr(counts.iter().map(|&c| Json::Int(c as i64)).collect()),
+                            ),
+                            ("count", Json::Int(*count as i64)),
+                            ("sum", Json::Num(*sum)),
+                        ])
+                    }
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        Json::Obj(pairs)
+    }
+}
+
+/// Sanitises a metric name for exposition: every byte outside
+/// `[a-zA-Z0-9_:]` becomes `_`, and a leading digit gains a `_` prefix.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// f64 rendered for exposition text: shortest-roundtrip Rust `{}`
+/// formatting (deterministic across platforms), `NaN` spelled out.
+fn prom_num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// The shared bucket-quantile estimator (see [`Metrics::quantile`]).
+/// The first bucket's lower edge is `min(0, bounds[0])`; the overflow
+/// bucket clamps to the last finite bound.
+fn bucket_quantile(bounds: &[f64], counts: &[u64], count: u64, q: f64) -> Option<f64> {
+    if count == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = q * count as f64;
+    let mut cum = 0u64;
+    for (b, c) in counts.iter().enumerate() {
+        cum += c;
+        if cum as f64 >= target && (*c > 0 || b == 0) {
+            if b == bounds.len() {
+                // Overflow bucket: no finite upper edge to interpolate
+                // toward; clamp to the last declared bound.
+                return Some(*bounds.last().expect("declared histograms have bounds"));
+            }
+            let lower = if b == 0 {
+                bounds[0].min(0.0)
+            } else {
+                bounds[b - 1]
+            };
+            let upper = bounds[b];
+            if *c == 0 {
+                return Some(lower);
+            }
+            let before = (cum - c) as f64;
+            let frac = ((target - before) / *c as f64).clamp(0.0, 1.0);
+            return Some(lower + (upper - lower) * frac);
+        }
+    }
+    // target == count and trailing zero buckets: the last non-empty
+    // bucket already satisfied `cum >= target`, so this is unreachable
+    // unless every count is zero, which `count == 0` excluded.
+    Some(*bounds.last().expect("declared histograms have bounds"))
 }
 
 #[cfg(test)]
@@ -294,6 +739,28 @@ mod tests {
     }
 
     #[test]
+    fn gauge_state_distinguishes_unset_from_nan() {
+        let m = Metrics::new();
+        assert_eq!(m.gauge_state("phase"), GaugeState::Unset);
+        assert!(!m.gauge_state("phase").is_set());
+        m.gauge("phase", f64::NAN);
+        match m.gauge_state("phase") {
+            GaugeState::Set(v) => assert!(v.is_nan()),
+            GaugeState::Unset => panic!("NaN observation must read as Set"),
+        }
+        assert!(m.gauge_value("phase").unwrap().is_nan());
+        // NaN never contaminates the observed range.
+        m.gauge("phase", 2.0);
+        assert!(m.summary().contains("min 2, max 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "infinite")]
+    fn infinite_gauge_rejected() {
+        Metrics::new().gauge("g", f64::INFINITY);
+    }
+
+    #[test]
     fn histogram_bucket_boundaries_are_inclusive_upper() {
         let m = Metrics::new();
         m.declare_histogram("lat", &[1.0, 2.0, 4.0]);
@@ -320,43 +787,173 @@ mod tests {
     }
 
     #[test]
-    fn summary_is_registration_ordered() {
+    fn summary_is_name_sorted() {
         let m = Metrics::new();
         m.count("z_first", 1);
         m.gauge("a_second", 2.0);
         let s = m.summary();
         let zi = s.find("z_first").unwrap();
         let ai = s.find("a_second").unwrap();
-        assert!(zi < ai, "insertion order, not alphabetical");
+        assert!(ai < zi, "name-sorted, not registration order");
     }
 
     #[test]
-    fn counters_snapshot_filters_by_prefix_in_order() {
+    fn counters_snapshot_filters_by_prefix_sorted() {
         let m = Metrics::new();
-        m.count("serve.cache.hit", 2);
+        m.count("serve.cache.miss", 1);
         m.gauge("serve.queue", 1.0); // not a counter: excluded
         m.count("other.total", 9);
-        m.count("serve.cache.miss", 1);
+        m.count("serve.cache.hit", 2);
         assert_eq!(
             m.counters("serve."),
             vec![
                 ("serve.cache.hit".to_string(), 2),
                 ("serve.cache.miss".to_string(), 1),
-            ]
+            ],
+            "sorted by name even though hit registered last"
         );
         assert_eq!(m.counters("").len(), 3, "empty prefix = every counter");
+        assert_eq!(m.gauges(""), vec![("serve.queue".to_string(), 1.0)]);
     }
 
     #[test]
-    fn json_rendering_has_all_kinds() {
+    fn json_rendering_has_all_kinds_sorted() {
         let m = Metrics::new();
-        m.count("c", 1);
         m.gauge("g", 0.5);
+        m.count("c", 1);
         m.declare_histogram("h", &[1.0]);
         m.record("h", 0.5);
         let j = m.to_json().pretty();
         assert!(j.contains("\"c\": 1"));
         assert!(j.contains("\"value\": 0.5"));
         assert!(j.contains("\"counts\""));
+        assert!(j.find("\"c\"").unwrap() < j.find("\"g\"").unwrap());
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let m = Metrics::new();
+        m.declare_histogram("h", &[10.0, 20.0, 40.0]);
+        for v in [5.0, 15.0, 15.0, 35.0] {
+            m.record("h", v);
+        }
+        // p50: target 2.0 of 4; second bucket (10,20] holds cum 3 ≥ 2.
+        let p50 = m.quantile("h", 0.5).unwrap();
+        assert!((p50 - 15.0).abs() < 1e-9, "{p50}");
+        // p100 lands in the (20,40] bucket's upper edge.
+        assert_eq!(m.quantile("h", 1.0), Some(40.0));
+        // q=0 is the lower edge of the first non-empty bucket region.
+        assert_eq!(m.quantile("h", 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let m = Metrics::new();
+        m.declare_histogram("empty", &[1.0]);
+        assert_eq!(m.quantile("empty", 0.5), None, "empty histogram");
+        assert_eq!(m.quantile("missing", 0.5), None, "undeclared histogram");
+
+        m.declare_histogram("single", &[8.0]);
+        m.record("single", 3.0);
+        let p50 = m.quantile("single", 0.5).unwrap();
+        assert!(p50 > 0.0 && p50 <= 8.0, "{p50}");
+
+        m.declare_histogram("over", &[1.0, 2.0]);
+        m.record("over", 100.0);
+        assert_eq!(
+            m.quantile("over", 0.99),
+            Some(2.0),
+            "overflow clamps to last finite bound"
+        );
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_buckets() {
+        let m = Metrics::new();
+        m.count("reqs", 2);
+        m.declare_histogram("cost", &[1.0, 4.0]);
+        m.record("cost", 1.0);
+        let before = m.snapshot();
+        m.count("reqs", 3);
+        m.record("cost", 3.0);
+        m.gauge("depth", 7.0);
+        let after = m.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.get("reqs"), Some(&InstrumentSnapshot::Counter(3)));
+        match d.get("cost").unwrap() {
+            InstrumentSnapshot::Histogram { counts, count, sum, .. } => {
+                assert_eq!(counts, &vec![0, 1, 0]);
+                assert_eq!(*count, 1);
+                assert!((sum - 3.0).abs() < 1e-12);
+            }
+            other => panic!("expected histogram delta, got {other:?}"),
+        }
+        assert_eq!(
+            d.get("depth"),
+            Some(&InstrumentSnapshot::Gauge { value: 7.0, min: 7.0, max: 7.0 }),
+            "gauges pass through the later observation"
+        );
+        // Identical snapshots delta to zero counters.
+        let z = after.delta(&after);
+        assert_eq!(z.get("reqs"), Some(&InstrumentSnapshot::Counter(0)));
+    }
+
+    #[test]
+    fn exposition_is_sorted_sanitised_and_cumulative() {
+        let m = Metrics::new();
+        m.count("serve.requests", 3);
+        m.gauge("queue depth", 2.0);
+        m.declare_histogram("serve.cost.run", &[1.0, 4.0]);
+        m.record("serve.cost.run", 1.0);
+        m.record("serve.cost.run", 3.0);
+        m.record("serve.cost.run", 99.0);
+        let text = m.expose_text();
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 3\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth 2\n"));
+        assert!(text.contains("serve_cost_run_bucket{le=\"1\"} 1\n"));
+        assert!(
+            text.contains("serve_cost_run_bucket{le=\"4\"} 2\n"),
+            "buckets are cumulative:\n{text}"
+        );
+        assert!(text.contains("serve_cost_run_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("serve_cost_run_sum 103\n"));
+        assert!(text.contains("serve_cost_run_count 3\n"));
+        // Sorted: queue_depth before serve_*.
+        assert!(text.find("queue_depth").unwrap() < text.find("serve_cost").unwrap());
+        // Byte-stable across identically-updated registries with a
+        // different registration order.
+        let m2 = Metrics::new();
+        m2.declare_histogram("serve.cost.run", &[1.0, 4.0]);
+        for v in [1.0, 3.0, 99.0] {
+            m2.record("serve.cost.run", v);
+        }
+        m2.gauge("queue depth", 2.0);
+        m2.count("serve.requests", 3);
+        assert_eq!(text, m2.expose_text());
+        assert_eq!(m.snapshot(), m2.snapshot());
+    }
+
+    #[test]
+    fn ambient_sink_stacks_and_uninstalls() {
+        assert!(!Metrics::ambient_installed());
+        let outer = Metrics::new();
+        let inner = Metrics::new();
+        {
+            let _g1 = outer.install_ambient();
+            {
+                let _g2 = inner.install_ambient();
+                let mut seen = 0;
+                Metrics::with_ambient(|m| {
+                    m.count("work", 1);
+                    seen += 1;
+                });
+                assert_eq!(seen, 2, "every installed sink receives the export");
+            }
+            Metrics::with_ambient(|m| m.count("work", 1));
+        }
+        assert!(!Metrics::ambient_installed());
+        Metrics::with_ambient(|_| panic!("no sink installed"));
+        assert_eq!(outer.counter("work"), 2);
+        assert_eq!(inner.counter("work"), 1);
     }
 }

@@ -1,0 +1,126 @@
+//! Property coverage for histogram quantile estimation (satellite of
+//! the telemetry PR): random bucketings and observation sets must
+//! always yield quantiles that are monotone in `q`, bracketed by the
+//! declared bounds, and deterministic.
+
+use pvc_core::check::{check, Gen};
+use pvc_obs::Metrics;
+
+/// Builds a histogram with `n_bounds` strictly ascending bounds and
+/// `n_obs` observations drawn from a range that exercises every bucket
+/// including overflow.
+fn random_histogram(g: &mut Gen, name: &str) -> (Metrics, Vec<f64>) {
+    let m = Metrics::new();
+    let n_bounds = g.usize_in(1..7);
+    let mut bounds = Vec::with_capacity(n_bounds);
+    let mut b = g.f64_in(0.5..4.0);
+    for _ in 0..n_bounds {
+        bounds.push(b);
+        b += g.f64_in(0.5..8.0);
+    }
+    m.declare_histogram(name, &bounds);
+    let last = *bounds.last().unwrap();
+    let n_obs = g.usize_in(1..41);
+    for _ in 0..n_obs {
+        // Up to 1.5× the last bound so the overflow bucket is hit.
+        m.record(name, g.f64_in(0.0..last * 1.5));
+    }
+    (m, bounds)
+}
+
+#[test]
+fn quantiles_are_monotone_p50_p90_p99() {
+    check("quantile monotonicity", 200, |g: &mut Gen| {
+        let (m, bounds) = random_histogram(g, "h");
+        let p50 = m.quantile("h", 0.50).expect("non-empty");
+        let p90 = m.quantile("h", 0.90).expect("non-empty");
+        let p99 = m.quantile("h", 0.99).expect("non-empty");
+        pvc_core::ensure!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        pvc_core::ensure!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        // Quantiles never escape the declared range: the estimator
+        // interpolates inside buckets and clamps overflow to the last
+        // finite bound.
+        let last = *bounds.last().unwrap();
+        pvc_core::ensure!(p99 <= last + 1e-9, "p99 {p99} above last bound {last}");
+        pvc_core::ensure!(p50 >= 0.0 - 1e-9, "p50 {p50} below zero floor");
+        Ok(())
+    });
+}
+
+#[test]
+fn quantiles_are_deterministic_across_replays() {
+    check("quantile determinism", 50, |g: &mut Gen| {
+        let seed = g.u64_in(0..u64::MAX / 2);
+        let build = |seed: u64| {
+            let mut g = Gen::from_seed(seed);
+            let (m, _) = random_histogram(&mut g, "h");
+            (m.quantile("h", 0.5), m.expose_text())
+        };
+        let (qa, ta) = build(seed);
+        let (qb, tb) = build(seed);
+        pvc_core::ensure_eq!(qa, qb);
+        pvc_core::ensure_eq!(ta, tb);
+        Ok(())
+    });
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let m = Metrics::new();
+    m.declare_histogram("h", &[1.0, 2.0]);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(m.quantile("h", q), None);
+    }
+}
+
+#[test]
+fn single_bucket_quantiles_interpolate_between_zero_and_bound() {
+    let m = Metrics::new();
+    m.declare_histogram("h", &[10.0]);
+    m.record("h", 7.0);
+    m.record("h", 3.0);
+    for q in [0.1, 0.5, 0.9] {
+        let v = m.quantile("h", q).unwrap();
+        assert!((0.0..=10.0).contains(&v), "q={q} v={v}");
+    }
+    assert_eq!(m.quantile("h", 1.0), Some(10.0));
+}
+
+#[test]
+fn boundary_values_land_in_their_bucket() {
+    let m = Metrics::new();
+    m.declare_histogram("h", &[1.0, 2.0, 3.0]);
+    // `le` semantics: a value exactly on a bound counts in that bucket.
+    m.record("h", 1.0);
+    m.record("h", 2.0);
+    m.record("h", 3.0);
+    let (counts, n, _) = m.histogram("h").unwrap();
+    assert_eq!(counts, vec![1, 1, 1, 0]);
+    assert_eq!(n, 3);
+}
+
+#[test]
+fn overflow_bucket_clamps_to_last_finite_bound() {
+    let m = Metrics::new();
+    m.declare_histogram("h", &[1.0, 2.0]);
+    for _ in 0..10 {
+        m.record("h", 1e9);
+    }
+    // Everything overflowed: every quantile clamps to the last bound.
+    for q in [0.01, 0.5, 0.99, 1.0] {
+        assert_eq!(m.quantile("h", q), Some(2.0), "q={q}");
+    }
+    // The exposition still reports the true count and sum.
+    let text = m.expose_text();
+    assert!(text.contains("h_bucket{le=\"+Inf\"} 10"));
+    assert!(text.contains("h_count 10"));
+}
+
+#[test]
+fn quantile_clamps_out_of_range_q() {
+    let m = Metrics::new();
+    m.declare_histogram("h", &[4.0]);
+    m.record("h", 2.0);
+    assert_eq!(m.quantile("h", -3.0), m.quantile("h", 0.0));
+    assert_eq!(m.quantile("h", 7.0), m.quantile("h", 1.0));
+}

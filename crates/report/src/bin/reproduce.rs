@@ -7,8 +7,9 @@
 //! reproduce run <workload> <system>
 //! reproduce chaos <workload> <system> <spec>
 //! reproduce profile <workload> [outfile]
-//! reproduce query [--stats] [--rounds N] [--queue-depth N] [--cache-cap N] <request.json>...
-//! reproduce serve [--queue-depth N] [--cache-cap N] [--tcp ADDR]
+//! reproduce query [--stats] [--rounds N] [--queue-depth N] [--cache-cap N] [--access-log PATH] <request.json>...
+//! reproduce serve [--queue-depth N] [--cache-cap N] [--tcp ADDR] [--access-log PATH]
+//! reproduce stats [--rounds N] [--queue-depth N] [--cache-cap N] [request.json...]
 //! ```
 //! `list` prints the full scenario grid — every registered
 //! workload × system pair with its figure-of-merit unit and paper
@@ -29,11 +30,22 @@
 //! requests on stdin (or a TCP socket with `--tcp`), one compact JSON
 //! response line per request; a line holding a JSON array is served as
 //! one batch and answered with one array line.
+//!
+//! Both frontends run with telemetry attached (a 64-entry flight
+//! recorder), so a `{"kind":"stats"}` request answers with the live
+//! counters, gauges, per-kind cost quantiles and recorder dump.
+//! `--access-log PATH` additionally writes the structured JSON access
+//! log (one line per request: outcome, canonical key, virtual cost,
+//! queue depth at admission) — `query` writes it once at exit, `serve`
+//! appends after every batch. `stats` is the offline rendering verb: it
+//! runs a batch (the canned catalog requests by default, or the given
+//! files) through a fresh service and prints the Prometheus-style
+//! exposition text followed by a per-histogram quantile table.
 
 use pvc_memsim::LatsConfig;
 use pvc_report::serve::{CatalogExecutor, CANNED_REQUESTS};
 use pvc_report::{experiments, figdata, tables};
-use pvc_serve::{Request, ServeConfig, Service};
+use pvc_serve::{Request, ServeConfig, Service, Telemetry};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -302,6 +314,9 @@ fn main() {
         "serve" => {
             std::process::exit(run_serve(&args[1..]));
         }
+        "stats" => {
+            std::process::exit(run_stats(&args[1..]));
+        }
         "conformance" => match pvc_report::conformance::verdict() {
             Ok(_) => out.push_str(&pvc_report::conformance::markdown()),
             Err(msg) => {
@@ -336,7 +351,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling, list, run <workload> <system>, chaos <workload> <system> <spec>, profile <workload>, query <request.json>.., serve or all"
+                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling, list, run <workload> <system>, chaos <workload> <system> <spec>, profile <workload>, query <request.json>.., serve, stats or all"
             );
             std::process::exit(2);
         }
@@ -350,6 +365,7 @@ struct ServeFlags {
     stats: bool,
     rounds: usize,
     tcp: Option<String>,
+    access_log: Option<String>,
     files: Vec<String>,
 }
 
@@ -359,6 +375,7 @@ fn parse_serve_flags(args: &[String]) -> Result<ServeFlags, String> {
         stats: false,
         rounds: 1,
         tcp: None,
+        access_log: None,
         files: Vec::new(),
     };
     fn num(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<usize, String> {
@@ -378,6 +395,11 @@ fn parse_serve_flags(args: &[String]) -> Result<ServeFlags, String> {
             "--tcp" => {
                 f.tcp = Some(
                     it.next().ok_or("--tcp needs an address")?.clone(),
+                )
+            }
+            "--access-log" => {
+                f.access_log = Some(
+                    it.next().ok_or("--access-log needs a path")?.clone(),
                 )
             }
             other if other.starts_with("--") => {
@@ -401,7 +423,7 @@ fn run_query(args: &[String]) -> i32 {
         }
     };
     if flags.files.is_empty() {
-        eprintln!("usage: reproduce query [--stats] [--rounds N] [--queue-depth N] [--cache-cap N] <request.json>...");
+        eprintln!("usage: reproduce query [--stats] [--rounds N] [--queue-depth N] [--cache-cap N] [--access-log PATH] <request.json>...");
         eprintln!("each file holds one JSON request object, for example:");
         for r in CANNED_REQUESTS {
             eprintln!("  {r}");
@@ -418,7 +440,7 @@ fn run_query(args: &[String]) -> i32 {
             }
         }
     }
-    let service = Service::new(CatalogExecutor, flags.cfg);
+    let service = new_catalog_service(flags.cfg);
     let mut all_ok = true;
     let stdout = std::io::stdout();
     let mut w = stdout.lock();
@@ -434,11 +456,27 @@ fn run_query(args: &[String]) -> i32 {
     if flags.stats {
         print_serve_stats(&service);
     }
+    if let Some(path) = &flags.access_log {
+        if let Err(e) = std::fs::write(path, service.telemetry().drain_access_log()) {
+            eprintln!("failed to write access log {path}: {e}");
+            return 1;
+        }
+    }
     if all_ok {
         0
     } else {
         3
     }
+}
+
+/// The catalog service both frontends share: telemetry is always
+/// attached (bit-non-perturbing by construction, proven by the serve
+/// test suite), so the `stats` request kind and the flight recorder
+/// work out of the box.
+fn new_catalog_service(cfg: ServeConfig) -> Service<CatalogExecutor> {
+    let mut service = Service::new(CatalogExecutor, cfg);
+    service.set_telemetry(Telemetry::recording(64));
+    service
 }
 
 /// The `serve.*` counter namespace on stderr (same line format as the
@@ -451,11 +489,13 @@ fn print_serve_stats(service: &Service<CatalogExecutor>) {
 
 /// One line-delimited session: requests in, compact envelopes out. A
 /// line holding a JSON array is served as one batch and answered with
-/// one array line.
+/// one array line. When an access-log sink is attached, the telemetry
+/// log drains to it after every answered line.
 fn serve_session(
     service: &Service<CatalogExecutor>,
     reader: impl BufRead,
     mut writer: impl Write,
+    access: &mut Option<std::fs::File>,
 ) -> std::io::Result<()> {
     for line in reader.lines() {
         let line = line?;
@@ -477,6 +517,10 @@ fn serve_session(
         };
         writeln!(writer, "{reply}")?;
         writer.flush()?;
+        if let Some(log) = access {
+            log.write_all(service.telemetry().drain_access_log().as_bytes())?;
+            log.flush()?;
+        }
     }
     Ok(())
 }
@@ -494,13 +538,23 @@ fn run_serve(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let service = Service::new(CatalogExecutor, flags.cfg);
+    let mut access = match &flags.access_log {
+        None => None,
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("failed to open access log {path}: {e}");
+                return 2;
+            }
+        },
+    };
+    let service = new_catalog_service(flags.cfg);
     let result = match &flags.tcp {
         None => {
             let stdin = std::io::stdin();
-            serve_session(&service, stdin.lock(), std::io::stdout().lock())
+            serve_session(&service, stdin.lock(), std::io::stdout().lock(), &mut access)
         }
-        Some(addr) => serve_tcp(&service, addr),
+        Some(addr) => serve_tcp(&service, addr, &mut access),
     };
     if flags.stats {
         print_serve_stats(&service);
@@ -515,15 +569,87 @@ fn run_serve(args: &[String]) -> i32 {
 }
 
 /// Accepts connections sequentially; one session each, shared cache.
-fn serve_tcp(service: &Service<CatalogExecutor>, addr: &str) -> std::io::Result<()> {
+fn serve_tcp(
+    service: &Service<CatalogExecutor>,
+    addr: &str,
+    access: &mut Option<std::fs::File>,
+) -> std::io::Result<()> {
     let listener = std::net::TcpListener::bind(addr)?;
     eprintln!("serving on {}", listener.local_addr()?);
     for stream in listener.incoming() {
         let stream = stream?;
         let reader = std::io::BufReader::new(stream.try_clone()?);
-        if let Err(e) = serve_session(service, reader, stream) {
+        if let Err(e) = serve_session(service, reader, stream, access) {
             eprintln!("connection ended: {e}");
         }
     }
     Ok(())
+}
+
+/// `reproduce stats`: run one batch (the canned requests by default)
+/// through a fresh catalog service, then render the full metrics
+/// registry as Prometheus exposition text plus a quantile table — the
+/// offline twin of the `{"kind":"stats"}` request.
+fn run_stats(args: &[String]) -> i32 {
+    let flags = match parse_serve_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if flags.tcp.is_some() {
+        eprintln!("stats is offline; --tcp belongs to `reproduce serve`");
+        return 2;
+    }
+    let mut texts: Vec<String> = Vec::new();
+    if flags.files.is_empty() {
+        texts.extend(CANNED_REQUESTS.iter().map(|r| r.to_string()));
+    } else {
+        for path in &flags.files {
+            match std::fs::read_to_string(path) {
+                Ok(t) => texts.push(t),
+                Err(e) => {
+                    eprintln!("failed to read {path}: {e}");
+                    return 2;
+                }
+            }
+        }
+    }
+    let service = new_catalog_service(flags.cfg);
+    for _ in 0..flags.rounds {
+        let batch: Vec<_> = texts.iter().map(|t| Request::parse(t)).collect();
+        service.handle_batch(batch);
+    }
+    let metrics = service.metrics();
+    let mut out = metrics.expose_text();
+    out.push('\n');
+    out.push_str("quantiles (virtual units; serve.cost.* are abstract cost units)\n");
+    out.push_str(&format!(
+        "{:<28} {:>7} {:>12} {:>12} {:>12}\n",
+        "histogram", "count", "p50", "p90", "p99"
+    ));
+    for name in metrics.histogram_names("") {
+        let Some((_, count, _)) = metrics.histogram(&name) else {
+            continue;
+        };
+        let q = |p: f64| match metrics.quantile(&name, p) {
+            Some(v) => format!("{v:.3}"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{name:<28} {count:>7} {:>12} {:>12} {:>12}\n",
+            q(0.50),
+            q(0.90),
+            q(0.99)
+        ));
+    }
+    print!("{out}");
+    if let Some(path) = &flags.access_log {
+        if let Err(e) = std::fs::write(path, service.telemetry().drain_access_log()) {
+            eprintln!("failed to write access log {path}: {e}");
+            return 1;
+        }
+    }
+    0
 }

@@ -35,10 +35,12 @@ impl Scenario for FiguresScenario {
     }
 
     fn run(&self, ctx: &mut Ctx) -> Outcome {
-        crate::figdata::render_figure2_traced(&ctx.tracer);
-        crate::figdata::render_figure3_traced(&ctx.tracer);
-        crate::figdata::render_figure4_traced(&ctx.tracer);
-        let bars = pvc_predict::figure2();
+        let bars = ctx.observe(|| {
+            crate::figdata::render_figure2_traced(&ctx.tracer);
+            crate::figdata::render_figure3_traced(&ctx.tracer);
+            crate::figdata::render_figure4_traced(&ctx.tracer);
+            pvc_predict::figure2()
+        });
         let measured: Vec<f64> = bars.iter().filter_map(|b| b.measured).collect();
         let mean = measured.iter().sum::<f64>() / measured.len().max(1) as f64;
         Outcome {

@@ -268,9 +268,18 @@ fn run_scenario_atom(atom: &Atom) -> Result<Json, ScenarioError> {
         })?),
         None => None,
     };
-    let out = match &chaos {
-        Some(spec) => pvc_scenario::run_overlaid(registry(), slug, sys, spec)?,
-        None => scenario.run(&mut Ctx::quiet()),
+    // A local work registry collects the solver-effort counters the
+    // simulation exports through the ambient sink (`simrt.*`), so every
+    // run response carries its own attribution — recomputing the same
+    // scenario always exports the same counts, keeping the response
+    // cacheable and byte-deterministic.
+    let work = pvc_obs::Metrics::new();
+    let out = {
+        let _observing = work.install_ambient();
+        match &chaos {
+            Some(spec) => pvc_scenario::run_overlaid(registry(), slug, sys, spec)?,
+            None => scenario.run(&mut Ctx::quiet()),
+        }
     };
     let detail: Vec<(String, Json)> = out
         .detail
@@ -289,6 +298,15 @@ fn run_scenario_atom(atom: &Atom) -> Result<Json, ScenarioError> {
     if let Some(spec) = &chaos {
         fields.push(("chaos", Json::Str(spec.canonical())));
     }
+    fields.push((
+        "work",
+        Json::Obj(
+            work.counters("")
+                .into_iter()
+                .map(|(k, v)| (k, Json::Int(v as i64)))
+                .collect(),
+        ),
+    ));
     Ok(Json::obj(fields))
 }
 
@@ -405,6 +423,26 @@ impl Executor for CatalogExecutor {
 
     fn execute_atom(&self, atom: &Atom) -> Result<Json, String> {
         execute_atom_typed(atom).map_err(String::from)
+    }
+
+    fn work_counters(&self, atom: &Atom, result: &Json) -> Vec<(String, u64)> {
+        // Scenario runs embed their solver-effort attribution in the
+        // result's `work` object; merge it into the service metrics so
+        // a stats snapshot shows where the simulation time went. Pure
+        // in (atom, result): cached hits re-run nothing and add none.
+        if atom.params.get("op").and_then(Json::as_str) != Some("run") {
+            return Vec::new();
+        }
+        match result.get("work") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .filter_map(|(k, v)| match v {
+                    Json::Int(n) if *n >= 0 => Some((k.clone(), *n as u64)),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
     }
 
     fn assemble(&self, req: &Request, mut parts: Vec<Json>) -> Result<Json, String> {

@@ -56,7 +56,7 @@ impl Scenario for Builtin {
         self.profile
     }
     fn run(&self, ctx: &mut Ctx) -> Outcome {
-        let (fom, detail) = (self.runner)(&self.id, &ctx.tracer);
+        let (fom, detail) = ctx.observe(|| (self.runner)(&self.id, &ctx.tracer));
         Outcome {
             id: self.id,
             fom,
@@ -619,6 +619,23 @@ mod tests {
         assert_eq!(a.detail, b.detail);
         assert!(matches!(a.fom, Fom::Bandwidth(v) if v > 0.0));
         assert!(a.detail("one_stack").unwrap() <= a.detail("full_node").unwrap());
+    }
+
+    #[test]
+    fn runs_attribute_simrt_work_to_the_context_metrics() {
+        let r = Registry::standard();
+        let s = r.get("allreduce", System::Aurora).unwrap();
+        let mut ctx = Ctx::quiet();
+        let a = s.run(&mut ctx);
+        // The ring allreduce drives the flow solver, so its work lands
+        // in this context's registry via the ambient sink.
+        assert!(ctx.metrics.counter("simrt.flow.runs") > 0);
+        assert!(ctx.metrics.counter("simrt.flow.segments") > 0);
+        // Attribution is observation only: outcome is bit-identical to
+        // an unobserved run.
+        let b = r.run("allreduce", System::Aurora).unwrap();
+        assert_eq!(a.fom, b.fom);
+        assert_eq!(a.detail, b.detail);
     }
 
     #[test]

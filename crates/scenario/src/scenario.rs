@@ -2,16 +2,25 @@
 
 use crate::fom::{Fom, FomKind};
 use crate::id::ScenarioId;
-use pvc_obs::Tracer;
+use pvc_obs::{Metrics, Tracer};
 
 /// Execution context handed to [`Scenario::run`]. Owns the tracer so a
 /// profile run and a quiet run are the same code path — the tracer is a
 /// one-branch no-op when disabled and provably bit-non-perturbing.
+///
+/// Also owns a [`Metrics`] registry: when a scenario runs through
+/// [`Ctx::observe`], the registry is installed as the thread's ambient
+/// sink so `pvc-simrt` exports its solver work counters (`simrt.*`)
+/// into it — effort attribution per scenario without plumbing metrics
+/// through every layer.
 #[derive(Debug)]
 pub struct Ctx {
     /// The attached tracer (disabled for plain runs, recording for
     /// `reproduce profile`).
     pub tracer: Tracer,
+    /// Work counters accumulated by runs under this context (see
+    /// [`Ctx::observe`]); empty unless something exported into it.
+    pub metrics: Metrics,
 }
 
 impl Ctx {
@@ -19,6 +28,7 @@ impl Ctx {
     pub fn quiet() -> Self {
         Ctx {
             tracer: Tracer::disabled(),
+            metrics: Metrics::new(),
         }
     }
 
@@ -26,7 +36,17 @@ impl Ctx {
     pub fn recording() -> Self {
         Ctx {
             tracer: Tracer::recording(),
+            metrics: Metrics::new(),
         }
+    }
+
+    /// Runs `f` with this context's metrics registry installed as the
+    /// innermost ambient sink, so `simrt.*` work counters exported
+    /// inside land here. Bit-non-perturbing: nothing about `f`'s own
+    /// results changes, only where exports accumulate.
+    pub fn observe<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _guard = self.metrics.install_ambient();
+        f()
     }
 }
 

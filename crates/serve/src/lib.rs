@@ -20,7 +20,14 @@
 //!   deterministic per-request cost budgets, parallel atom execution on
 //!   [`pvc_core::par`], and cache integration. Hit/miss/eviction and
 //!   coalescing counters are exported through a [`pvc_obs::Metrics`]
-//!   registry.
+//!   registry, and a reserved `stats` request kind answers with the
+//!   full metrics snapshot (counters, gauges, cost quantiles).
+//! * [`telemetry`] — per-request records behind a typed
+//!   [`Outcome`](telemetry::Outcome): a structured JSON access log,
+//!   per-kind virtual-cost histograms, and a bounded **flight
+//!   recorder** retaining the last N requests plus the full trace of
+//!   the most recent failure. Observation only — a service with
+//!   telemetry attached produces byte-identical responses.
 //!
 //! The crate is domain-agnostic: what a request *means* is supplied by
 //! an [`Executor`](service::Executor) implementation (the paper catalog
@@ -34,11 +41,13 @@ pub mod batch;
 pub mod cache;
 pub mod request;
 pub mod service;
+pub mod telemetry;
 
 pub use batch::{Atom, BatchPlan};
 pub use cache::ResultCache;
 pub use request::{fnv1a64, Request};
-pub use service::{Executor, ServeConfig, Service};
+pub use service::{Executor, ServeConfig, Service, STATS_KIND};
+pub use telemetry::{Anomaly, Outcome, RequestTelemetry, Telemetry};
 
 /// Typed service-level rejections. Every variant renders as a JSON
 /// error envelope (never a panic, never an indefinite block).

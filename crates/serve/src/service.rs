@@ -5,21 +5,29 @@
 //! deterministically:
 //!
 //! 1. malformed inputs are answered with `bad_request` envelopes;
-//! 2. the cache is probed — hits are answered immediately and consume
+//! 2. reserved `stats` introspection requests are intercepted — they
+//!    consume no queue slot and are answered from the service's own
+//!    metrics after the rest of the batch resolves;
+//! 3. the cache is probed — hits are answered immediately and consume
 //!    **no** queue slot, so a warm cache keeps serving under overload;
-//! 3. identical in-flight requests are collapsed (single-flight) onto
+//! 4. identical in-flight requests are collapsed (single-flight) onto
 //!    one computation — duplicates consume no queue slot either;
-//! 4. the bounded queue admits at most `queue_depth` unique
+//! 5. the bounded queue admits at most `queue_depth` unique
 //!    computations; the rest are shed with a typed
 //!    [`ServeError::Overloaded`];
-//! 5. each admitted request's deterministic cost estimate must fit its
+//! 6. each admitted request's deterministic cost estimate must fit its
 //!    budget (request `budget` field, else the configured default) or
 //!    it is rejected with [`ServeError::DeadlineExceeded`];
-//! 6. admitted requests decompose into atoms, overlapping sweep atoms
+//! 7. admitted requests decompose into atoms, overlapping sweep atoms
 //!    coalesce ([`BatchPlan`]), and the unique atoms execute in
 //!    parallel on [`pvc_core::par`];
-//! 7. responses are assembled, cached (LRU), and fanned out to every
+//! 8. responses are assembled, cached (LRU), and fanned out to every
 //!    waiter in input order.
+//!
+//! Every step resolves to a typed [`Outcome`], which is the single
+//! source of truth for the `serve.*` counter spelling and — when a
+//! [`Telemetry`] handle is attached — the per-request access-log
+//! record and flight-recorder entry.
 //!
 //! Because every executor is deterministic, a response served from
 //! cache is byte-identical to one computed fresh — only the
@@ -28,10 +36,21 @@
 use crate::batch::{Atom, BatchPlan};
 use crate::cache::ResultCache;
 use crate::request::Request;
+use crate::telemetry::{Outcome, RequestTelemetry, Telemetry};
 use crate::ServeError;
 use pvc_core::{par, Json};
 use pvc_obs::Metrics;
 use std::cell::RefCell;
+
+/// The reserved introspection request kind answered by the service
+/// itself (never forwarded to the executor, never cached).
+pub const STATS_KIND: &str = "stats";
+
+/// Virtual-cost histogram bucket bounds: powers of two covering the
+/// catalog's cost range (1 .. default budget and beyond).
+const COST_BOUNDS: [f64; 11] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+];
 
 /// What a request means: decomposition into simulation passes and
 /// reassembly of their results. Implementations must be deterministic —
@@ -51,6 +70,15 @@ pub trait Executor: Sync {
     /// Reassembles the response body from the request's atom results,
     /// in the order [`Executor::atoms`] returned them.
     fn assemble(&self, req: &Request, parts: Vec<Json>) -> Result<Json, String>;
+
+    /// Work counters to merge into the service metrics after `atom`
+    /// executed successfully with `result` — the hook that surfaces
+    /// solver effort (`simrt.*`) in the service's stats snapshot.
+    /// Must be a pure function of the atom and its result so cached
+    /// and recomputed paths stay byte-identical. Default: none.
+    fn work_counters(&self, _atom: &Atom, _result: &Json) -> Vec<(String, u64)> {
+        Vec::new()
+    }
 }
 
 /// Service tuning knobs.
@@ -80,6 +108,7 @@ pub struct Service<E> {
     exec: E,
     cache: RefCell<ResultCache>,
     metrics: Metrics,
+    telemetry: Telemetry,
 }
 
 enum Slot {
@@ -87,18 +116,52 @@ enum Slot {
     Done(Json),
     /// Waiting on unique computation `u`.
     Waiting(usize),
+    /// A reserved stats request, answered after the batch resolves.
+    Stats,
+}
+
+/// Per-input telemetry captured while the admission loop decides; the
+/// final outcome and envelope are bound after assembly.
+struct PendingTelemetry {
+    kind: String,
+    key: Option<String>,
+    outcome: Outcome,
+    cost: Option<u64>,
+    budget: Option<u64>,
+    queue_depth: Option<u64>,
+    /// Unique computation index, for records whose outcome/atom count
+    /// depends on how the computation resolved.
+    waiting: Option<usize>,
+    chaos: Option<String>,
 }
 
 impl<E: Executor> Service<E> {
-    /// A service over `exec` with the given knobs.
+    /// A service over `exec` with the given knobs. Telemetry starts
+    /// disabled; attach a recorder with [`Service::set_telemetry`].
     pub fn new(exec: E, cfg: ServeConfig) -> Self {
         let cache = RefCell::new(ResultCache::new(cfg.cache_capacity));
-        Service { cfg, exec, cache, metrics: Metrics::new() }
+        Service {
+            cfg,
+            exec,
+            cache,
+            metrics: Metrics::new(),
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// The service's metrics registry (`serve.*` counters).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Attaches a telemetry recorder (access log + flight recorder).
+    pub fn set_telemetry(&mut self, t: Telemetry) {
+        self.telemetry = t;
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Live cache entries.
@@ -122,7 +185,9 @@ impl<E: Executor> Service<E> {
     /// indefinitely: every input gets exactly one envelope.
     pub fn handle_batch(&self, inputs: Vec<Result<Request, ServeError>>) -> Vec<Json> {
         self.metrics.count("serve.requests", inputs.len() as u64);
+        let recording = self.telemetry.enabled();
         let mut slots: Vec<Slot> = Vec::with_capacity(inputs.len());
+        let mut pending: Vec<PendingTelemetry> = Vec::new();
         // Unique admitted computations, their waiters, in arrival order.
         let mut unique: Vec<Request> = Vec::new();
         let mut cache = self.cache.borrow_mut();
@@ -130,41 +195,53 @@ impl<E: Executor> Service<E> {
             let req = match input {
                 Ok(r) => r,
                 Err(e) => {
-                    self.metrics.count("serve.rejected.bad_request", 1);
+                    self.metrics.count(Outcome::BadRequest.as_metric_name(), 1);
                     slots.push(Slot::Done(err_envelope(None, e)));
+                    if recording {
+                        pending.push(PendingTelemetry {
+                            kind: "?".to_string(),
+                            key: None,
+                            outcome: Outcome::BadRequest,
+                            cost: None,
+                            budget: None,
+                            queue_depth: None,
+                            waiting: None,
+                            chaos: None,
+                        });
+                    }
                     continue;
                 }
             };
-            if let Some(body) = cache.get(req.key(), req.text()) {
-                self.metrics.count("serve.cache.hit", 1);
-                slots.push(Slot::Done(ok_envelope(req, body)));
-                continue;
+            let depth_at_admission = unique.len() as u64;
+            let outcome = self.admit(req, &mut unique, &mut slots, &mut cache);
+            if recording {
+                let cost = if outcome == Outcome::Stats {
+                    None
+                } else {
+                    // Pure and deterministic, so observing the cost of
+                    // hits and shed requests perturbs nothing.
+                    Some(self.exec.cost(req))
+                };
+                if let Some(c) = cost {
+                    self.observe_cost(req, c);
+                }
+                pending.push(PendingTelemetry {
+                    kind: request_kind(req),
+                    key: Some(req.key_hex()),
+                    outcome,
+                    cost,
+                    budget: match outcome {
+                        Outcome::Stats => None,
+                        _ => Some(req.budget().unwrap_or(self.cfg.default_budget)),
+                    },
+                    queue_depth: (outcome != Outcome::Stats).then_some(depth_at_admission),
+                    waiting: match slots.last() {
+                        Some(Slot::Waiting(u)) => Some(*u),
+                        _ => None,
+                    },
+                    chaos: request_chaos(req),
+                });
             }
-            if let Some(u) = unique
-                .iter()
-                .position(|p| p.key() == req.key() && p.text() == req.text())
-            {
-                self.metrics.count("serve.singleflight.deduped", 1);
-                slots.push(Slot::Waiting(u));
-                continue;
-            }
-            if unique.len() >= self.cfg.queue_depth {
-                self.metrics.count("serve.rejected.overload", 1);
-                let e = ServeError::Overloaded { depth: self.cfg.queue_depth };
-                slots.push(Slot::Done(err_envelope(Some(req), &e)));
-                continue;
-            }
-            let cost = self.exec.cost(req);
-            let budget = req.budget().unwrap_or(self.cfg.default_budget);
-            if cost > budget {
-                self.metrics.count("serve.rejected.deadline", 1);
-                let e = ServeError::DeadlineExceeded { cost, budget };
-                slots.push(Slot::Done(err_envelope(Some(req), &e)));
-                continue;
-            }
-            self.metrics.count("serve.cache.miss", 1);
-            slots.push(Slot::Waiting(unique.len()));
-            unique.push(req.clone());
         }
 
         // Decompose admitted requests into atoms; decomposition errors
@@ -189,8 +266,19 @@ impl<E: Executor> Service<E> {
         let atom_results: Vec<Result<Json, String>> =
             par::map_collect(atoms.len(), |i| exec.execute_atom(&atoms[i]));
 
+        // Merge executor-reported work counters on the main thread, in
+        // atom order (cache hits re-run nothing, so they add none).
+        for (atom, result) in atoms.iter().zip(&atom_results) {
+            if let Ok(body) = result {
+                for (name, n) in self.exec.work_counters(atom, body) {
+                    self.metrics.count(&name, n);
+                }
+            }
+        }
+
         // Assemble one envelope per unique computation.
         let mut outcomes: Vec<Json> = Vec::with_capacity(unique.len());
+        let mut unique_failed: Vec<bool> = Vec::with_capacity(unique.len());
         for (u, req) in unique.iter().enumerate() {
             let body = match &decomposed[u] {
                 Err(msg) => Err(msg.clone()),
@@ -205,21 +293,225 @@ impl<E: Executor> Service<E> {
                     let evicted = cache.insert(req.key(), req.text(), body.clone());
                     self.metrics.count("serve.cache.evict", evicted as u64);
                     outcomes.push(ok_envelope(req, body));
+                    unique_failed.push(false);
                 }
                 Err(msg) => {
-                    self.metrics.count("serve.failed", 1);
+                    self.metrics.count(Outcome::Failed.as_metric_name(), 1);
                     outcomes.push(err_envelope(Some(req), &ServeError::Failed(msg)));
+                    unique_failed.push(true);
                 }
             }
         }
+        self.metrics.gauge("serve.cache.entries", cache.len() as f64);
+        drop(cache);
 
-        slots
-            .into_iter()
-            .map(|s| match s {
-                Slot::Done(env) => env,
-                Slot::Waiting(u) => outcomes[u].clone(),
+        // Record telemetry for every non-stats input, in input order,
+        // before the stats body is built — so a stats request in the
+        // same batch already sees this batch in the flight recorder.
+        if recording {
+            for (i, p) in pending.iter().enumerate() {
+                if p.outcome == Outcome::Stats {
+                    continue;
+                }
+                let (outcome, atoms_n) = match p.waiting {
+                    Some(u) if unique_failed[u] => (Outcome::Failed, None),
+                    Some(u) => (p.outcome, Some(plan.assignments[u].len() as u64)),
+                    None => (p.outcome, None),
+                };
+                let envelope = match &slots[i] {
+                    Slot::Done(env) => env,
+                    Slot::Waiting(u) => &outcomes[*u],
+                    Slot::Stats => unreachable!("stats filtered above"),
+                };
+                let text = inputs[i].as_ref().ok().map(|r| r.text());
+                self.telemetry.record(
+                    RequestTelemetry {
+                        seq: 0,
+                        kind: p.kind.clone(),
+                        key: p.key.clone(),
+                        outcome,
+                        cost: p.cost,
+                        budget: p.budget,
+                        queue_depth: p.queue_depth,
+                        atoms: atoms_n,
+                        chaos: p.chaos.clone(),
+                    },
+                    text,
+                    envelope,
+                );
+            }
+        }
+
+        // Answer stats requests last: one body reflecting the whole
+        // batch, shared by every stats input, never cached.
+        let stats_body = slots
+            .iter()
+            .any(|s| matches!(s, Slot::Stats))
+            .then(|| self.stats_body());
+
+        let responses: Vec<Json> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s {
+                Slot::Done(env) => env.clone(),
+                Slot::Waiting(u) => outcomes[*u].clone(),
+                Slot::Stats => {
+                    let req = inputs[i].as_ref().expect("stats slots carry a request");
+                    ok_envelope(req, stats_body.clone().expect("built above"))
+                }
             })
-            .collect()
+            .collect();
+
+        if recording {
+            for (i, p) in pending.iter().enumerate() {
+                if p.outcome != Outcome::Stats {
+                    continue;
+                }
+                self.telemetry.record(
+                    RequestTelemetry {
+                        seq: 0,
+                        kind: p.kind.clone(),
+                        key: p.key.clone(),
+                        outcome: Outcome::Stats,
+                        cost: None,
+                        budget: None,
+                        queue_depth: None,
+                        atoms: None,
+                        chaos: None,
+                    },
+                    inputs[i].as_ref().ok().map(|r| r.text()),
+                    &responses[i],
+                );
+            }
+        }
+
+        responses
+    }
+
+    /// Runs one parsed request through the admission pipeline, pushing
+    /// its slot and returning its (provisional) outcome. `Miss` may
+    /// still become `Failed` at assembly time.
+    fn admit(
+        &self,
+        req: &Request,
+        unique: &mut Vec<Request>,
+        slots: &mut Vec<Slot>,
+        cache: &mut ResultCache,
+    ) -> Outcome {
+        if request_kind(req) == STATS_KIND {
+            self.metrics.count(Outcome::Stats.as_metric_name(), 1);
+            slots.push(Slot::Stats);
+            return Outcome::Stats;
+        }
+        if let Some(body) = cache.get(req.key(), req.text()) {
+            self.metrics.count(Outcome::Hit.as_metric_name(), 1);
+            slots.push(Slot::Done(ok_envelope(req, body)));
+            return Outcome::Hit;
+        }
+        if let Some(u) = unique
+            .iter()
+            .position(|p| p.key() == req.key() && p.text() == req.text())
+        {
+            self.metrics.count(Outcome::Dedup.as_metric_name(), 1);
+            slots.push(Slot::Waiting(u));
+            return Outcome::Dedup;
+        }
+        if unique.len() >= self.cfg.queue_depth {
+            self.metrics.count(Outcome::Overload.as_metric_name(), 1);
+            let e = ServeError::Overloaded { depth: self.cfg.queue_depth };
+            slots.push(Slot::Done(err_envelope(Some(req), &e)));
+            return Outcome::Overload;
+        }
+        let cost = self.exec.cost(req);
+        let budget = req.budget().unwrap_or(self.cfg.default_budget);
+        if cost > budget {
+            self.metrics.count(Outcome::Deadline.as_metric_name(), 1);
+            let e = ServeError::DeadlineExceeded { cost, budget };
+            slots.push(Slot::Done(err_envelope(Some(req), &e)));
+            return Outcome::Deadline;
+        }
+        self.metrics.count(Outcome::Miss.as_metric_name(), 1);
+        slots.push(Slot::Waiting(unique.len()));
+        unique.push(req.clone());
+        Outcome::Miss
+    }
+
+    /// Records `cost` into the per-kind virtual-cost histogram
+    /// (`serve.cost.<kind>`), declaring it on first use.
+    fn observe_cost(&self, req: &Request, cost: u64) {
+        let name = format!("serve.cost.{}", request_kind(req));
+        if !self.metrics.has_histogram(&name) {
+            self.metrics.declare_histogram(&name, &COST_BOUNDS);
+        }
+        self.metrics.record(&name, cost as f64);
+    }
+
+    /// The stats snapshot served for a `stats` request: every counter,
+    /// every set gauge, p50/p90/p99 + count/sum per declared histogram,
+    /// and — when telemetry records — the flight-recorder dump. All
+    /// name-sorted, all virtual quantities: byte-deterministic.
+    pub fn stats_body(&self) -> Json {
+        let counters = Json::Obj(
+            self.metrics
+                .counters("")
+                .into_iter()
+                .map(|(n, v)| (n, Json::Int(v as i64)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.metrics
+                .gauges("")
+                .into_iter()
+                .map(|(n, v)| (n, Json::Num(v)))
+                .collect(),
+        );
+        let quantiles = Json::Obj(
+            self.metrics
+                .histogram_names("")
+                .into_iter()
+                .map(|n| {
+                    let (_, count, sum) =
+                        self.metrics.histogram(&n).expect("name just listed");
+                    let q = |p: f64| {
+                        self.metrics.quantile(&n, p).map_or(Json::Null, Json::Num)
+                    };
+                    let body = Json::obj(vec![
+                        ("count", Json::Int(count as i64)),
+                        ("p50", q(0.50)),
+                        ("p90", q(0.90)),
+                        ("p99", q(0.99)),
+                        ("sum", Json::Num(sum)),
+                    ]);
+                    (n, body)
+                })
+                .collect(),
+        );
+        let mut pairs = vec![
+            ("counters", counters),
+            ("gauges", gauges),
+            ("quantiles", quantiles),
+        ];
+        if self.telemetry.enabled() {
+            pairs.push(("flight_recorder", self.telemetry.to_json()));
+        }
+        Json::obj(pairs).sorted()
+    }
+}
+
+/// The request's `kind` field (guaranteed present by request parsing).
+fn request_kind(req: &Request) -> String {
+    match req.canon().get("kind") {
+        Some(Json::Str(k)) => k.clone(),
+        _ => "?".to_string(),
+    }
+}
+
+/// The request's chaos spec, if it carries one.
+fn request_chaos(req: &Request) -> Option<String> {
+    match req.canon().get("chaos") {
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(other) => Some(other.compact()),
+        None => None,
     }
 }
 

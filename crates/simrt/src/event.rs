@@ -177,13 +177,16 @@ impl EventSim {
 
     /// Runs until the event queue is empty, returning the final time.
     pub fn run(&mut self) -> Time {
+        let before = self.processed;
         while self.step() {}
+        self.export_processed(before);
         self.now
     }
 
     /// Runs events with `at <= deadline`, leaving later events queued.
     /// The clock ends at `max(deadline, now)`.
     pub fn run_until(&mut self, deadline: Time) -> Time {
+        let before = self.processed;
         loop {
             self.drop_cancelled_head();
             match self.queue.peek() {
@@ -193,8 +196,18 @@ impl EventSim {
                 _ => break,
             }
         }
+        self.export_processed(before);
         self.now = self.now.max(deadline);
         self.now
+    }
+
+    /// Exports the events processed since `before` to any ambient
+    /// metrics sink, so event-loop work is attributable per scenario.
+    fn export_processed(&self, before: u64) {
+        if pvc_obs::Metrics::ambient_installed() {
+            let d = self.processed - before;
+            pvc_obs::Metrics::with_ambient(|m| m.count("simrt.events.processed", d));
+        }
     }
 
     /// Pops cancelled entries off the front so `peek` sees a live event.

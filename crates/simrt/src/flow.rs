@@ -672,6 +672,7 @@ impl FlowNetwork {
     ) -> std::collections::HashMap<FlowId, TransferOutcome> {
         const EPS_BYTES: f64 = 1e-6;
         let nf = self.flows.len();
+        let stats_at_entry = self.stats;
 
         // Arrival calendar: unfinished flows ordered by begin time
         // (ties by index); a cursor advances as flows are admitted.
@@ -798,6 +799,28 @@ impl FlowNetwork {
                     }
                 });
             }
+        }
+
+        // Export this run's solver work to any ambient metrics sink
+        // (the serve/scenario layers attribute effort per request this
+        // way). The reference oracle deliberately does not export —
+        // `simrt.flow.*` counts production-solver work only.
+        if pvc_obs::Metrics::ambient_installed() {
+            let d = self.stats;
+            let b = stats_at_entry;
+            pvc_obs::Metrics::with_ambient(|m| {
+                m.count("simrt.flow.runs", 1);
+                m.count("simrt.flow.segments", d.segments - b.segments);
+                m.count("simrt.flow.solves", d.solves - b.solves);
+                m.count(
+                    "simrt.flow.solver_flow_visits",
+                    d.solver_flow_visits - b.solver_flow_visits,
+                );
+                m.count(
+                    "simrt.flow.active_flow_visits",
+                    d.active_flow_visits - b.active_flow_visits,
+                );
+            });
         }
 
         self.collect_outcomes()
