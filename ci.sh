@@ -99,6 +99,7 @@ run env PVC_BENCH_SAMPLES=2 cargo bench --offline -p pvc-bench --bench serve \
 test -s "$serve_dir/BENCH_serve.json"
 run grep -q '"schema": "pvc-bench/v1"' "$serve_dir/BENCH_serve.json"
 run grep -q '"name": "serve/table2_cold_miss"' "$serve_dir/BENCH_serve.json"
+run grep -q '"name": "serve/warm_from_disk"' "$serve_dir/BENCH_serve.json"
 run grep -q '"name": "serve/allocate_1k_flows"' "$serve_dir/BENCH_serve.json"
 
 # 10. Chaos lab: the property suite proves fault overlays never improve
@@ -155,5 +156,48 @@ run grep -q '^serve_requests 4$' "$serve_dir/stats-a.out"
 run grep -q 'serve_cost_run_bucket{le="+Inf"} 1' "$serve_dir/stats-a.out"
 run grep -q '^simrt_flow_runs ' "$serve_dir/stats-a.out"
 run grep -q '^serve.cost.table ' "$serve_dir/stats-a.out"
+
+# 12. Persistent store: `reproduce warm` precomputes the full catalog
+#     grid into a content-addressed segment file. Two warm runs from
+#     scratch produce byte-identical stores; a warmed store answers the
+#     whole corpus (and the canned request batch, chaos included) with
+#     zero cold computes; and perturbing the build fingerprint via the
+#     salt hook invalidates the store instead of serving stale bytes.
+store_dir="$(mktemp -d)"
+trap 'rm -rf "$profile_dir" "$serve_dir" "$store_dir"' EXIT
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  warm --store "$store_dir/a.store" > /dev/null 2>&1
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  warm --store "$store_dir/b.store" > /dev/null 2>&1
+test -s "$store_dir/a.store"
+run cmp "$store_dir/a.store" "$store_dir/b.store"
+# Verify round: every corpus request is a store hit, zero cold computes
+# (the verb exits 1 unless serve.store.hit == corpus and cache.miss == 0).
+run cargo run --offline --release -p pvc-report --bin reproduce \
+  warm --store "$store_dir/a.store" --verify > "$store_dir/verify.out" 2>&1
+run grep -q 'verify ok' "$store_dir/verify.out"
+# A fresh process replaying the canned batch (chaos request included)
+# against the warmed store serves everything from disk: 4 store hits,
+# no cache misses, and the bytes equal the computed run from gate 7.
+cargo run --offline --release -p pvc-report --bin reproduce \
+  query --stats --store "$store_dir/a.store" \
+  "$serve_dir/r1.json" "$serve_dir/r2.json" "$serve_dir/r3.json" "$serve_dir/chaos.json" \
+  > "$store_dir/warmq.out" 2> "$store_dir/warmq.stats"
+run grep -q 'counter serve.store.hit = 4' "$store_dir/warmq.stats"
+if grep -q 'counter serve.cache.miss' "$store_dir/warmq.stats"; then
+  echo "ci: warmed store still computed cold" >&2; exit 1
+fi
+cargo run --offline --release -p pvc-report --bin reproduce \
+  query "$serve_dir/r1.json" "$serve_dir/r2.json" "$serve_dir/r3.json" "$serve_dir/chaos.json" \
+  > "$store_dir/coldq.out" 2> /dev/null
+run cmp "$store_dir/warmq.out" "$store_dir/coldq.out"
+# Fingerprint invalidation: under a perturbed salt the same store file
+# opens as stale and rewarms from scratch (on a copy, exercised end to
+# end by the verb's own output).
+cp "$store_dir/a.store" "$store_dir/salted.store"
+run env PVC_STORE_FINGERPRINT_SALT=ci-model-change \
+  cargo run --offline --release -p pvc-report --bin reproduce \
+  warm --store "$store_dir/salted.store" > "$store_dir/salted.out" 2>&1
+run grep -q 'fingerprint mismatch, store reset' "$store_dir/salted.out"
 
 echo "ci: all gates green"

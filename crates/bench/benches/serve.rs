@@ -46,6 +46,40 @@ fn serve_cache_hit(c: &mut Criterion) {
     assert!(s.metrics().counter("serve.cache.hit") > 0);
 }
 
+/// Disk tier: every iteration is a fresh process standing in — a new
+/// service with an empty LRU opens the warmed store file and answers
+/// Table II from disk (open + index load + probe + parse + promote),
+/// without running the simulation. Sits between `table2_cold_miss` and
+/// `table2_warm_hit` in the EXPERIMENTS.md three-row latency table.
+fn serve_warm_from_disk(c: &mut Criterion) {
+    let path = std::env::temp_dir().join(format!(
+        "pvc-bench-serve-store-{}.bin",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let fp = pvc_report::warm::build_fingerprint();
+    // Warm once outside the timed loop.
+    {
+        let (store, report) = pvc_store::Store::open(&path, fp).unwrap();
+        let mut s = fresh();
+        s.attach_store(store, &report);
+        s.handle_lines(&[TABLE2]);
+    }
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(50);
+    g.bench_function("warm_from_disk", |b| {
+        b.iter(|| {
+            let (store, report) = pvc_store::Store::open(&path, fp).unwrap();
+            let mut s = fresh();
+            s.attach_store(store, &report);
+            black_box(s.handle_lines(&[TABLE2]));
+            assert_eq!(s.metrics().counter("serve.store.hit"), 1);
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Single-flight: a batch of eight identical cold requests costs one
 /// computation, not eight.
 fn serve_singleflight(c: &mut Criterion) {
@@ -113,6 +147,7 @@ criterion_group!(
     serve_benches,
     serve_cache_miss,
     serve_cache_hit,
+    serve_warm_from_disk,
     flow_allocate_1k,
     serve_singleflight,
     serve_sweep_coalescing,

@@ -7,9 +7,10 @@
 //! reproduce run <workload> <system>
 //! reproduce chaos <workload> <system> <spec>
 //! reproduce profile <workload> [outfile]
-//! reproduce query [--stats] [--rounds N] [--queue-depth N] [--cache-cap N] [--access-log PATH] <request.json>...
-//! reproduce serve [--queue-depth N] [--cache-cap N] [--tcp ADDR] [--access-log PATH]
-//! reproduce stats [--rounds N] [--queue-depth N] [--cache-cap N] [request.json...]
+//! reproduce query [--stats] [--rounds N] [--queue-depth N] [--cache-cap N] [--store PATH] [--access-log PATH] <request.json>...
+//! reproduce serve [--queue-depth N] [--cache-cap N] [--store PATH] [--tcp ADDR] [--access-log PATH]
+//! reproduce stats [--rounds N] [--queue-depth N] [--cache-cap N] [--store PATH] [request.json...]
+//! reproduce warm [--store PATH] [--chaos] [--verify]
 //! ```
 //! `list` prints the full scenario grid — every registered
 //! workload × system pair with its figure-of-merit unit and paper
@@ -41,6 +42,19 @@
 //! runs a batch (the canned catalog requests by default, or the given
 //! files) through a fresh service and prints the Prometheus-style
 //! exposition text followed by a per-histogram quantile table.
+//!
+//! `warm` precomputes the persistent result store: it enumerates the
+//! registry's full grid (every `run` scenario, every canned table /
+//! figure / ablation / sweep / profile; `--chaos` adds a canned fault
+//! corpus) and persists every response into a `pvc-store` segment file
+//! keyed by content address and bound to the current build fingerprint.
+//! `--verify` instead requires the store to already be warm: it fails
+//! unless every corpus request is answered from disk with zero cold
+//! computes. The other frontends take `--store PATH` to attach the
+//! warmed store as a second cache tier below the in-memory LRU, so a
+//! fresh process answers its very first catalog query without running
+//! a simulation. A store written by a different build fingerprint is
+//! detected at open and reset automatically.
 
 use pvc_memsim::LatsConfig;
 use pvc_report::serve::{CatalogExecutor, CANNED_REQUESTS};
@@ -317,6 +331,9 @@ fn main() {
         "stats" => {
             std::process::exit(run_stats(&args[1..]));
         }
+        "warm" => {
+            std::process::exit(run_warm(&args[1..]));
+        }
         "conformance" => match pvc_report::conformance::verdict() {
             Ok(_) => out.push_str(&pvc_report::conformance::markdown()),
             Err(msg) => {
@@ -351,7 +368,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling, list, run <workload> <system>, chaos <workload> <system> <spec>, profile <workload>, query <request.json>.., serve, stats or all"
+                "unknown target '{other}'; expected table1..table6, fig1..fig4, experiments, json, conformance, validate, rooflines, ablations, scaling, list, run <workload> <system>, chaos <workload> <system> <spec>, profile <workload>, query <request.json>.., serve, stats, warm or all"
             );
             std::process::exit(2);
         }
@@ -366,6 +383,7 @@ struct ServeFlags {
     rounds: usize,
     tcp: Option<String>,
     access_log: Option<String>,
+    store: Option<String>,
     files: Vec<String>,
 }
 
@@ -376,6 +394,7 @@ fn parse_serve_flags(args: &[String]) -> Result<ServeFlags, String> {
         rounds: 1,
         tcp: None,
         access_log: None,
+        store: None,
         files: Vec::new(),
     };
     fn num(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<usize, String> {
@@ -400,6 +419,11 @@ fn parse_serve_flags(args: &[String]) -> Result<ServeFlags, String> {
             "--access-log" => {
                 f.access_log = Some(
                     it.next().ok_or("--access-log needs a path")?.clone(),
+                )
+            }
+            "--store" => {
+                f.store = Some(
+                    it.next().ok_or("--store needs a path")?.clone(),
                 )
             }
             other if other.starts_with("--") => {
@@ -440,7 +464,12 @@ fn run_query(args: &[String]) -> i32 {
             }
         }
     }
-    let service = new_catalog_service(flags.cfg);
+    let mut service = new_catalog_service(flags.cfg);
+    if let Some(path) = &flags.store {
+        if !attach_catalog_store(&mut service, path) {
+            return 2;
+        }
+    }
     let mut all_ok = true;
     let stdout = std::io::stdout();
     let mut w = stdout.lock();
@@ -477,6 +506,130 @@ fn new_catalog_service(cfg: ServeConfig) -> Service<CatalogExecutor> {
     let mut service = Service::new(CatalogExecutor, cfg);
     service.set_telemetry(Telemetry::recording(64));
     service
+}
+
+/// One line summarising what [`pvc_store::Store::open`] found on disk.
+fn describe_open(report: &pvc_store::OpenReport) -> String {
+    use pvc_store::OpenStatus;
+    let mut s = match report.status {
+        OpenStatus::Created => "created empty".to_string(),
+        OpenStatus::Loaded => format!("loaded {} records", report.records),
+        OpenStatus::Invalidated { .. } => {
+            "fingerprint mismatch, store reset".to_string()
+        }
+    };
+    if report.tail_corrupt() {
+        s.push_str(&format!(
+            ", corrupt tail dropped ({} bytes)",
+            report.dropped_bytes
+        ));
+    }
+    s
+}
+
+/// Opens `path` against the current build fingerprint and attaches it
+/// to the service as the disk tier below the LRU. The open outcome
+/// prints on stderr so response bytes on stdout stay untouched.
+fn attach_catalog_store(service: &mut Service<CatalogExecutor>, path: &str) -> bool {
+    match pvc_store::Store::open(path, pvc_report::warm::build_fingerprint()) {
+        Ok((store, report)) => {
+            eprintln!("store {path}: {}", describe_open(&report));
+            service.attach_store(store, &report);
+            true
+        }
+        Err(e) => {
+            eprintln!("failed to open store {path}: {e}");
+            false
+        }
+    }
+}
+
+/// `reproduce warm`: enumerate the registry's full grid and persist
+/// every response into the store, so any later frontend started with
+/// `--store` answers its first catalog query from disk. `--verify`
+/// asserts the store is already warm: every corpus request must come
+/// back as a store hit with zero cold computes. Exit 0 on success,
+/// 1 on failed requests or a failed verify, 2 on usage errors.
+fn run_warm(args: &[String]) -> i32 {
+    let mut store_path = "pvc-store.bin".to_string();
+    let mut chaos = false;
+    let mut verify = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => match it.next() {
+                Some(p) => store_path = p.clone(),
+                None => {
+                    eprintln!("--store needs a path");
+                    return 2;
+                }
+            },
+            "--chaos" => chaos = true,
+            "--verify" => verify = true,
+            other => {
+                eprintln!("unknown warm argument '{other}'");
+                eprintln!("usage: reproduce warm [--store PATH] [--chaos] [--verify]");
+                return 2;
+            }
+        }
+    }
+    let corpus = if chaos {
+        pvc_report::warm::warm_corpus_with_chaos()
+    } else {
+        pvc_report::warm::warm_corpus()
+    };
+    let fingerprint = pvc_report::warm::build_fingerprint();
+    let (store, report) = match pvc_store::Store::open(&store_path, fingerprint) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("failed to open store {store_path}: {e}");
+            return 1;
+        }
+    };
+    println!("store {store_path}: {}", describe_open(&report));
+    if verify && report.status != pvc_store::OpenStatus::Loaded {
+        eprintln!("verify failed: store must already be warm for this build fingerprint");
+        return 1;
+    }
+    // The whole corpus is one admitted batch: raise the queue so
+    // nothing sheds, leave every other knob at its default.
+    let mut cfg = ServeConfig::default();
+    cfg.queue_depth = cfg.queue_depth.max(corpus.len());
+    let mut service = new_catalog_service(cfg);
+    service.attach_store(store, &report);
+    let batch: Vec<_> = corpus.iter().map(|t| Request::parse(t)).collect();
+    let envelopes = service.handle_batch(batch);
+    let failed = envelopes
+        .iter()
+        .filter(|e| e.get("result").is_none())
+        .count();
+    let metrics = service.metrics();
+    let hits = metrics.counter("serve.store.hit");
+    let writes = metrics.counter("serve.store.write");
+    let cold = metrics.counter("serve.cache.miss");
+    println!(
+        "warmed {} corpus requests: {hits} served from store, {writes} computed and written; store holds {} entries",
+        corpus.len(),
+        service.store_len()
+    );
+    if failed > 0 {
+        eprintln!("warm failed: {failed} corpus requests did not produce a result");
+        return 1;
+    }
+    if verify {
+        if hits as usize != corpus.len() || cold != 0 {
+            eprintln!(
+                "verify failed: expected every request from disk (store hits {hits}/{}, cold computes {cold})",
+                corpus.len()
+            );
+            return 1;
+        }
+        println!(
+            "verify ok: all {} requests served from the store, zero cold computes",
+            corpus.len()
+        );
+    }
+    0
 }
 
 /// The `serve.*` counter namespace on stderr (same line format as the
@@ -548,7 +701,12 @@ fn run_serve(args: &[String]) -> i32 {
             }
         },
     };
-    let service = new_catalog_service(flags.cfg);
+    let mut service = new_catalog_service(flags.cfg);
+    if let Some(path) = &flags.store {
+        if !attach_catalog_store(&mut service, path) {
+            return 2;
+        }
+    }
     let result = match &flags.tcp {
         None => {
             let stdin = std::io::stdin();
@@ -616,7 +774,12 @@ fn run_stats(args: &[String]) -> i32 {
             }
         }
     }
-    let service = new_catalog_service(flags.cfg);
+    let mut service = new_catalog_service(flags.cfg);
+    if let Some(path) = &flags.store {
+        if !attach_catalog_store(&mut service, path) {
+            return 2;
+        }
+    }
     for _ in 0..flags.rounds {
         let batch: Vec<_> = texts.iter().map(|t| Request::parse(t)).collect();
         service.handle_batch(batch);

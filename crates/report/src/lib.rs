@@ -16,7 +16,10 @@
 //! * [`conformance`] — the `pvc-validate` golden-expectation run
 //!   rendered as a report section (and the CLI gate's verdict);
 //! * [`serve`] — the `pvc-serve` catalog executor and request schema
-//!   behind `reproduce serve` / `reproduce query`.
+//!   behind `reproduce serve` / `reproduce query`;
+//! * [`warm`] — the build fingerprint and full-grid request corpus
+//!   behind `reproduce warm`, which persists every catalog response
+//!   into a `pvc-store` segment file.
 //!
 //! The `reproduce` binary (in `src/bin`) prints any or all of them.
 
@@ -33,3 +36,4 @@ pub mod render;
 pub mod scenarios;
 pub mod serve;
 pub mod tables;
+pub mod warm;

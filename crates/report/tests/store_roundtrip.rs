@@ -1,0 +1,144 @@
+//! The persistent store against the real catalog executor: warmed
+//! responses must be byte-identical to freshly computed ones, rebuilds
+//! must be byte-deterministic on disk, and a perturbed build
+//! fingerprint must invalidate the whole store at open.
+//!
+//! Uses the canned CI corpus (one table, one figure, one PCIe sweep,
+//! one chaos run) rather than the full 110-request grid, so the suite
+//! stays fast; the full grid is exercised by `reproduce warm` in CI.
+
+use pvc_core::Json;
+use pvc_report::serve::{CatalogExecutor, CANNED_REQUESTS};
+use pvc_report::warm::{build_fingerprint, warm_corpus};
+use pvc_serve::{ServeConfig, Service};
+use pvc_store::{OpenStatus, Store};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn scratch(tag: &str) -> (std::path::PathBuf, Cleanup) {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "pvc-report-store-{tag}-{}-{}.bin",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_file(&path);
+    (path.clone(), Cleanup(path))
+}
+
+struct Cleanup(std::path::PathBuf);
+
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn catalog_with_store(path: &std::path::Path, fp: u64) -> (Service<CatalogExecutor>, OpenStatus) {
+    let (store, report) = Store::open(path, fp).expect("store opens");
+    let mut s = Service::new(CatalogExecutor, ServeConfig::default());
+    s.attach_store(store, &report);
+    (s, report.status)
+}
+
+fn answer_canned(s: &Service<CatalogExecutor>) -> Vec<String> {
+    s.handle_lines(CANNED_REQUESTS)
+        .iter()
+        .map(Json::compact)
+        .collect()
+}
+
+#[test]
+fn store_served_catalog_responses_are_byte_identical_to_computed() {
+    std::env::set_var("PVC_THREADS", "2");
+    let fp = build_fingerprint();
+    let (path, _guard) = scratch("identity");
+
+    // Warm pass: compute everything once, persisting as we go.
+    let (warmer, status) = catalog_with_store(&path, fp);
+    assert_eq!(status, OpenStatus::Created);
+    let computed = answer_canned(&warmer);
+    assert_eq!(
+        warmer.metrics().counter("serve.store.write"),
+        CANNED_REQUESTS.len() as u64
+    );
+    drop(warmer);
+
+    // Fresh process: every canned request is a first-query store hit
+    // with the exact same bytes, and the executor runs no atoms.
+    let (served, status) = catalog_with_store(&path, fp);
+    assert_eq!(status, OpenStatus::Loaded);
+    let from_disk = answer_canned(&served);
+    assert_eq!(from_disk, computed, "disk tier must preserve bytes exactly");
+    let m = served.metrics();
+    assert_eq!(m.counter("serve.store.hit"), CANNED_REQUESTS.len() as u64);
+    assert_eq!(m.counter("serve.cache.miss"), 0, "zero cold computes");
+    assert_eq!(m.counter("serve.atoms.executed"), 0, "no solver work");
+
+    // A store with no matching entry still computes: the tier is an
+    // accelerator, never a gate.
+    let novel = r#"{"kind":"table","id":5}"#;
+    let r = served.handle_lines(&[novel]).remove(0);
+    assert!(r.get("result").is_some());
+    assert_eq!(m.counter("serve.cache.miss"), 1);
+}
+
+#[test]
+fn rebuilt_stores_are_byte_identical_and_fingerprint_perturbation_invalidates() {
+    std::env::set_var("PVC_THREADS", "2");
+    let fp = build_fingerprint();
+    let (pa, _ga) = scratch("rebuild-a");
+    let (pb, _gb) = scratch("rebuild-b");
+    // The first 12 corpus lines (tables + figures + ablations) stand in
+    // for the full grid: enough to exercise multi-record layout.
+    let corpus: Vec<String> = warm_corpus().into_iter().take(12).collect();
+    for path in [&pa, &pb] {
+        let (s, _) = catalog_with_store(path, fp);
+        let refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+        s.handle_lines(&refs);
+    }
+    let (ba, bb) = (std::fs::read(&pa).unwrap(), std::fs::read(&pb).unwrap());
+    assert!(!ba.is_empty());
+    assert_eq!(ba, bb, "two warm rebuilds must produce identical files");
+
+    // A different fingerprint (a model change) invalidates at open:
+    // the store resets rather than serving stale results.
+    let (s, status) = catalog_with_store(&pa, fp ^ 1);
+    assert!(matches!(status, OpenStatus::Invalidated { found: Some(f) } if f == fp));
+    assert_eq!(s.store_len(), 0, "stale entries are gone");
+    assert_eq!(s.metrics().counter("store.open.invalidated"), 1);
+    drop(s);
+
+    // And re-opening with the original fingerprint invalidates again
+    // (the reset stamped the perturbed fingerprint into the header) —
+    // the stale records never come back either way.
+    let (s, status) = catalog_with_store(&pa, fp);
+    assert!(matches!(status, OpenStatus::Invalidated { found: Some(f) } if f == fp ^ 1));
+    assert_eq!(s.store_len(), 0);
+}
+
+#[test]
+fn salted_fingerprint_differs_and_rebuild_restores_service() {
+    std::env::set_var("PVC_THREADS", "2");
+    // PVC_STORE_FINGERPRINT_SALT is the CI hook that simulates a model
+    // change; the fingerprint must move, and a store warmed under the
+    // salt must invalidate under the unsalted build (and vice versa).
+    let base = build_fingerprint();
+    std::env::set_var("PVC_STORE_FINGERPRINT_SALT", "store-roundtrip-test");
+    let salted = build_fingerprint();
+    std::env::remove_var("PVC_STORE_FINGERPRINT_SALT");
+    assert_ne!(base, salted);
+
+    let (path, _guard) = scratch("salt");
+    let one = r#"{"kind":"figure","id":2}"#;
+    let (warmer, _) = catalog_with_store(&path, base);
+    let fresh = warmer.handle_lines(&[one]).remove(0).compact();
+    drop(warmer);
+
+    let (s, status) = catalog_with_store(&path, salted);
+    assert!(matches!(status, OpenStatus::Invalidated { .. }));
+    // The service still answers — it recomputes and re-warms the store
+    // under the new fingerprint, byte-identically.
+    let rebuilt = s.handle_lines(&[one]).remove(0).compact();
+    assert_eq!(rebuilt, fresh);
+    assert_eq!(s.metrics().counter("serve.store.write"), 1);
+}

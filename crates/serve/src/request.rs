@@ -15,18 +15,10 @@
 use crate::ServeError;
 use pvc_core::json::{self, Json};
 
-/// FNV-1a, 64-bit: the canonical content hash for request addressing.
-/// Deterministic, allocation-free and endianness-independent.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(PRIME);
-    }
-    h
-}
+/// FNV-1a, 64-bit: the canonical content hash for request addressing —
+/// the same convention `pvc-store` uses for frame checksums, so request
+/// keys and store keys are one vocabulary.
+pub use pvc_store::fnv1a64;
 
 /// A parsed, normalised, content-addressed request.
 #[derive(Debug, Clone, PartialEq)]

@@ -8,21 +8,28 @@
 //! 2. reserved `stats` introspection requests are intercepted — they
 //!    consume no queue slot and are answered from the service's own
 //!    metrics after the rest of the batch resolves;
-//! 3. the cache is probed — hits are answered immediately and consume
-//!    **no** queue slot, so a warm cache keeps serving under overload;
-//! 4. identical in-flight requests are collapsed (single-flight) onto
+//! 3. the LRU cache is probed — hits are answered immediately and
+//!    consume **no** queue slot, so a warm cache keeps serving under
+//!    overload;
+//! 4. when a persistent [`pvc_store::Store`] is attached
+//!    ([`Service::attach_store`]), it is probed next: a store hit is
+//!    answered from disk, **promoted into the LRU**, and consumes no
+//!    queue slot either — a warmed store makes every catalog request a
+//!    first-query hit;
+//! 5. identical in-flight requests are collapsed (single-flight) onto
 //!    one computation — duplicates consume no queue slot either;
-//! 5. the bounded queue admits at most `queue_depth` unique
+//! 6. the bounded queue admits at most `queue_depth` unique
 //!    computations; the rest are shed with a typed
 //!    [`ServeError::Overloaded`];
-//! 6. each admitted request's deterministic cost estimate must fit its
+//! 7. each admitted request's deterministic cost estimate must fit its
 //!    budget (request `budget` field, else the configured default) or
 //!    it is rejected with [`ServeError::DeadlineExceeded`];
-//! 7. admitted requests decompose into atoms, overlapping sweep atoms
+//! 8. admitted requests decompose into atoms, overlapping sweep atoms
 //!    coalesce ([`BatchPlan`]), and the unique atoms execute in
 //!    parallel on [`pvc_core::par`];
-//! 8. responses are assembled, cached (LRU), and fanned out to every
-//!    waiter in input order.
+//! 9. responses are assembled, cached (LRU), persisted to the store
+//!    when one is attached, and fanned out to every waiter in input
+//!    order.
 //!
 //! Every step resolves to a typed [`Outcome`], which is the single
 //! source of truth for the `serve.*` counter spelling and — when a
@@ -107,6 +114,8 @@ pub struct Service<E> {
     cfg: ServeConfig,
     exec: E,
     cache: RefCell<ResultCache>,
+    /// The persistent second tier, probed on LRU misses.
+    store: RefCell<Option<pvc_store::Store>>,
     metrics: Metrics,
     telemetry: Telemetry,
 }
@@ -144,6 +153,7 @@ impl<E: Executor> Service<E> {
             cfg,
             exec,
             cache,
+            store: RefCell::new(None),
             metrics: Metrics::new(),
             telemetry: Telemetry::disabled(),
         }
@@ -152,6 +162,35 @@ impl<E: Executor> Service<E> {
     /// The service's metrics registry (`serve.*` counters).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Attaches a persistent result store as the second cache tier
+    /// (LRU → store → compute) and exports the open report through the
+    /// service metrics: `store.open.records` (valid prefix loaded),
+    /// `store.open.invalidated` (stale fingerprint reset the store),
+    /// `store.open.tail_corrupt` / `store.open.dropped_bytes` (torn or
+    /// bit-flipped tail truncated away), and the `store.entries` gauge.
+    pub fn attach_store(&mut self, store: pvc_store::Store, report: &pvc_store::OpenReport) {
+        self.metrics.count("store.open.records", report.records as u64);
+        if report.invalidated() {
+            self.metrics.count("store.open.invalidated", 1);
+        }
+        if report.tail_corrupt() {
+            self.metrics.count("store.open.tail_corrupt", 1);
+            self.metrics.count("store.open.dropped_bytes", report.dropped_bytes);
+        }
+        self.metrics.gauge("store.entries", store.len() as f64);
+        *self.store.borrow_mut() = Some(store);
+    }
+
+    /// True when a persistent store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.borrow().is_some()
+    }
+
+    /// Records in the attached store (0 when none is attached).
+    pub fn store_len(&self) -> usize {
+        self.store.borrow().as_ref().map_or(0, pvc_store::Store::len)
     }
 
     /// Attaches a telemetry recorder (access log + flight recorder).
@@ -290,6 +329,19 @@ impl<E: Executor> Service<E> {
             };
             match body {
                 Ok(body) => {
+                    // Persist before caching: the stored bytes are the
+                    // compact body, whose parse re-serialises to the
+                    // same bytes, so a store hit is byte-identical to
+                    // this fresh computation.
+                    if let Some(store) = self.store.borrow_mut().as_mut() {
+                        match store.put(req.key(), req.text(), body.compact().as_bytes()) {
+                            Ok(true) => self.metrics.count("serve.store.write", 1),
+                            Ok(false) => {}
+                            // An append failure (disk full, permissions)
+                            // degrades to serving without persistence.
+                            Err(_) => self.metrics.count("serve.store.write_error", 1),
+                        }
+                    }
                     let evicted = cache.insert(req.key(), req.text(), body.clone());
                     self.metrics.count("serve.cache.evict", evicted as u64);
                     outcomes.push(ok_envelope(req, body));
@@ -303,6 +355,9 @@ impl<E: Executor> Service<E> {
             }
         }
         self.metrics.gauge("serve.cache.entries", cache.len() as f64);
+        if let Some(store) = self.store.borrow().as_ref() {
+            self.metrics.gauge("store.entries", store.len() as f64);
+        }
         drop(cache);
 
         // Record telemetry for every non-stats input, in input order,
@@ -408,6 +463,30 @@ impl<E: Executor> Service<E> {
             slots.push(Slot::Done(ok_envelope(req, body)));
             return Outcome::Hit;
         }
+        // Second tier: the persistent store. Only reached on an LRU
+        // miss — an LRU hit never touches disk. A hit is promoted into
+        // the LRU so the next identical request stays in memory.
+        if let Some(store) = self.store.borrow().as_ref() {
+            match store.get(req.key(), req.text()) {
+                Some(bytes) => match parse_stored_body(bytes) {
+                    Some(body) => {
+                        self.metrics.count(Outcome::StoreHit.as_metric_name(), 1);
+                        let evicted = cache.insert(req.key(), req.text(), body.clone());
+                        self.metrics.count("serve.cache.evict", evicted as u64);
+                        slots.push(Slot::Done(ok_envelope(req, body)));
+                        return Outcome::StoreHit;
+                    }
+                    None => {
+                        // A record that frames correctly but does not
+                        // parse as JSON: degrade to recompute, count it.
+                        self.metrics.count("serve.store.bad_value", 1);
+                    }
+                },
+                None => {
+                    self.metrics.count("serve.store.miss", 1);
+                }
+            }
+        }
         if let Some(u) = unique
             .iter()
             .position(|p| p.key() == req.key() && p.text() == req.text())
@@ -496,6 +575,14 @@ impl<E: Executor> Service<E> {
         }
         Json::obj(pairs).sorted()
     }
+}
+
+/// Decodes a stored record back into a response body. Stored values are
+/// the compact JSON bytes of the body; parsing preserves key order, so
+/// re-serialisation reproduces the original bytes exactly.
+fn parse_stored_body(bytes: &[u8]) -> Option<Json> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    pvc_core::json::parse(text).ok()
 }
 
 /// The request's `kind` field (guaranteed present by request parsing).

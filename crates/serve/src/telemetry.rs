@@ -25,8 +25,11 @@ use std::rc::Rc;
 pub enum Outcome {
     /// The input line did not parse into a request.
     BadRequest,
-    /// Answered from the result cache.
+    /// Answered from the in-memory LRU result cache.
     Hit,
+    /// Answered from the persistent disk store (and promoted into the
+    /// LRU, so the next identical request is a plain `Hit`).
+    StoreHit,
     /// Collapsed onto an identical in-flight computation.
     Dedup,
     /// Shed by bounded-queue admission control.
@@ -48,6 +51,7 @@ impl Outcome {
         match self {
             Outcome::BadRequest => "serve.rejected.bad_request",
             Outcome::Hit => "serve.cache.hit",
+            Outcome::StoreHit => "serve.store.hit",
             Outcome::Dedup => "serve.singleflight.deduped",
             Outcome::Overload => "serve.rejected.overload",
             Outcome::Deadline => "serve.rejected.deadline",
@@ -62,6 +66,7 @@ impl Outcome {
         match self {
             Outcome::BadRequest => "bad_request",
             Outcome::Hit => "hit",
+            Outcome::StoreHit => "store_hit",
             Outcome::Dedup => "dedup",
             Outcome::Overload => "shed",
             Outcome::Deadline => "deadline",
@@ -75,14 +80,15 @@ impl Outcome {
     pub fn is_ok(&self) -> bool {
         matches!(
             self,
-            Outcome::Hit | Outcome::Dedup | Outcome::Miss | Outcome::Stats
+            Outcome::Hit | Outcome::StoreHit | Outcome::Dedup | Outcome::Miss | Outcome::Stats
         )
     }
 
     /// Every outcome, in a stable order (for exhaustiveness tests).
-    pub const ALL: [Outcome; 8] = [
+    pub const ALL: [Outcome; 9] = [
         Outcome::BadRequest,
         Outcome::Hit,
+        Outcome::StoreHit,
         Outcome::Dedup,
         Outcome::Overload,
         Outcome::Deadline,
@@ -305,6 +311,7 @@ mod tests {
             vec![
                 "serve.rejected.bad_request",
                 "serve.cache.hit",
+                "serve.store.hit",
                 "serve.singleflight.deduped",
                 "serve.rejected.overload",
                 "serve.rejected.deadline",

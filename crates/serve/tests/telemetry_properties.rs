@@ -255,6 +255,155 @@ fn stats_works_with_telemetry_disabled_too() {
     );
 }
 
+// ---------------------------------------------------------------- //
+// Two-tier cache: in-memory LRU over the persistent disk store.    //
+// ---------------------------------------------------------------- //
+
+/// Collision-free scratch path for a store file (no tempfile crate in
+/// the hermetic workspace); the guard removes it on drop.
+fn scratch_store(tag: &str) -> (std::path::PathBuf, Cleanup) {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "pvc-serve-telemetry-{tag}-{}-{}.bin",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_file(&path);
+    (path.clone(), Cleanup(path))
+}
+
+struct Cleanup(std::path::PathBuf);
+
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+const STORE_FP: u64 = 0x7e57_f19e_4b41_d001;
+
+fn service_with_store(path: &std::path::Path) -> (Service<Toy>, pvc_store::OpenReport) {
+    let (store, report) = pvc_store::Store::open(path, STORE_FP).expect("store opens");
+    let mut s = Service::new(Toy::default(), ServeConfig::default());
+    s.set_telemetry(Telemetry::recording(8));
+    s.attach_store(store, &report);
+    (s, report)
+}
+
+#[test]
+fn store_hit_promotes_into_lru_and_lru_hit_never_probes_disk() {
+    pin_threads();
+    let (path, _guard) = scratch_store("promote");
+
+    // Pass 1: a cold service with an empty store computes and persists.
+    let (first, computed) = {
+        let (s, report) = service_with_store(&path);
+        assert_eq!(report.status, pvc_store::OpenStatus::Created);
+        let computed = s.handle_lines(&[&item(3)]).remove(0);
+        let m = s.metrics();
+        assert_eq!(m.counter("serve.cache.miss"), 1, "cold compute");
+        assert_eq!(m.counter("serve.store.miss"), 1, "empty store probed");
+        assert_eq!(m.counter("serve.store.write"), 1, "response persisted");
+        (s.executor().executions.load(Ordering::SeqCst), computed)
+    };
+    assert_eq!(first, 1);
+
+    // Pass 2: a fresh process (new LRU, same file) answers from disk.
+    let (s, report) = service_with_store(&path);
+    assert_eq!(report.status, pvc_store::OpenStatus::Loaded);
+    assert_eq!(report.records, 1);
+    s.telemetry().drain_access_log();
+    let from_disk = s.handle_lines(&[&item(3)]).remove(0);
+    assert_eq!(
+        from_disk.canonical(),
+        computed.canonical(),
+        "store-served bytes must equal freshly computed bytes"
+    );
+    let m = s.metrics();
+    assert_eq!(m.counter("serve.store.hit"), 1);
+    assert_eq!(m.counter("serve.cache.miss"), 0, "no cold compute");
+    assert_eq!(
+        s.executor().executions.load(Ordering::SeqCst),
+        0,
+        "disk hit runs no atoms"
+    );
+    assert_eq!(
+        m.counter("toy.work.squares"),
+        0,
+        "disk hits attribute zero new solver work"
+    );
+    let log = s.telemetry().drain_access_log();
+    let line = pvc_core::json::parse(log.trim_end()).unwrap();
+    assert_eq!(line.get("outcome"), Some(&Json::str("store_hit")));
+    assert_eq!(line.get("ok"), Some(&Json::Bool(true)));
+
+    // Pass 2 again: the store hit was promoted, so this is a plain LRU
+    // hit and the disk tier is not consulted (its counters stand still).
+    let from_lru = s.handle_lines(&[&item(3)]).remove(0);
+    assert_eq!(from_lru.canonical(), computed.canonical());
+    let m = s.metrics();
+    assert_eq!(m.counter("serve.cache.hit"), 1, "promoted into the LRU");
+    assert_eq!(m.counter("serve.store.hit"), 1, "LRU hit never probes disk");
+    assert_eq!(m.counter("serve.store.miss"), 0);
+    let log = s.telemetry().drain_access_log();
+    let line = pvc_core::json::parse(log.trim_end()).unwrap();
+    assert_eq!(line.get("outcome"), Some(&Json::str("hit")));
+}
+
+#[test]
+fn store_attachment_is_bit_non_perturbing() {
+    pin_threads();
+    let run = |with_store: bool| -> Vec<String> {
+        let (path, _guard) = scratch_store("perturb");
+        let mut s = Service::new(Toy::default(), cfg());
+        s.set_telemetry(Telemetry::recording(16));
+        if with_store {
+            let (store, report) =
+                pvc_store::Store::open(&path, STORE_FP).expect("store opens");
+            s.attach_store(store, &report);
+        }
+        let (batch, warm) = mixed_batch();
+        s.handle_lines(&[&warm]);
+        let refs: Vec<&str> = batch.iter().map(String::as_str).collect();
+        s.handle_lines(&refs).iter().map(Json::canonical).collect()
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "the disk tier must never change response bytes"
+    );
+}
+
+#[test]
+fn corrupt_store_degrades_to_recompute_not_failure() {
+    pin_threads();
+    let (path, _guard) = scratch_store("corrupt");
+    {
+        let (s, _) = service_with_store(&path);
+        s.handle_lines(&[&item(7)]);
+    }
+    // Flip a byte inside the one persisted record: the checksum fails
+    // at open, the record drops, and the service recomputes instead of
+    // serving garbage.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = pvc_store::HEADER_LEN + (bytes.len() - pvc_store::HEADER_LEN) / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let (s, report) = service_with_store(&path);
+    assert!(report.tail_corrupt(), "byte flip detected at open");
+    assert_eq!(report.records, 0, "store degraded to the valid prefix");
+    assert_eq!(s.metrics().counter("store.open.tail_corrupt"), 1);
+    let r = s.handle_lines(&[&item(7)]).remove(0);
+    assert!(r.get("result").is_some(), "service still answers by computing");
+    assert_eq!(s.metrics().counter("serve.cache.miss"), 1);
+    assert_eq!(s.executor().executions.load(Ordering::SeqCst), 1);
+    assert_eq!(
+        s.metrics().counter("serve.store.write"),
+        1,
+        "recomputed result is re-persisted"
+    );
+}
+
 #[test]
 fn access_log_is_deterministic_across_identical_services() {
     pin_threads();

@@ -1,0 +1,33 @@
+//! # pvc-store — persistent content-addressed result store
+//!
+//! A disk-backed second cache tier for deterministic results: every
+//! record maps a content address (the FNV-1a 64 hash of a canonical
+//! request, plus the canonical text itself as a collision guard) to the
+//! byte-exact response. The design is the smallest thing that survives
+//! crashes and model drift:
+//!
+//! * **Append-only segment file.** Records are only ever appended, each
+//!   framed with its lengths and an FNV-1a 64 checksum over the whole
+//!   frame. A torn write (crash mid-append) corrupts only the tail;
+//!   [`Store::open`] detects the first bad frame, truncates the file
+//!   back to the valid prefix, and keeps serving everything before it.
+//! * **Streamed index.** Opening a store reads the segment once, front
+//!   to back, building an in-memory key → record index over a byte
+//!   arena. Lookups are O(1) hash probes plus a text compare; a hash
+//!   collision degrades to a miss, never a wrong answer.
+//! * **Fingerprint invalidation.** The file header binds the store to a
+//!   build fingerprint — a hash over the model constants and scenario
+//!   grid supplied by the caller. Opening with a different fingerprint
+//!   resets the store to empty automatically: results computed by an
+//!   older model can never be served by a newer one.
+//!
+//! The crate is deliberately dependency-free and domain-agnostic: keys
+//! and values are bytes. `pvc-serve` layers it under its LRU cache
+//! (LRU → store → compute) and `pvc-report` ships the `reproduce warm`
+//! command that precomputes the whole catalog grid into one.
+
+mod segment;
+mod store;
+
+pub use segment::{fnv1a64, FrameError, HEADER_LEN, MAGIC};
+pub use store::{OpenReport, OpenStatus, Store};

@@ -37,6 +37,7 @@
 //! | [`scenario`] | pvc-scenario | typed workload × system registry |
 //! | [`report`] | pvc-report | table/figure regeneration |
 //! | [`serve`] | pvc-serve | batching/caching query service core |
+//! | [`store`] | pvc-store | persistent content-addressed result store |
 //! | [`validate`] | pvc-validate | golden conformance + metamorphic suites |
 
 pub use pvc_apps as apps;
@@ -53,6 +54,7 @@ pub use pvc_report as report;
 pub use pvc_scenario as scenario;
 pub use pvc_serve as serve;
 pub use pvc_simrt as simrt;
+pub use pvc_store as store;
 pub use pvc_validate as validate;
 
 /// The most commonly used types, one `use` away.
