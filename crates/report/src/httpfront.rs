@@ -1,0 +1,214 @@
+//! The HTTP/1.1 frontend routes: the catalog service behind a
+//! zero-dependency [`pvc_serve::http`] server.
+//!
+//! One function, [`handle`], maps a parsed [`HttpRequest`] onto the
+//! shared [`Dispatcher`] — the same dispatcher instance the stdin and
+//! TCP frontends adapt, so every frontend shares one cache, one store
+//! tier, one metrics registry:
+//!
+//! | route | maps to |
+//! |---|---|
+//! | `GET /` | endpoint index (text) |
+//! | `GET /healthz` | liveness probe |
+//! | `GET /metrics` | Prometheus exposition of the full registry |
+//! | `GET /stats` | the reserved `{"kind":"stats"}` request |
+//! | `POST /query` | one stdin-frontend line: a request object or an array batch; response bytes **identical** to the stdin frontend |
+//! | `GET /table/<1-6>` | `{"kind":"table","id":N}` |
+//! | `GET /figure/<1-4>` | `{"kind":"figure","id":N}` |
+//! | `GET /ablation/<name>` | `{"kind":"ablation","name":…}` |
+//! | `GET /run/<workload>/<system>` | `{"kind":"run",…}` |
+//! | `GET /trace/<workload>/<system>` | Chrome-trace JSON from the deterministic profiler |
+//! | `POST /shutdown` | the reserved `{"kind":"shutdown"}` request; stops the accept loop |
+//!
+//! Content negotiation (the `Accept` header) on the catalog routes:
+//! `text/plain` unwraps the result's rendered `text` field, `text/csv`
+//! its `csv` field, anything else answers the canonical JSON envelope.
+//! `POST /query` always answers the raw frontend bytes (that route's
+//! whole point is byte-identity with the stdin loop); the trace route
+//! honours `application/x-chrome-trace`.
+
+use crate::serve::CatalogExecutor;
+use pvc_core::Json;
+use pvc_serve::http::{After, HttpRequest, HttpResponse};
+use pvc_serve::{Request, Service, ServeError, SHUTDOWN_KIND, STATS_KIND};
+
+const CT_JSON: &str = "application/json";
+const CT_TEXT: &str = "text/plain; charset=utf-8";
+const CT_CSV: &str = "text/csv; charset=utf-8";
+/// The Prometheus text exposition format version we emit.
+const CT_METRICS: &str = "text/plain; version=0.0.4; charset=utf-8";
+const CT_TRACE: &str = "application/x-chrome-trace";
+
+/// The index served at `/`.
+const INDEX: &str = "\
+pvc-serve HTTP frontend — deterministic paper-catalog queries
+
+  GET  /healthz                   liveness probe
+  GET  /metrics                   Prometheus exposition (global + per-shard serve.* counters)
+  GET  /stats                     full stats envelope (counters, gauges, quantiles, shards)
+  POST /query                     one request object or array batch (stdin-frontend bytes)
+  GET  /table/<1-6>               rendered paper table   (Accept: text/plain for raw text)
+  GET  /figure/<1-4>              figure data            (figure 1 negotiates text/csv)
+  GET  /ablation/<name>           governor|pcie|congestion|plane|scaling
+  GET  /run/<workload>/<system>   one scenario outcome (JSON)
+  GET  /trace/<workload>/<system> Chrome-trace JSON from the virtual-time profiler
+  POST /shutdown                  graceful shutdown (drains, then stops accepting)
+";
+
+/// Routes one HTTP exchange onto the shared dispatcher. Pure with
+/// respect to the connection: all state lives in `service`.
+pub fn handle(
+    service: &Service<CatalogExecutor>,
+    req: &HttpRequest,
+) -> (HttpResponse, After) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", []) => (HttpResponse::ok(CT_TEXT, INDEX.as_bytes().to_vec()), After::Continue),
+        ("GET", ["healthz"]) => {
+            (HttpResponse::ok(CT_TEXT, b"ok\n".to_vec()), After::Continue)
+        }
+        ("GET", ["metrics"]) => {
+            let body = service.metrics().expose_text();
+            (HttpResponse::ok(CT_METRICS, body.into_bytes()), After::Continue)
+        }
+        ("GET", ["stats"]) => {
+            let line = format!("{{\"kind\":\"{STATS_KIND}\"}}");
+            let envelope = service.handle_lines(&[&line]).remove(0);
+            (json_line(&envelope), After::Continue)
+        }
+        ("POST", ["query"]) => (query(service, &req.body), After::Continue),
+        ("POST", ["shutdown"]) => {
+            let line = format!("{{\"kind\":\"{SHUTDOWN_KIND}\"}}");
+            let envelope = service.handle_lines(&[&line]).remove(0);
+            (json_line(&envelope), After::Shutdown)
+        }
+        ("GET", ["table", id]) => catalog(service, req, table_request("table", id)),
+        ("GET", ["figure", id]) => catalog(service, req, table_request("figure", id)),
+        ("GET", ["ablation", name]) => catalog(
+            service,
+            req,
+            Ok(Json::obj(vec![
+                ("kind", Json::str("ablation")),
+                ("name", Json::str(*name)),
+            ])),
+        ),
+        ("GET", ["run", workload, system]) => catalog(
+            service,
+            req,
+            Ok(Json::obj(vec![
+                ("kind", Json::str("run")),
+                ("workload", Json::str(*workload)),
+                ("system", Json::str(*system)),
+            ])),
+        ),
+        ("GET", ["trace", workload, system]) => trace(req, workload, system),
+        ("GET" | "POST" | "HEAD" | "PUT" | "DELETE", _) => {
+            (HttpResponse::error(404, "no such route; GET / lists the endpoints"), After::Continue)
+        }
+        _ => (HttpResponse::error(405, "unsupported method"), After::Continue),
+    }
+}
+
+/// A `{"kind":…,"id":N}` request document for the table/figure routes.
+fn table_request(kind: &str, id: &str) -> Result<Json, String> {
+    let id: i64 = id
+        .parse()
+        .map_err(|_| format!("{kind} id must be an integer, got '{id}'"))?;
+    Ok(Json::obj(vec![
+        ("kind", Json::str(kind)),
+        ("id", Json::Int(id)),
+    ]))
+}
+
+/// `POST /query`: the stdin frontend over HTTP. The body is exactly one
+/// stdin line — a request object, or an array answered as one batch —
+/// and the response body is exactly the line the stdin loop would print
+/// (compact JSON + newline), so `cmp` against the pipe frontend passes.
+fn query(service: &Service<CatalogExecutor>, body: &[u8]) -> HttpResponse {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return HttpResponse::error(400, "query body must be UTF-8 JSON");
+    };
+    let line = text.trim();
+    if line.is_empty() {
+        return HttpResponse::error(400, "query body must hold a request object or array");
+    }
+    let reply = if line.starts_with('[') {
+        let batch = match pvc_core::json::parse(line) {
+            Ok(Json::Arr(items)) => items.into_iter().map(Request::from_json).collect(),
+            Ok(_) => unreachable!("starts with '['"),
+            Err(e) => vec![Err(ServeError::BadRequest(e.to_string()))],
+        };
+        Json::Arr(service.handle_batch(batch)).compact()
+    } else {
+        service.handle_lines(&[line]).remove(0).compact()
+    };
+    HttpResponse::ok(CT_JSON, format!("{reply}\n").into_bytes())
+}
+
+/// Serves one catalog request document through the dispatcher and
+/// negotiates the representation from the `Accept` header.
+fn catalog(
+    service: &Service<CatalogExecutor>,
+    http: &HttpRequest,
+    doc: Result<Json, String>,
+) -> (HttpResponse, After) {
+    let doc = match doc {
+        Ok(d) => d,
+        Err(msg) => return (HttpResponse::error(400, &msg), After::Continue),
+    };
+    let envelope = service
+        .handle_batch(vec![Request::from_json(doc)])
+        .remove(0);
+    let Some(result) = envelope.get("result") else {
+        // The service rejected it (bad request, shed, over budget…):
+        // surface the typed error envelope.
+        return (
+            HttpResponse {
+                status: 400,
+                content_type: CT_JSON.to_string(),
+                body: format!("{}\n", envelope.compact()).into_bytes(),
+            },
+            After::Continue,
+        );
+    };
+    let accept = http.accept();
+    if accept.contains("text/csv") {
+        if let Some(Json::Str(csv)) = result.get("csv") {
+            return (HttpResponse::ok(CT_CSV, csv.clone().into_bytes()), After::Continue);
+        }
+    }
+    if accept.contains("text/plain") {
+        if let Some(Json::Str(text)) = result.get("text") {
+            return (HttpResponse::ok(CT_TEXT, text.clone().into_bytes()), After::Continue);
+        }
+        if let Some(Json::Str(csv)) = result.get("csv") {
+            return (HttpResponse::ok(CT_CSV, csv.clone().into_bytes()), After::Continue);
+        }
+    }
+    (json_line(&envelope), After::Continue)
+}
+
+/// `GET /trace/<workload>/<system>`: the deterministic profiler's
+/// Chrome-trace artifact. Served outside the dispatcher (the artifact
+/// is a rendering, not a cacheable catalog result) but validated the
+/// same way `reproduce profile` validates it.
+fn trace(http: &HttpRequest, workload: &str, system: &str) -> (HttpResponse, After) {
+    let system: pvc_arch::System = match system.parse() {
+        Ok(s) => s,
+        Err(e) => return (HttpResponse::error(400, &format!("{e}")), After::Continue),
+    };
+    let artifact = match crate::profile::run(workload, system) {
+        Ok(a) => a,
+        Err(e) => return (HttpResponse::error(400, &format!("{e}")), After::Continue),
+    };
+    if let Err(e) = artifact.validate() {
+        return (HttpResponse::error(500, &e), After::Continue);
+    }
+    let ct = if http.accept().contains(CT_TRACE) { CT_TRACE } else { CT_JSON };
+    (HttpResponse::ok(ct, artifact.trace_json.into_bytes()), After::Continue)
+}
+
+/// A canonical-envelope JSON response line (stdin-frontend framing).
+fn json_line(envelope: &Json) -> HttpResponse {
+    HttpResponse::ok(CT_JSON, format!("{}\n", envelope.compact()).into_bytes())
+}

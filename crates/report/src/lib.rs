@@ -30,6 +30,7 @@ pub mod energy;
 pub mod experiments;
 pub mod fabric_matrix;
 pub mod figdata;
+pub mod httpfront;
 pub mod profile;
 pub mod published;
 pub mod render;

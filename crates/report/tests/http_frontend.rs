@@ -1,0 +1,293 @@
+//! End-to-end properties of the HTTP/1.1 frontend: the `POST /query`
+//! bytes are identical to the stdin frontend's, keep-alive connections
+//! replay to byte-identical bodies, `/metrics` exposes the global and
+//! per-shard `serve.*` counters, content negotiation unwraps rendered
+//! text, and `POST /shutdown` stops the accept loop gracefully.
+//!
+//! The service holds `Rc`/`RefCell` state (deliberately: shards
+//! partition state, not OS threads), so each test constructs it inside
+//! the server thread and talks to it like any other client would —
+//! over a socket.
+
+use pvc_core::Json;
+use pvc_report::serve::{CatalogExecutor, CANNED_REQUESTS};
+use pvc_serve::http::serve_http;
+use pvc_serve::{Request, ServeConfig, Service, Telemetry};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+fn cfg(shards: usize) -> ServeConfig {
+    ServeConfig { shards, ..ServeConfig::default() }
+}
+
+/// Boots the catalog service behind the HTTP frontend on an ephemeral
+/// port; returns the address and the server thread handle (joins when
+/// a client POSTs /shutdown).
+fn boot(shards: usize) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || {
+        let mut service = Service::new(CatalogExecutor, cfg(shards));
+        service.set_telemetry(Telemetry::recording(64));
+        serve_http(&listener, |req| pvc_report::httpfront::handle(&service, req))
+            .expect("server loop exits cleanly");
+    });
+    (addr, handle)
+}
+
+/// Reads one HTTP response (fixed-length or chunked) off the wire.
+fn read_response(r: &mut BufReader<TcpStream>) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut status_line = String::new();
+    r.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        r.read_line(&mut line).expect("header line");
+        if line.trim_end().is_empty() {
+            break;
+        }
+        let (n, v) = line.split_once(':').expect("header colon");
+        headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+    };
+    let mut body = Vec::new();
+    if find("transfer-encoding").as_deref() == Some("chunked") {
+        loop {
+            let mut size_line = String::new();
+            r.read_line(&mut size_line).expect("chunk size");
+            let size = usize::from_str_radix(size_line.trim(), 16).expect("hex size");
+            let mut chunk = vec![0u8; size + 2];
+            r.read_exact(&mut chunk).expect("chunk body");
+            if size == 0 {
+                break;
+            }
+            body.extend_from_slice(&chunk[..size]);
+        }
+    } else if let Some(len) = find("content-length") {
+        let mut fixed = vec![0u8; len.parse().expect("length")];
+        r.read_exact(&mut fixed).expect("fixed body");
+        body = fixed;
+    }
+    (status, headers, body)
+}
+
+fn request(
+    w: &mut TcpStream,
+    r: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    accept: Option<&str>,
+    body: Option<&str>,
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    if let Some(a) = accept {
+        head.push_str(&format!("Accept: {a}\r\n"));
+    }
+    if let Some(b) = body {
+        head.push_str(&format!("Content-Length: {}\r\n", b.len()));
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes()).expect("write head");
+    if let Some(b) = body {
+        w.write_all(b.as_bytes()).expect("write body");
+    }
+    read_response(r)
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn shutdown(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<()>) {
+    let (mut w, mut r) = connect(addr);
+    let (status, _, body) = request(&mut w, &mut r, "POST", "/shutdown", None, None);
+    assert_eq!(status, 200);
+    let envelope = pvc_core::json::parse(std::str::from_utf8(&body).unwrap().trim())
+        .expect("shutdown envelope parses");
+    assert_eq!(
+        envelope.get("result").and_then(|b| b.get("shutting_down")),
+        Some(&Json::Bool(true))
+    );
+    handle.join().expect("server thread exits after shutdown");
+}
+
+/// The canned CI batch as one stdin-frontend array line.
+fn canned_line() -> String {
+    format!("[{}]", CANNED_REQUESTS.join(","))
+}
+
+/// What the stdin frontend prints for `canned_line()`: one compact
+/// array line. Computed against a local service with the same knobs.
+fn stdin_bytes(shards: usize) -> String {
+    let service = Service::new(CatalogExecutor, cfg(shards));
+    let batch: Vec<_> = match pvc_core::json::parse(&canned_line()) {
+        Ok(Json::Arr(items)) => items.into_iter().map(Request::from_json).collect(),
+        _ => panic!("canned line is an array"),
+    };
+    format!("{}\n", Json::Arr(service.handle_batch(batch)).compact())
+}
+
+#[test]
+fn query_bytes_match_stdin_frontend_and_replay_identically_over_keepalive() {
+    let (addr, handle) = boot(2);
+    let line = canned_line();
+    let (mut w, mut r) = connect(addr);
+
+    // Two replays over ONE keep-alive connection.
+    let (status, _, first) = request(&mut w, &mut r, "POST", "/query", None, Some(&line));
+    assert_eq!(status, 200);
+    let (status, _, second) = request(&mut w, &mut r, "POST", "/query", None, Some(&line));
+    assert_eq!(status, 200);
+    assert_eq!(
+        first, second,
+        "cold and cache-warm replies must be byte-identical"
+    );
+    assert_eq!(
+        String::from_utf8(first).expect("utf8 body"),
+        stdin_bytes(1),
+        "HTTP /query bytes must equal the stdin frontend's array line \
+         (and the 2-shard dispatcher must equal the 1-shard output)"
+    );
+
+    // The same connection scrapes /metrics: global and per-shard
+    // counters are exposed in Prometheus text format.
+    let (status, headers, metrics) = request(&mut w, &mut r, "GET", "/metrics", None, None);
+    assert_eq!(status, 200);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.contains("version=0.0.4")));
+    let text = String::from_utf8(metrics).expect("metrics utf8");
+    assert!(text.lines().any(|l| l.starts_with("serve_requests ")));
+    assert!(
+        text.lines().any(|l| l.starts_with("serve_shard0_")),
+        "shard 0 counters exposed:\n{text}"
+    );
+    assert!(
+        text.lines().any(|l| l.starts_with("serve_shard1_")),
+        "shard 1 counters exposed"
+    );
+    drop(w);
+    drop(r);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn stats_route_reports_per_shard_breakdown() {
+    let (addr, handle) = boot(2);
+    let (mut w, mut r) = connect(addr);
+    let (status, _, _) = request(
+        &mut w,
+        &mut r,
+        "POST",
+        "/query",
+        None,
+        Some(r#"{"kind":"table","id":2}"#),
+    );
+    assert_eq!(status, 200);
+    let (status, _, body) = request(&mut w, &mut r, "GET", "/stats", None, None);
+    assert_eq!(status, 200);
+    let envelope = pvc_core::json::parse(std::str::from_utf8(&body).unwrap().trim())
+        .expect("stats envelope parses");
+    let shards = envelope
+        .get("result")
+        .and_then(|b| b.get("shards"))
+        .and_then(Json::as_array)
+        .expect("stats carries the shards breakdown");
+    assert_eq!(shards.len(), 2);
+    let hits_plus_misses: i64 = shards
+        .iter()
+        .map(|e| {
+            let int = |f: &str| match e.get(f) {
+                Some(Json::Int(v)) => *v,
+                _ => panic!("breakdown missing {f}"),
+            };
+            int("cache_hits") + int("misses")
+        })
+        .sum();
+    assert_eq!(hits_plus_misses, 1, "exactly one routed request so far");
+    drop(w);
+    drop(r);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn catalog_routes_negotiate_content_type() {
+    let (addr, handle) = boot(1);
+    let (mut w, mut r) = connect(addr);
+
+    // text/plain unwraps the rendered table text.
+    let (status, headers, body) =
+        request(&mut w, &mut r, "GET", "/table/2", Some("text/plain"), None);
+    assert_eq!(status, 200);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.starts_with("text/plain")));
+    let text = String::from_utf8(body).expect("utf8");
+    assert_eq!(text, pvc_report::tables::render_table2());
+
+    // Default (no Accept) answers the canonical JSON envelope.
+    let (status, headers, body) = request(&mut w, &mut r, "GET", "/table/2", None, None);
+    assert_eq!(status, 200);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.starts_with("application/json")));
+    let envelope = pvc_core::json::parse(std::str::from_utf8(&body).unwrap().trim())
+        .expect("envelope parses");
+    assert!(envelope.get("result").is_some());
+
+    // Figure 1 negotiates CSV.
+    let (status, headers, body) =
+        request(&mut w, &mut r, "GET", "/figure/1", Some("text/csv"), None);
+    assert_eq!(status, 200);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.starts_with("text/csv")));
+    assert!(std::str::from_utf8(&body)
+        .expect("utf8")
+        .starts_with("footprint_bytes,"));
+
+    // Unknown routes 404 without killing the connection.
+    let (status, _, _) = request(&mut w, &mut r, "GET", "/nope", None, None);
+    assert_eq!(status, 404);
+    let (status, _, _) = request(&mut w, &mut r, "GET", "/healthz", None, None);
+    assert_eq!(status, 200, "connection survives a 404");
+    drop(w);
+    drop(r);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn client_disconnects_do_not_kill_the_http_frontend() {
+    let (addr, handle) = boot(2);
+    // Half a request, then vanish.
+    {
+        let mut broken = TcpStream::connect(addr).expect("connect");
+        broken.write_all(b"POST /query HTTP/1.1\r\nContent-Le").expect("partial");
+    }
+    // A body that never arrives.
+    {
+        let mut liar = TcpStream::connect(addr).expect("connect");
+        liar.write_all(b"POST /query HTTP/1.1\r\nContent-Length: 999\r\n\r\n{")
+            .expect("headers only");
+    }
+    let (mut w, mut r) = connect(addr);
+    let (status, _, body) = request(&mut w, &mut r, "GET", "/healthz", None, None);
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n");
+    drop(w);
+    drop(r);
+    shutdown(addr, handle);
+}

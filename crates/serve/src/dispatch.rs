@@ -1,0 +1,743 @@
+//! The dispatcher: routing, per-shard admission, cross-shard atom
+//! coalescing and deterministic merge.
+//!
+//! A [`Dispatcher`] is the front of a shard cluster (one shard by
+//! default — the monolithic service is just the 1-shard special case).
+//! One call to [`Dispatcher::handle_batch`] processes one admitted
+//! batch deterministically:
+//!
+//! 1. malformed inputs are answered with `bad_request` envelopes;
+//! 2. reserved `stats` introspection requests are intercepted — they
+//!    consume no queue slot and are answered from the cluster's own
+//!    metrics after the rest of the batch resolves; the reserved
+//!    `shutdown` kind is acknowledged immediately and latches the
+//!    [`Dispatcher::shutdown_requested`] flag frontends poll to exit
+//!    their accept loops gracefully;
+//! 3. every other request is **routed to the shard owning its
+//!    canonical key** ([`crate::shard::shard_of`], jump consistent
+//!    hash), so cache and store entries partition cleanly and are never
+//!    duplicated across shards;
+//! 4. the owning shard's tiers are probed — an LRU hit is answered
+//!    immediately and consumes no queue slot; a disk-store hit is
+//!    answered from the shard's segment file and promoted into its LRU;
+//! 5. identical in-flight requests are collapsed (single-flight) onto
+//!    one computation — identical requests always hash to the same
+//!    shard, so dedup is a per-shard affair by construction;
+//! 6. each shard's bounded queue admits at most `queue_depth` unique
+//!    computations; the rest are shed with a typed
+//!    [`ServeError::Overloaded`] — overload on a hot partition never
+//!    rejects traffic owned by an idle one;
+//! 7. each admitted request's deterministic cost estimate must fit its
+//!    budget or it is rejected with [`ServeError::DeadlineExceeded`];
+//! 8. admitted requests decompose into atoms and the dispatcher builds
+//!    **one cluster-wide plan**: overlapping sweep atoms coalesce
+//!    across shards ([`BatchPlan`]), and the unique atoms execute in
+//!    parallel on [`pvc_core::par`];
+//! 9. atom results merge back per request in index order — fan-out
+//!    responses are byte-identical to the single-shard output — then
+//!    each response is committed (disk store + LRU) to the shard owning
+//!    its request key and fanned out to every waiter in input order.
+//!
+//! Every step resolves to a typed [`Outcome`]; per-shard counters
+//! (`serve.shard<i>.*`, one spelling via [`crate::shard::shard_metric`])
+//! ride alongside the global `serve.*` registry so a hot partition is
+//! visible instead of averaged away.
+//!
+//! Because every executor is deterministic, a response served from any
+//! tier of any shard is byte-identical to one computed fresh — only the
+//! counters can tell them apart.
+
+use crate::batch::{Atom, BatchPlan};
+use crate::request::{fnv1a64, Request};
+use crate::service::{Executor, ServeConfig};
+use crate::shard::{shard_metric, shard_of, Shard, ShardProbe};
+use crate::telemetry::{Outcome, RequestTelemetry, Telemetry};
+use crate::ServeError;
+use pvc_core::{par, Json};
+use pvc_obs::Metrics;
+use std::cell::{Cell, RefCell};
+
+/// The reserved introspection request kind answered by the dispatcher
+/// itself (never forwarded to the executor, never cached).
+pub const STATS_KIND: &str = "stats";
+
+/// The reserved graceful-shutdown request kind: acknowledged with a
+/// `{"shutting_down":true}` result and latched on the dispatcher so
+/// frontends can drain and exit their accept loops. Never forwarded to
+/// the executor, never cached, consumes no queue slot.
+pub const SHUTDOWN_KIND: &str = "shutdown";
+
+/// Virtual-cost histogram bucket bounds: powers of two covering the
+/// catalog's cost range (1 .. default budget and beyond).
+const COST_BOUNDS: [f64; 11] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+];
+
+/// The sharded batching/caching query service around an [`Executor`].
+///
+/// [`crate::Service`] is an alias for this type: the monolithic service
+/// of earlier revisions is exactly a one-shard dispatcher, and every
+/// frontend (stdin, TCP, HTTP) is a thin adapter over this one type.
+pub struct Dispatcher<E> {
+    cfg: ServeConfig,
+    exec: E,
+    shards: RefCell<Vec<Shard>>,
+    metrics: Metrics,
+    telemetry: Telemetry,
+    shutdown: Cell<bool>,
+}
+
+enum Slot {
+    /// Answered already (error, cache hit, or shutdown ack).
+    Done(Json),
+    /// Waiting on unique computation `u`.
+    Waiting(usize),
+    /// A reserved stats request, answered after the batch resolves.
+    Stats,
+}
+
+/// Per-input telemetry captured while the admission loop decides; the
+/// final outcome and envelope are bound after assembly.
+struct PendingTelemetry {
+    kind: String,
+    key: Option<String>,
+    outcome: Outcome,
+    cost: Option<u64>,
+    budget: Option<u64>,
+    queue_depth: Option<u64>,
+    shard: Option<u64>,
+    /// Unique computation index, for records whose outcome/atom count
+    /// depends on how the computation resolved.
+    waiting: Option<usize>,
+    chaos: Option<String>,
+}
+
+/// What the admission pipeline decided for one routed request.
+struct Admission {
+    outcome: Outcome,
+    /// The owning shard (None for dispatcher-level outcomes: stats,
+    /// shutdown, bad_request).
+    shard: Option<usize>,
+    /// The owning shard's queue depth when this request was considered.
+    depth: Option<u64>,
+}
+
+impl<E: Executor> Dispatcher<E> {
+    /// A dispatcher over `exec` with the given knobs; `cfg.shards`
+    /// workers (min 1), each owning a `cfg.cache_capacity`-entry LRU
+    /// slice and a `cfg.queue_depth`-deep admission queue. Telemetry
+    /// starts disabled; attach a recorder with
+    /// [`Dispatcher::set_telemetry`].
+    pub fn new(exec: E, cfg: ServeConfig) -> Self {
+        let n = cfg.shards.max(1);
+        let shards = (0..n).map(|i| Shard::new(i, cfg.cache_capacity)).collect();
+        Dispatcher {
+            cfg,
+            exec,
+            shards: RefCell::new(shards),
+            metrics: Metrics::new(),
+            telemetry: Telemetry::disabled(),
+            shutdown: Cell::new(false),
+        }
+    }
+
+    /// The cluster's metrics registry (`serve.*` global counters plus
+    /// the `serve.shard<i>.*` per-shard spellings).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Worker shards in this cluster.
+    pub fn shard_count(&self) -> usize {
+        self.shards.borrow().len()
+    }
+
+    /// The shard owning canonical key `key`.
+    pub fn shard_of_key(&self, key: u64) -> usize {
+        shard_of(key, self.shard_count())
+    }
+
+    /// Attaches a persistent result store as shard 0's second cache
+    /// tier. Only valid on a single-shard cluster — a sharded cluster
+    /// partitions its disk tier too; use
+    /// [`Dispatcher::attach_shard_store`] per shard there.
+    pub fn attach_store(&mut self, store: pvc_store::Store, report: &pvc_store::OpenReport) {
+        assert_eq!(
+            self.shard_count(),
+            1,
+            "attach_store is the single-shard convenience; \
+             sharded clusters attach one store per shard"
+        );
+        self.attach_shard_store(0, store, report);
+    }
+
+    /// Attaches `store` as shard `shard`'s persistent tier (probe order
+    /// LRU → store → compute for keys that shard owns) and exports the
+    /// open report through the cluster metrics: `store.open.records`
+    /// (valid prefix loaded), `store.open.invalidated` (stale
+    /// fingerprint reset the store), `store.open.tail_corrupt` /
+    /// `store.open.dropped_bytes` (torn or bit-flipped tail truncated
+    /// away), and the `store.entries` gauge.
+    pub fn attach_shard_store(
+        &mut self,
+        shard: usize,
+        store: pvc_store::Store,
+        report: &pvc_store::OpenReport,
+    ) {
+        self.metrics.count("store.open.records", report.records as u64);
+        if report.invalidated() {
+            self.metrics.count("store.open.invalidated", 1);
+        }
+        if report.tail_corrupt() {
+            self.metrics.count("store.open.tail_corrupt", 1);
+            self.metrics.count("store.open.dropped_bytes", report.dropped_bytes);
+        }
+        let mut shards = self.shards.borrow_mut();
+        shards[shard].attach_store(store);
+        let total: usize = shards.iter().map(Shard::store_len).sum();
+        self.metrics.gauge("store.entries", total as f64);
+        self.metrics
+            .gauge(&shard_metric(shard, "serve.store.entries"), shards[shard].store_len() as f64);
+    }
+
+    /// True when any shard has a persistent store attached.
+    pub fn has_store(&self) -> bool {
+        self.shards.borrow().iter().any(Shard::has_store)
+    }
+
+    /// Records across every shard's attached store (0 when none).
+    pub fn store_len(&self) -> usize {
+        self.shards.borrow().iter().map(Shard::store_len).sum()
+    }
+
+    /// True when shard `shard`'s disk tier holds `key` (text-verified).
+    /// For the partitioning property suite.
+    pub fn shard_store_contains(&self, shard: usize, key: u64, text: &str) -> bool {
+        self.shards.borrow()[shard].store_contains(key, text)
+    }
+
+    /// Shard `shard`'s LRU keys, eviction candidate first. For the
+    /// partitioning property suite: no key may appear on two shards.
+    pub fn shard_cache_keys(&self, shard: usize) -> Vec<u64> {
+        self.shards.borrow()[shard].cache_keys()
+    }
+
+    /// Attaches a telemetry recorder (access log + flight recorder).
+    pub fn set_telemetry(&mut self, t: Telemetry) {
+        self.telemetry = t;
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Live cache entries across every shard.
+    pub fn cache_len(&self) -> usize {
+        self.shards.borrow().iter().map(Shard::cache_len).sum()
+    }
+
+    /// The executor (for frontends that need catalog introspection).
+    pub fn executor(&self) -> &E {
+        &self.exec
+    }
+
+    /// True once a reserved `shutdown` request was acknowledged; sticky
+    /// — frontends poll this after each batch to drain and exit.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.get()
+    }
+
+    /// Parses and serves one line-delimited batch; one response
+    /// envelope per input line, in order.
+    pub fn handle_lines(&self, lines: &[&str]) -> Vec<Json> {
+        self.handle_batch(lines.iter().map(|l| Request::parse(l)).collect())
+    }
+
+    /// Serves one batch of parsed requests (parse failures included, so
+    /// their envelopes stay in position). Never panics, never blocks
+    /// indefinitely: every input gets exactly one envelope.
+    pub fn handle_batch(&self, inputs: Vec<Result<Request, ServeError>>) -> Vec<Json> {
+        self.metrics.count("serve.requests", inputs.len() as u64);
+        let recording = self.telemetry.enabled();
+        let mut slots: Vec<Slot> = Vec::with_capacity(inputs.len());
+        let mut pending: Vec<PendingTelemetry> = Vec::new();
+        // Unique admitted computations and their owning shards, in
+        // arrival order (cluster-wide — the merge is index-ordered so
+        // fan-out output is byte-identical to the single-shard run).
+        let mut unique: Vec<Request> = Vec::new();
+        let mut unique_shard: Vec<usize> = Vec::new();
+        let mut shards = self.shards.borrow_mut();
+        for input in &inputs {
+            let req = match input {
+                Ok(r) => r,
+                Err(e) => {
+                    self.metrics.count(Outcome::BadRequest.as_metric_name(), 1);
+                    slots.push(Slot::Done(err_envelope(None, e)));
+                    if recording {
+                        pending.push(PendingTelemetry {
+                            kind: "?".to_string(),
+                            key: None,
+                            outcome: Outcome::BadRequest,
+                            cost: None,
+                            budget: None,
+                            queue_depth: None,
+                            shard: None,
+                            waiting: None,
+                            chaos: None,
+                        });
+                    }
+                    continue;
+                }
+            };
+            let admission =
+                self.admit(req, &mut unique, &mut unique_shard, &mut slots, &mut shards);
+            if recording {
+                let reserved =
+                    matches!(admission.outcome, Outcome::Stats | Outcome::Shutdown);
+                let cost = if reserved {
+                    None
+                } else {
+                    // Pure and deterministic, so observing the cost of
+                    // hits and shed requests perturbs nothing.
+                    Some(self.exec.cost(req))
+                };
+                if let Some(c) = cost {
+                    self.observe_cost(req, c);
+                }
+                pending.push(PendingTelemetry {
+                    kind: request_kind(req),
+                    key: Some(req.key_hex()),
+                    outcome: admission.outcome,
+                    cost,
+                    budget: if reserved {
+                        None
+                    } else {
+                        Some(req.budget().unwrap_or(self.cfg.default_budget))
+                    },
+                    queue_depth: admission.depth,
+                    shard: admission.shard.map(|s| s as u64),
+                    waiting: match slots.last() {
+                        Some(Slot::Waiting(u)) => Some(*u),
+                        _ => None,
+                    },
+                    chaos: request_chaos(req),
+                });
+            }
+        }
+
+        // Per-shard admitted queue depth for this batch, visible in
+        // `/metrics` and the stats breakdown.
+        for shard in shards.iter() {
+            let depth = unique_shard.iter().filter(|&&s| s == shard.id).count();
+            self.metrics
+                .gauge(&shard_metric(shard.id, "serve.queue.depth"), depth as f64);
+        }
+
+        // Decompose admitted requests into atoms; decomposition errors
+        // resolve that request (and its waiters) to a Failed envelope.
+        let mut decomposed: Vec<Result<Vec<Atom>, String>> = Vec::with_capacity(unique.len());
+        for req in &unique {
+            decomposed.push(self.exec.atoms(req));
+        }
+        let plan = BatchPlan::build(
+            decomposed
+                .iter()
+                .map(|d| d.as_ref().cloned().unwrap_or_default())
+                .collect(),
+        );
+        self.metrics
+            .count("serve.atoms.requested", plan.atoms_requested as u64);
+        self.metrics.count("serve.atoms.executed", plan.atoms.len() as u64);
+        // Atom-level shard attribution: an atom is owned by the shard
+        // its id hashes to (atoms have no request key — two requests on
+        // different shards can coalesce onto one atom).
+        let shard_count = shards.len();
+        for atom in &plan.atoms {
+            let owner = shard_of(fnv1a64(atom.id.as_bytes()), shard_count);
+            self.metrics
+                .count(&shard_metric(owner, "serve.atoms.executed"), 1);
+        }
+
+        // One parallel pass over the unique atoms.
+        let exec = &self.exec;
+        let atoms = &plan.atoms;
+        let atom_results: Vec<Result<Json, String>> =
+            par::map_collect(atoms.len(), |i| exec.execute_atom(&atoms[i]));
+
+        // Merge executor-reported work counters on the main thread, in
+        // atom order (cache hits re-run nothing, so they add none).
+        for (atom, result) in atoms.iter().zip(&atom_results) {
+            if let Ok(body) = result {
+                for (name, n) in self.exec.work_counters(atom, body) {
+                    self.metrics.count(&name, n);
+                }
+            }
+        }
+
+        // Assemble one envelope per unique computation and commit it to
+        // the shard owning the request key (disk store, then LRU).
+        let mut outcomes: Vec<Json> = Vec::with_capacity(unique.len());
+        let mut unique_failed: Vec<bool> = Vec::with_capacity(unique.len());
+        for (u, req) in unique.iter().enumerate() {
+            let body = match &decomposed[u] {
+                Err(msg) => Err(msg.clone()),
+                Ok(_) => plan.assignments[u]
+                    .iter()
+                    .map(|&a| atom_results[a].clone())
+                    .collect::<Result<Vec<Json>, String>>()
+                    .and_then(|parts| self.exec.assemble(req, parts)),
+            };
+            match body {
+                Ok(body) => {
+                    let owner = unique_shard[u];
+                    let commit = shards[owner].commit(req.key(), req.text(), &body);
+                    self.metrics.count("serve.cache.evict", commit.evicted as u64);
+                    if commit.wrote {
+                        self.metrics.count("serve.store.write", 1);
+                    }
+                    if commit.write_error {
+                        // An append failure (disk full, permissions)
+                        // degrades to serving without persistence.
+                        self.metrics.count("serve.store.write_error", 1);
+                    }
+                    outcomes.push(ok_envelope(req, body));
+                    unique_failed.push(false);
+                }
+                Err(msg) => {
+                    self.metrics.count(Outcome::Failed.as_metric_name(), 1);
+                    self.metrics
+                        .count(&shard_metric(unique_shard[u], Outcome::Failed.as_metric_name()), 1);
+                    outcomes.push(err_envelope(Some(req), &ServeError::Failed(msg)));
+                    unique_failed.push(true);
+                }
+            }
+        }
+        let mut cache_total = 0usize;
+        let mut store_total = 0usize;
+        for shard in shards.iter() {
+            cache_total += shard.cache_len();
+            self.metrics.gauge(
+                &shard_metric(shard.id, "serve.cache.entries"),
+                shard.cache_len() as f64,
+            );
+            if shard.has_store() {
+                store_total += shard.store_len();
+                self.metrics.gauge(
+                    &shard_metric(shard.id, "serve.store.entries"),
+                    shard.store_len() as f64,
+                );
+            }
+        }
+        self.metrics.gauge("serve.cache.entries", cache_total as f64);
+        if shards.iter().any(Shard::has_store) {
+            self.metrics.gauge("store.entries", store_total as f64);
+        }
+        drop(shards);
+
+        // Record telemetry for every non-stats input, in input order,
+        // before the stats body is built — so a stats request in the
+        // same batch already sees this batch in the flight recorder.
+        if recording {
+            for (i, p) in pending.iter().enumerate() {
+                if p.outcome == Outcome::Stats {
+                    continue;
+                }
+                let (outcome, atoms_n) = match p.waiting {
+                    Some(u) if unique_failed[u] => (Outcome::Failed, None),
+                    Some(u) => (p.outcome, Some(plan.assignments[u].len() as u64)),
+                    None => (p.outcome, None),
+                };
+                let envelope = match &slots[i] {
+                    Slot::Done(env) => env,
+                    Slot::Waiting(u) => &outcomes[*u],
+                    Slot::Stats => unreachable!("stats filtered above"),
+                };
+                let text = inputs[i].as_ref().ok().map(|r| r.text());
+                self.telemetry.record(
+                    RequestTelemetry {
+                        seq: 0,
+                        kind: p.kind.clone(),
+                        key: p.key.clone(),
+                        outcome,
+                        cost: p.cost,
+                        budget: p.budget,
+                        queue_depth: p.queue_depth,
+                        shard: p.shard,
+                        atoms: atoms_n,
+                        chaos: p.chaos.clone(),
+                    },
+                    text,
+                    envelope,
+                );
+            }
+        }
+
+        // Answer stats requests last: one body reflecting the whole
+        // batch, shared by every stats input, never cached.
+        let stats_body = slots
+            .iter()
+            .any(|s| matches!(s, Slot::Stats))
+            .then(|| self.stats_body());
+
+        let responses: Vec<Json> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s {
+                Slot::Done(env) => env.clone(),
+                Slot::Waiting(u) => outcomes[*u].clone(),
+                Slot::Stats => {
+                    let req = inputs[i].as_ref().expect("stats slots carry a request");
+                    ok_envelope(req, stats_body.clone().expect("built above"))
+                }
+            })
+            .collect();
+
+        if recording {
+            for (i, p) in pending.iter().enumerate() {
+                if p.outcome != Outcome::Stats {
+                    continue;
+                }
+                self.telemetry.record(
+                    RequestTelemetry {
+                        seq: 0,
+                        kind: p.kind.clone(),
+                        key: p.key.clone(),
+                        outcome: Outcome::Stats,
+                        cost: None,
+                        budget: None,
+                        queue_depth: None,
+                        shard: None,
+                        atoms: None,
+                        chaos: None,
+                    },
+                    inputs[i].as_ref().ok().map(|r| r.text()),
+                    &responses[i],
+                );
+            }
+        }
+
+        responses
+    }
+
+    /// Runs one parsed request through the routed admission pipeline,
+    /// pushing its slot and returning the admission decision. `Miss`
+    /// may still become `Failed` at assembly time.
+    fn admit(
+        &self,
+        req: &Request,
+        unique: &mut Vec<Request>,
+        unique_shard: &mut Vec<usize>,
+        slots: &mut Vec<Slot>,
+        shards: &mut [Shard],
+    ) -> Admission {
+        let reserved = |outcome: Outcome| Admission { outcome, shard: None, depth: None };
+        if request_kind(req) == STATS_KIND {
+            self.metrics.count(Outcome::Stats.as_metric_name(), 1);
+            slots.push(Slot::Stats);
+            return reserved(Outcome::Stats);
+        }
+        if request_kind(req) == SHUTDOWN_KIND {
+            self.metrics.count(Outcome::Shutdown.as_metric_name(), 1);
+            self.shutdown.set(true);
+            let ack = Json::obj(vec![("shutting_down", Json::Bool(true))]);
+            slots.push(Slot::Done(ok_envelope(req, ack)));
+            return reserved(Outcome::Shutdown);
+        }
+        // Route by canonical key: this shard exclusively owns the
+        // request's cache and store entries.
+        let owner = shard_of(req.key(), shards.len());
+        let depth = unique_shard.iter().filter(|&&s| s == owner).count() as u64;
+        let decided = |outcome: Outcome| {
+            self.metrics.count(outcome.as_metric_name(), 1);
+            self.metrics
+                .count(&shard_metric(owner, outcome.as_metric_name()), 1);
+            Admission { outcome, shard: Some(owner), depth: Some(depth) }
+        };
+        self.metrics.count(&shard_metric(owner, "serve.requests"), 1);
+        match shards[owner].probe(req.key(), req.text()) {
+            ShardProbe::Hit(body) => {
+                slots.push(Slot::Done(ok_envelope(req, body)));
+                return decided(Outcome::Hit);
+            }
+            ShardProbe::StoreHit(body, evicted) => {
+                self.metrics.count("serve.cache.evict", evicted as u64);
+                slots.push(Slot::Done(ok_envelope(req, body)));
+                return decided(Outcome::StoreHit);
+            }
+            ShardProbe::StoreBadValue => {
+                // A record that frames correctly but does not parse as
+                // JSON: degrade to recompute, count it.
+                self.metrics.count("serve.store.bad_value", 1);
+            }
+            ShardProbe::StoreMiss => {
+                self.metrics.count("serve.store.miss", 1);
+                self.metrics
+                    .count(&shard_metric(owner, "serve.store.miss"), 1);
+            }
+            ShardProbe::Cold => {}
+        }
+        if let Some(u) = unique
+            .iter()
+            .position(|p| p.key() == req.key() && p.text() == req.text())
+        {
+            slots.push(Slot::Waiting(u));
+            return decided(Outcome::Dedup);
+        }
+        // The bounded queue is per shard: a hot partition sheds its own
+        // overflow while idle shards keep admitting.
+        if depth >= self.cfg.queue_depth as u64 {
+            let e = ServeError::Overloaded { depth: self.cfg.queue_depth };
+            slots.push(Slot::Done(err_envelope(Some(req), &e)));
+            return decided(Outcome::Overload);
+        }
+        let cost = self.exec.cost(req);
+        let budget = req.budget().unwrap_or(self.cfg.default_budget);
+        if cost > budget {
+            let e = ServeError::DeadlineExceeded { cost, budget };
+            slots.push(Slot::Done(err_envelope(Some(req), &e)));
+            return decided(Outcome::Deadline);
+        }
+        slots.push(Slot::Waiting(unique.len()));
+        unique.push(req.clone());
+        unique_shard.push(owner);
+        decided(Outcome::Miss)
+    }
+
+    /// Records `cost` into the per-kind virtual-cost histogram
+    /// (`serve.cost.<kind>`), declaring it on first use.
+    fn observe_cost(&self, req: &Request, cost: u64) {
+        let name = format!("serve.cost.{}", request_kind(req));
+        if !self.metrics.has_histogram(&name) {
+            self.metrics.declare_histogram(&name, &COST_BOUNDS);
+        }
+        self.metrics.record(&name, cost as f64);
+    }
+
+    /// The per-shard breakdown served inside the stats body: one entry
+    /// per shard with its admitted queue depth, hit/miss/shed counters
+    /// and live cache size — the ISSUE's "hot partitions are visible,
+    /// not averaged away" requirement.
+    fn shards_breakdown(&self) -> Json {
+        let shards = self.shards.borrow();
+        let entries: Vec<Json> = shards
+            .iter()
+            .map(|shard| {
+                let c = |global: &str| {
+                    Json::Int(self.metrics.counter(&shard_metric(shard.id, global)) as i64)
+                };
+                let g = |global: &str| {
+                    self.metrics
+                        .gauge_value(&shard_metric(shard.id, global))
+                        .map_or(Json::Int(0), |v| Json::Int(v as i64))
+                };
+                Json::obj(vec![
+                    ("shard", Json::Int(shard.id as i64)),
+                    ("requests", c("serve.requests")),
+                    ("queue_depth", g("serve.queue.depth")),
+                    ("cache_hits", c("serve.cache.hit")),
+                    ("store_hits", c("serve.store.hit")),
+                    ("misses", c("serve.cache.miss")),
+                    ("deduped", c("serve.singleflight.deduped")),
+                    ("sheds", c("serve.rejected.overload")),
+                    ("deadlines", c("serve.rejected.deadline")),
+                    ("failed", c("serve.failed")),
+                    ("atoms_executed", c("serve.atoms.executed")),
+                    ("cache_entries", Json::Int(shard.cache_len() as i64)),
+                    ("store_entries", Json::Int(shard.store_len() as i64)),
+                ])
+            })
+            .collect();
+        Json::Arr(entries)
+    }
+
+    /// The stats snapshot served for a `stats` request: every counter,
+    /// every set gauge, p50/p90/p99 + count/sum per declared histogram,
+    /// the per-shard breakdown, and — when telemetry records — the
+    /// flight-recorder dump. All name-sorted, all virtual quantities:
+    /// byte-deterministic.
+    pub fn stats_body(&self) -> Json {
+        let counters = Json::Obj(
+            self.metrics
+                .counters("")
+                .into_iter()
+                .map(|(n, v)| (n, Json::Int(v as i64)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.metrics
+                .gauges("")
+                .into_iter()
+                .map(|(n, v)| (n, Json::Num(v)))
+                .collect(),
+        );
+        let quantiles = Json::Obj(
+            self.metrics
+                .histogram_names("")
+                .into_iter()
+                .map(|n| {
+                    let (_, count, sum) =
+                        self.metrics.histogram(&n).expect("name just listed");
+                    let q = |p: f64| {
+                        self.metrics.quantile(&n, p).map_or(Json::Null, Json::Num)
+                    };
+                    let body = Json::obj(vec![
+                        ("count", Json::Int(count as i64)),
+                        ("p50", q(0.50)),
+                        ("p90", q(0.90)),
+                        ("p99", q(0.99)),
+                        ("sum", Json::Num(sum)),
+                    ]);
+                    (n, body)
+                })
+                .collect(),
+        );
+        let mut pairs = vec![
+            ("counters", counters),
+            ("gauges", gauges),
+            ("quantiles", quantiles),
+            ("shards", self.shards_breakdown()),
+        ];
+        if self.telemetry.enabled() {
+            pairs.push(("flight_recorder", self.telemetry.to_json()));
+        }
+        Json::obj(pairs).sorted()
+    }
+}
+
+/// The request's `kind` field (guaranteed present by request parsing).
+fn request_kind(req: &Request) -> String {
+    match req.canon().get("kind") {
+        Some(Json::Str(k)) => k.clone(),
+        _ => "?".to_string(),
+    }
+}
+
+/// The request's chaos spec, if it carries one.
+fn request_chaos(req: &Request) -> Option<String> {
+    match req.canon().get("chaos") {
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(other) => Some(other.compact()),
+        None => None,
+    }
+}
+
+/// Success envelope: content address, normalised request, result body.
+fn ok_envelope(req: &Request, body: Json) -> Json {
+    Json::obj(vec![
+        ("key", Json::str(req.key_hex())),
+        ("request", req.canon().clone()),
+        ("result", body),
+    ])
+}
+
+/// Error envelope; carries the request context when it parsed.
+fn err_envelope(req: Option<&Request>, err: &ServeError) -> Json {
+    let mut pairs = Vec::new();
+    if let Some(req) = req {
+        pairs.push(("key", Json::str(req.key_hex())));
+        pairs.push(("request", req.canon().clone()));
+    }
+    pairs.push(("error", err.to_json()));
+    Json::obj(pairs)
+}

@@ -1,0 +1,239 @@
+//! The shard layer: consistent-hash partitioning of the canonical
+//! request-key space, and the per-shard worker state.
+//!
+//! A sharded service runs N workers, each owning an exclusive partition
+//! of the FNV-1a 64 key space. The partition function is Lamping &
+//! Veach's *jump consistent hash*: deterministic, allocation-free, and
+//! **consistent** — growing the cluster from `n` to `n+1` shards moves
+//! only the ~`1/(n+1)` of keys that land on the new shard, every other
+//! key stays put. That property is what lets a per-shard disk store
+//! survive a resize audit: a key either kept its owner or moved to the
+//! newest shard, never to an arbitrary peer.
+//!
+//! Each [`Shard`] owns the state that must never be duplicated across
+//! the cluster:
+//!
+//! * its slice of the LRU result cache — an entry lives on exactly the
+//!   shard owning its key, so cluster cache capacity scales linearly
+//!   with shard count and an eviction on one shard cannot disturb a hot
+//!   entry on another;
+//! * an optional [`pvc_store::Store`] disk tier — per-shard segment
+//!   files partition the warmed catalog the same way;
+//! * its bounded admission queue (the dispatcher tracks the depth and
+//!   sheds per shard, so overload on a hot partition never rejects
+//!   traffic owned by an idle one).
+//!
+//! Routing happens in [`crate::dispatch`]; this module is deliberately
+//! mechanism-only so the partitioning invariants stay property-testable
+//! in isolation.
+
+use crate::cache::ResultCache;
+use pvc_core::Json;
+
+/// The shard owning `key` in an `shards`-worker cluster — Lamping &
+/// Veach's jump consistent hash. Deterministic pure integer/float math,
+/// so every process, test and CI gate agrees on the partition.
+///
+/// Guarantees (property-tested in `tests/shard_properties.rs`):
+/// * the result is always in `0..shards`;
+/// * every key maps to exactly one shard (it is a function);
+/// * growing `shards` by one only ever reassigns keys *to the new
+///   shard* — no key moves between pre-existing shards.
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    assert!(shards > 0, "a cluster has at least one shard");
+    let mut k = key;
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < shards as i64 {
+        b = j;
+        k = k.wrapping_mul(2862933555777941757).wrapping_add(1);
+        j = (((b + 1) as f64) * ((1u64 << 31) as f64 / (((k >> 33) + 1) as f64))) as i64;
+    }
+    b as usize
+}
+
+/// The per-shard spelling of a `serve.*` instrument: the global name
+/// with the `serve.` prefix replaced by `serve.shard<i>.` — e.g.
+/// `serve.cache.hit` labels as `serve.shard3.cache.hit`. One function
+/// so counters, gauges, tests and CI greps can never drift apart.
+pub fn shard_metric(shard: usize, global: &str) -> String {
+    match global.strip_prefix("serve.") {
+        Some(rest) => format!("serve.shard{shard}.{rest}"),
+        None => format!("serve.shard{shard}.{global}"),
+    }
+}
+
+/// How a shard resolved a cache probe.
+pub enum ShardProbe {
+    /// In-memory LRU hit.
+    Hit(Json),
+    /// Disk-store hit; the value was promoted into the LRU (the report
+    /// carries how many entries that promotion evicted).
+    StoreHit(Json, usize),
+    /// A store record framed correctly but did not parse back into
+    /// JSON; the caller should degrade to a recompute.
+    StoreBadValue,
+    /// The disk tier was probed and does not hold the key.
+    StoreMiss,
+    /// No entry anywhere (and no disk tier attached to probe).
+    Cold,
+}
+
+/// What committing a computed response into a shard did.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShardCommit {
+    /// LRU entries evicted by the insert (0 or 1).
+    pub evicted: usize,
+    /// A new record was appended to the disk tier.
+    pub wrote: bool,
+    /// The disk append failed (disk full, permissions); the shard
+    /// degrades to serving without persistence.
+    pub write_error: bool,
+}
+
+/// One worker shard: the exclusive owner of its key partition's LRU
+/// slice and optional disk tier.
+pub struct Shard {
+    /// Cluster-wide shard index (stable, 0-based).
+    pub id: usize,
+    cache: ResultCache,
+    store: Option<pvc_store::Store>,
+}
+
+impl Shard {
+    /// A shard with an LRU of `cache_capacity` entries and no disk
+    /// tier.
+    pub fn new(id: usize, cache_capacity: usize) -> Shard {
+        Shard {
+            id,
+            cache: ResultCache::new(cache_capacity),
+            store: None,
+        }
+    }
+
+    /// Attaches this shard's persistent disk tier.
+    pub fn attach_store(&mut self, store: pvc_store::Store) {
+        self.store = Some(store);
+    }
+
+    /// True when a disk tier is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Records in the attached disk tier (0 without one).
+    pub fn store_len(&self) -> usize {
+        self.store.as_ref().map_or(0, pvc_store::Store::len)
+    }
+
+    /// True when the disk tier holds `key` (text-verified).
+    pub fn store_contains(&self, key: u64, text: &str) -> bool {
+        self.store.as_ref().is_some_and(|s| s.contains(key, text))
+    }
+
+    /// Live LRU entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The LRU's keys, eviction candidate first (for the partitioning
+    /// property suite: no key may appear on two shards).
+    pub fn cache_keys(&self) -> Vec<u64> {
+        self.cache.keys_lru_order()
+    }
+
+    /// Probes the shard's tiers in order: LRU, then disk. A store hit
+    /// promotes into the LRU so the next identical request stays in
+    /// memory; an LRU hit never touches disk.
+    pub fn probe(&mut self, key: u64, text: &str) -> ShardProbe {
+        if let Some(body) = self.cache.get(key, text) {
+            return ShardProbe::Hit(body);
+        }
+        let Some(store) = self.store.as_ref() else {
+            return ShardProbe::Cold;
+        };
+        match store.get(key, text) {
+            Some(bytes) => match parse_stored_body(bytes) {
+                Some(body) => {
+                    let evicted = self.cache.insert(key, text, body.clone());
+                    ShardProbe::StoreHit(body, evicted)
+                }
+                None => ShardProbe::StoreBadValue,
+            },
+            None => ShardProbe::StoreMiss,
+        }
+    }
+
+    /// Commits a freshly computed response: persists it to the disk
+    /// tier (when one is attached) and inserts it into the LRU. The
+    /// store write happens first so the stored bytes are always the
+    /// compact body — a later store hit re-parses to byte-identical
+    /// JSON.
+    pub fn commit(&mut self, key: u64, text: &str, body: &Json) -> ShardCommit {
+        let mut report = ShardCommit::default();
+        if let Some(store) = self.store.as_mut() {
+            match store.put(key, text, body.compact().as_bytes()) {
+                Ok(true) => report.wrote = true,
+                Ok(false) => {}
+                Err(_) => report.write_error = true,
+            }
+        }
+        report.evicted = self.cache.insert(key, text, body.clone());
+        report
+    }
+}
+
+/// Decodes a stored record back into a response body. Stored values are
+/// the compact JSON bytes of the body; parsing preserves key order, so
+/// re-serialisation reproduces the original bytes exactly.
+fn parse_stored_body(bytes: &[u8]) -> Option<Json> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    pvc_core::json::parse(text).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_hash_is_in_range_and_deterministic() {
+        for n in [1usize, 2, 3, 4, 7, 16, 100] {
+            for key in [0u64, 1, 42, u64::MAX, 0xcbf29ce484222325] {
+                let s = shard_of(key, n);
+                assert!(s < n, "shard_of({key}, {n}) = {s} out of range");
+                assert_eq!(s, shard_of(key, n), "must be a pure function");
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_owns_everything() {
+        for key in 0..64u64 {
+            assert_eq!(shard_of(key.wrapping_mul(0x9e3779b97f4a7c15), 1), 0);
+        }
+    }
+
+    #[test]
+    fn shard_metric_spelling() {
+        assert_eq!(shard_metric(0, "serve.cache.hit"), "serve.shard0.cache.hit");
+        assert_eq!(
+            shard_metric(3, "serve.rejected.overload"),
+            "serve.shard3.rejected.overload"
+        );
+        assert_eq!(shard_metric(1, "requests"), "serve.shard1.requests");
+    }
+
+    #[test]
+    fn probe_hits_lru_before_disk_and_commit_round_trips() {
+        let mut shard = Shard::new(0, 4);
+        assert!(matches!(shard.probe(9, "req"), ShardProbe::Cold));
+        let body = Json::obj(vec![("x", Json::Int(7))]);
+        let commit = shard.commit(9, "req", &body);
+        assert_eq!(commit.evicted, 0);
+        assert!(!commit.wrote, "no disk tier attached");
+        match shard.probe(9, "req") {
+            ShardProbe::Hit(b) => assert_eq!(b, body),
+            _ => panic!("expected an LRU hit"),
+        }
+    }
+}

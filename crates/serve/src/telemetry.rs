@@ -42,6 +42,9 @@ pub enum Outcome {
     Failed,
     /// A reserved `stats` introspection request.
     Stats,
+    /// A reserved `shutdown` request: acknowledged and latched so the
+    /// frontend drains and exits its accept loop gracefully.
+    Shutdown,
 }
 
 impl Outcome {
@@ -58,6 +61,7 @@ impl Outcome {
             Outcome::Miss => "serve.cache.miss",
             Outcome::Failed => "serve.failed",
             Outcome::Stats => "serve.stats",
+            Outcome::Shutdown => "serve.shutdown",
         }
     }
 
@@ -73,6 +77,7 @@ impl Outcome {
             Outcome::Miss => "miss",
             Outcome::Failed => "failed",
             Outcome::Stats => "stats",
+            Outcome::Shutdown => "shutdown",
         }
     }
 
@@ -80,12 +85,17 @@ impl Outcome {
     pub fn is_ok(&self) -> bool {
         matches!(
             self,
-            Outcome::Hit | Outcome::StoreHit | Outcome::Dedup | Outcome::Miss | Outcome::Stats
+            Outcome::Hit
+                | Outcome::StoreHit
+                | Outcome::Dedup
+                | Outcome::Miss
+                | Outcome::Stats
+                | Outcome::Shutdown
         )
     }
 
     /// Every outcome, in a stable order (for exhaustiveness tests).
-    pub const ALL: [Outcome; 9] = [
+    pub const ALL: [Outcome; 10] = [
         Outcome::BadRequest,
         Outcome::Hit,
         Outcome::StoreHit,
@@ -95,6 +105,7 @@ impl Outcome {
         Outcome::Miss,
         Outcome::Failed,
         Outcome::Stats,
+        Outcome::Shutdown,
     ];
 }
 
@@ -115,9 +126,13 @@ pub struct RequestTelemetry {
     pub cost: Option<u64>,
     /// The budget the cost was compared against.
     pub budget: Option<u64>,
-    /// Unique computations already queued when this request was
-    /// considered (the admission-time queue depth).
+    /// Unique computations already queued **on the owning shard** when
+    /// this request was considered (the admission-time queue depth; the
+    /// global depth on a one-shard service).
     pub queue_depth: Option<u64>,
+    /// The shard owning this request's key partition. `None` for
+    /// dispatcher-level outcomes (bad_request, stats, shutdown).
+    pub shard: Option<u64>,
     /// Atoms assigned to this request's computation after coalescing.
     pub atoms: Option<u64>,
     /// The canonical chaos spec carried by the request, if any.
@@ -144,6 +159,7 @@ impl RequestTelemetry {
             ("outcome", Json::str(self.outcome.as_str())),
             ("queue_depth", opt_u64(self.queue_depth)),
             ("seq", Json::Int(self.seq as i64)),
+            ("shard", opt_u64(self.shard)),
         ])
     }
 }
@@ -296,6 +312,7 @@ mod tests {
             cost: Some(3),
             budget: Some(64),
             queue_depth: Some(0),
+            shard: Some(0),
             atoms: Some(1),
             chaos: None,
         }
@@ -318,6 +335,7 @@ mod tests {
                 "serve.cache.miss",
                 "serve.failed",
                 "serve.stats",
+                "serve.shutdown",
             ]
         );
         // Every metric name and log label is distinct.

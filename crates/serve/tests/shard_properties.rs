@@ -1,0 +1,399 @@
+//! Shard-partitioning invariants (the ISSUE's property suite):
+//!
+//! * every canonical key maps to exactly one shard, for every cluster
+//!   size — the partition function is total and deterministic;
+//! * jump consistent hashing really is consistent: growing the cluster
+//!   from `n` to `n+1` shards only ever moves keys to the new shard;
+//! * no cache or store entry is ever present on two shards;
+//! * dispatcher-merged batch/sweep responses are **byte-identical** to
+//!   the single-shard output for shard counts 1, 2, 4, 7;
+//! * overload shedding is per shard: a hot partition sheds while idle
+//!   partitions keep admitting.
+
+use pvc_core::Json;
+use pvc_serve::shard::{shard_metric, shard_of};
+use pvc_serve::{fnv1a64, Atom, Executor, Request, ServeConfig, Service};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn pin_threads() {
+    std::env::set_var("PVC_THREADS", "2");
+}
+
+/// Deterministic toy executor (same shape as the service-property
+/// suite's): squares integers, sweeps share `item:<n>` atoms.
+#[derive(Default)]
+struct Toy {
+    executions: AtomicUsize,
+}
+
+impl Executor for Toy {
+    fn cost(&self, _req: &Request) -> u64 {
+        1
+    }
+
+    fn atoms(&self, req: &Request) -> Result<Vec<Atom>, String> {
+        match req.kind() {
+            "item" => {
+                let Some(Json::Int(n)) = req.get("n") else {
+                    return Err("item needs integer n".into());
+                };
+                Ok(vec![Atom::new(format!("item:{n}"), Json::Int(*n))])
+            }
+            "sweep" => {
+                let Some(ids) = req.get("ids").and_then(Json::as_array) else {
+                    return Err("sweep needs ids array".into());
+                };
+                ids.iter()
+                    .map(|id| match id {
+                        Json::Int(n) => Ok(Atom::new(format!("item:{n}"), Json::Int(*n))),
+                        _ => Err("ids must be integers".to_string()),
+                    })
+                    .collect()
+            }
+            other => Err(format!("unknown kind '{other}'")),
+        }
+    }
+
+    fn execute_atom(&self, atom: &Atom) -> Result<Json, String> {
+        self.executions.fetch_add(1, Ordering::SeqCst);
+        let Json::Int(n) = atom.params else {
+            return Err("non-integer atom".into());
+        };
+        Ok(Json::obj(vec![
+            ("id", Json::str(atom.id.clone())),
+            ("square", Json::Int(n * n)),
+        ]))
+    }
+
+    fn assemble(&self, _req: &Request, mut parts: Vec<Json>) -> Result<Json, String> {
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Json::Arr(parts)
+        })
+    }
+}
+
+fn sharded(shards: usize) -> Service<Toy> {
+    Service::new(Toy::default(), ServeConfig { shards, ..ServeConfig::default() })
+}
+
+fn item(n: i64) -> String {
+    format!(r#"{{"kind":"item","n":{n}}}"#)
+}
+
+/// A seeded pseudo-random key stream (splitmix-style) so the property
+/// sweeps cover the key space without wall-clock randomness.
+fn keys(seed: u64, count: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+#[test]
+fn every_key_maps_to_exactly_one_shard() {
+    for n in [1usize, 2, 3, 4, 7, 16] {
+        for key in keys(0xA11CE, 512) {
+            let owner = shard_of(key, n);
+            assert!(owner < n, "owner in range");
+            // Total function: re-evaluation agrees, so there is exactly
+            // one owner — ownership is never split or ambiguous.
+            assert_eq!(owner, shard_of(key, n));
+        }
+    }
+}
+
+#[test]
+fn growing_the_cluster_moves_keys_only_to_the_new_shard() {
+    for n in 1usize..12 {
+        for key in keys(0xBEE5, 512) {
+            let before = shard_of(key, n);
+            let after = shard_of(key, n + 1);
+            assert!(
+                after == before || after == n,
+                "key {key:#x}: {n}→{} shards moved it {before}→{after}, \
+                 not to the new shard",
+                n + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn partition_is_reasonably_balanced() {
+    // Not a correctness invariant, but a badly skewed jump hash would
+    // defeat the point of sharding; 4 shards over 4096 keys should each
+    // own a recognisable fraction.
+    let n = 4usize;
+    let mut counts = vec![0usize; n];
+    for key in keys(0xD15C0, 4096) {
+        counts[shard_of(key, n)] += 1;
+    }
+    for (i, c) in counts.iter().enumerate() {
+        assert!(
+            (512..=1536).contains(c),
+            "shard {i} owns {c}/4096 keys — severe imbalance"
+        );
+    }
+}
+
+#[test]
+fn no_cache_entry_is_ever_present_on_two_shards() {
+    pin_threads();
+    for n in [2usize, 4, 7] {
+        let s = sharded(n);
+        let lines: Vec<String> = (0..40).map(item).collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        s.handle_lines(&refs);
+        s.handle_lines(&refs); // hits must not replicate entries
+        let mut seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for shard in 0..n {
+            for key in s.shard_cache_keys(shard) {
+                if let Some(prev) = seen.insert(key, shard) {
+                    panic!("key {key:#x} cached on shard {prev} AND {shard}");
+                }
+                assert_eq!(
+                    shard_of(key, n),
+                    shard,
+                    "key {key:#x} cached on a shard that does not own it"
+                );
+            }
+        }
+        assert_eq!(seen.len(), 40, "all entries cached exactly once");
+    }
+}
+
+#[test]
+fn no_store_entry_is_ever_present_on_two_shards() {
+    pin_threads();
+    let n = 4usize;
+    let mut s = sharded(n);
+    let mut guards = Vec::new();
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    for shard in 0..n {
+        let path = std::env::temp_dir().join(format!(
+            "pvc-serve-shardprop-{}-{}-{shard}.bin",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_file(&path);
+        let (store, report) = pvc_store::Store::open(&path, 0x5ad_f00d).expect("store opens");
+        s.attach_shard_store(shard, store, &report);
+        guards.push(Cleanup(path));
+    }
+    let lines: Vec<String> = (0..24).map(item).collect();
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    s.handle_lines(&refs);
+    assert_eq!(s.store_len(), 24, "every response persisted exactly once");
+    for line in &refs {
+        let req = Request::parse(line).expect("parses");
+        let owner = shard_of(req.key(), n);
+        for shard in 0..n {
+            assert_eq!(
+                s.shard_store_contains(shard, req.key(), req.text()),
+                shard == owner,
+                "store entry for {line} on shard {shard}, owner {owner}"
+            );
+        }
+    }
+}
+
+struct Cleanup(std::path::PathBuf);
+
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn merged_responses_are_byte_identical_across_shard_counts() {
+    pin_threads();
+    // A mixed batch: overlapping sweeps (cross-shard atom coalescing),
+    // duplicates (single-flight), plain items, and a parse failure —
+    // everything but sheds, which are depth-dependent by design.
+    let refs = [
+        r#"{"kind":"sweep","ids":[1,2,3,4,5]}"#,
+        r#"{"kind":"item","n":3}"#,
+        r#"{"kind":"sweep","ids":[4,5,6,7]}"#,
+        r#"{"kind":"item","n":3}"#,
+        "definitely not json",
+        r#"{"kind":"sweep","ids":[1,2,3,4,5]}"#,
+        r#"{"kind":"item","n":11}"#,
+    ];
+    let run = |shards: usize| -> Vec<String> {
+        let s = sharded(shards);
+        let mut out: Vec<String> = s
+            .handle_lines(&refs)
+            .iter()
+            .map(Json::canonical)
+            .collect();
+        // Replay: warm answers must stay byte-identical too.
+        out.extend(s.handle_lines(&refs).iter().map(Json::canonical));
+        out
+    };
+    let single = run(1);
+    for n in [2usize, 4, 7] {
+        assert_eq!(
+            run(n),
+            single,
+            "{n}-shard dispatcher output diverged from single-shard bytes"
+        );
+    }
+}
+
+#[test]
+fn work_runs_once_regardless_of_shard_count() {
+    pin_threads();
+    let a = r#"{"kind":"sweep","ids":[1,2,3]}"#;
+    let b = r#"{"kind":"sweep","ids":[2,3,4]}"#;
+    for n in [1usize, 2, 4, 7] {
+        let s = sharded(n);
+        s.handle_lines(&[a, b]);
+        // 6 atoms requested, 4 unique — coalescing is cluster-wide,
+        // so shard count never duplicates atom executions.
+        assert_eq!(s.metrics().counter("serve.atoms.requested"), 6, "shards={n}");
+        assert_eq!(s.metrics().counter("serve.atoms.executed"), 4, "shards={n}");
+        assert_eq!(s.executor().executions.load(Ordering::SeqCst), 4, "shards={n}");
+    }
+}
+
+#[test]
+fn overload_sheds_per_shard_not_globally() {
+    pin_threads();
+    let n = 2usize;
+    // Find three requests owned by shard 0 and one owned by shard 1.
+    let mut hot = Vec::new();
+    let mut cold = Vec::new();
+    for i in 0..200 {
+        let line = item(i);
+        let req = Request::parse(&line).expect("parses");
+        match shard_of(req.key(), n) {
+            0 if hot.len() < 3 => hot.push(line),
+            1 if cold.is_empty() => cold.push(line),
+            _ => {}
+        }
+        if hot.len() == 3 && !cold.is_empty() {
+            break;
+        }
+    }
+    assert_eq!((hot.len(), cold.len()), (3, 1), "key space covers both shards");
+
+    let s = Service::new(
+        Toy::default(),
+        ServeConfig { queue_depth: 1, shards: n, ..ServeConfig::default() },
+    );
+    let batch: Vec<&str> = hot
+        .iter()
+        .chain(cold.iter())
+        .map(String::as_str)
+        .collect();
+    let responses = s.handle_lines(&batch);
+    let is_shed = |r: &Json| {
+        r.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str)
+            == Some("overloaded")
+    };
+    // Shard 0: one admitted, two shed. Shard 1: admitted despite the
+    // cluster being "full" by the old global accounting.
+    assert!(!is_shed(&responses[0]), "first hot request admitted");
+    assert!(is_shed(&responses[1]) && is_shed(&responses[2]), "hot shard sheds its overflow");
+    assert!(
+        !is_shed(&responses[3]),
+        "idle shard keeps admitting while the hot one sheds"
+    );
+    assert_eq!(s.metrics().counter("serve.rejected.overload"), 2);
+    assert_eq!(s.metrics().counter(&shard_metric(0, "serve.rejected.overload")), 2);
+    assert_eq!(s.metrics().counter(&shard_metric(1, "serve.rejected.overload")), 0);
+    assert_eq!(s.metrics().counter(&shard_metric(1, "serve.cache.miss")), 1);
+}
+
+#[test]
+fn per_shard_counters_sum_to_the_global_spellings() {
+    pin_threads();
+    let n = 4usize;
+    let s = sharded(n);
+    let lines: Vec<String> = (0..20).map(item).collect();
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    s.handle_lines(&refs);
+    s.handle_lines(&refs);
+    for global in ["serve.cache.hit", "serve.cache.miss", "serve.atoms.executed"] {
+        let sum: u64 = (0..n)
+            .map(|i| s.metrics().counter(&shard_metric(i, global)))
+            .sum();
+        assert_eq!(
+            sum,
+            s.metrics().counter(global),
+            "per-shard {global} spellings must sum to the global counter"
+        );
+    }
+}
+
+#[test]
+fn stats_body_carries_a_per_shard_breakdown() {
+    pin_threads();
+    let n = 2usize;
+    let s = sharded(n);
+    let lines: Vec<String> = (0..8).map(item).collect();
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    s.handle_lines(&refs);
+    let stats = s
+        .handle_lines(&[r#"{"kind":"stats"}"#])
+        .remove(0);
+    let shards = stats
+        .get("result")
+        .and_then(|r| r.get("shards"))
+        .and_then(Json::as_array)
+        .expect("stats result carries a shards array");
+    assert_eq!(shards.len(), n);
+    let total_misses: i64 = shards
+        .iter()
+        .map(|e| match e.get("misses") {
+            Some(Json::Int(v)) => *v,
+            _ => panic!("shard entry missing misses"),
+        })
+        .sum();
+    assert_eq!(total_misses, 8);
+    for (i, entry) in shards.iter().enumerate() {
+        assert_eq!(entry.get("shard"), Some(&Json::Int(i as i64)));
+        for field in ["queue_depth", "cache_hits", "store_hits", "sheds", "cache_entries"] {
+            assert!(entry.get(field).is_some(), "shard entry missing {field}");
+        }
+    }
+}
+
+#[test]
+fn shutdown_kind_latches_and_answers_ok() {
+    pin_threads();
+    let s = sharded(2);
+    assert!(!s.shutdown_requested());
+    let r = s.handle_lines(&[r#"{"kind":"shutdown"}"#]).remove(0);
+    assert_eq!(
+        r.get("result").and_then(|b| b.get("shutting_down")),
+        Some(&Json::Bool(true))
+    );
+    assert!(s.shutdown_requested(), "flag latches");
+    assert_eq!(s.metrics().counter("serve.shutdown"), 1);
+    // Still serves the rest of the drain.
+    let r = s.handle_lines(&[&item(1)]).remove(0);
+    assert!(r.get("result").is_some());
+}
+
+#[test]
+fn request_key_routing_matches_fnv_content_address() {
+    // The dispatcher routes on the request's canonical FNV-1a key; the
+    // two must agree or cache ownership and store partitioning split.
+    let line = r#"{"kind":"item","n":9}"#;
+    let req = Request::parse(line).expect("parses");
+    assert_eq!(req.key(), fnv1a64(req.text().as_bytes()));
+    for n in [1usize, 2, 4, 7] {
+        let s = sharded(n);
+        assert_eq!(s.shard_of_key(req.key()), shard_of(req.key(), n));
+    }
+}
